@@ -1,0 +1,32 @@
+.PHONY: all build test bench doc clean examples
+
+all: build
+
+build:
+	dune build @all
+
+test:
+	dune runtest
+
+bench:
+	dune exec bench/main.exe
+
+# Individual reproduction targets, e.g. `make table3`
+table1 table2 figure5 table3_a table3_b adder_profile ablation_delay \
+ablation_inputreorder model_accuracy glitch sensitivity exactness \
+sequential gate_accuracy perf:
+	dune exec bench/main.exe -- $@
+
+examples:
+	dune exec examples/quickstart.exe
+	dune exec examples/ripple_carry.exe
+	dune exec examples/gate_explorer.exe
+	dune exec examples/scenario_sweep.exe
+	dune exec examples/map_equations.exe
+	dune exec examples/library_characterization.exe
+
+doc:
+	dune build @doc
+
+clean:
+	dune clean
