@@ -1,0 +1,231 @@
+(* Benchmark harness: regenerates every table and figure of the paper
+   (see DESIGN.md §5 for the experiment index) and runs Bechamel
+   micro-benchmarks of the core computations.
+
+   Usage:
+     dune exec bench/main.exe                 # everything
+     dune exec bench/main.exe -- table3_a perf
+   Targets: table1 table2 figure5 table3_a table3_b adder_profile
+            ablation_delay ablation_inputreorder model_accuracy perf *)
+
+let ctx = Experiments.Common.create ()
+
+let section title = Printf.printf "==== %s ====\n%!" title
+
+let timed name f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  Printf.printf "[%s: %.1f s]\n\n%!" name (Unix.gettimeofday () -. t0);
+  r
+
+(* --- reproduction targets --- *)
+
+let table1 () =
+  section "E1 / Table 1";
+  print_string (Experiments.Table1.render (Experiments.Table1.run ctx))
+
+let table2 () =
+  section "E2 / Table 2";
+  print_string (Experiments.Table2.render (Experiments.Table2.run ()))
+
+let figure5 () =
+  section "E3 / Figure 5";
+  print_string (Experiments.Figure5.render (Experiments.Figure5.run ()))
+
+let table3 scenario () =
+  section ("E4 / Table 3, scenario " ^ Power.Scenario.name scenario);
+  print_string
+    (Experiments.Table3.render (Experiments.Table3.run ctx scenario))
+
+let adder_profile () =
+  section "E5 / ripple-carry carry activity";
+  print_string
+    (Experiments.Adder_profile.render
+       (Experiments.Adder_profile.run ctx ~bits:16 ()))
+
+(* The STA-checked delay-bounded pass is quadratic in circuit size, so
+   the ablations run on a representative medium subset. *)
+let ablation_subset () =
+  List.map
+    (fun n -> (n, Circuits.Suite.find n))
+    [
+      "c17"; "rca4"; "par9"; "mux8"; "dec3"; "alu1"; "maj5"; "prio8";
+      "cmpeq4"; "cmpgt4"; "inc6"; "tree16"; "rnd_a"; "rca8"; "mux16";
+    ]
+
+let ablation_delay () =
+  section "E6 / delay-bounded reordering";
+  print_string
+    (Experiments.Ablations.render_delay_bounded
+       (Experiments.Ablations.delay_bounded ctx ~circuits:(ablation_subset ())
+          Power.Scenario.A))
+
+let ablation_inputreorder () =
+  section "E7 / input reordering vs transistor reordering";
+  print_string
+    (Experiments.Ablations.render_input_reordering
+       (Experiments.Ablations.input_reordering ctx Power.Scenario.A))
+
+let glitch () =
+  section "E9 / glitch power (timed simulation)";
+  print_string
+    (Experiments.Glitch.render
+       (Experiments.Glitch.run ctx ~circuits:(ablation_subset ())
+          Power.Scenario.A))
+
+let exactness () =
+  section "E11 / local vs exact densities";
+  print_string (Experiments.Exactness.render (Experiments.Exactness.run ctx ()))
+
+let sequential () =
+  section "E12 / latch-bounded machines";
+  print_string
+    (Experiments.Sequential_exp.render (Experiments.Sequential_exp.run ctx ()))
+
+let gate_accuracy () =
+  section "E13 / per-gate model vs exhaustive enumeration";
+  print_string
+    (Experiments.Gate_accuracy.render (Experiments.Gate_accuracy.run ctx ()))
+
+let sensitivity () =
+  section "E10 / process sensitivity";
+  print_string (Experiments.Sensitivity.render (Experiments.Sensitivity.run ()))
+
+let model_accuracy () =
+  section "E8 / model vs switch-level power";
+  print_string
+    (Experiments.Ablations.render_accuracy
+       (Experiments.Ablations.model_accuracy ctx Power.Scenario.A))
+
+(* --- Bechamel micro-benchmarks (P1-P5) --- *)
+
+let perf () =
+  section "P1-P5 / Bechamel micro-benchmarks";
+  let open Bechamel in
+  let bdd_apply =
+    (* P1: BDD construction + apply over a mid-size function. *)
+    Test.make ~name:"bdd_apply"
+      (Staged.stage (fun () ->
+           let m = Bdd.manager () in
+           let f = ref (Bdd.zero m) in
+           for i = 0 to 7 do
+             f := Bdd.(!f ||| (var m i &&& nvar m ((i + 1) mod 8)))
+           done;
+           ignore (Bdd.probability !f (fun _ -> 0.5))))
+  in
+  let hg_extraction =
+    (* P2: H/G path functions of the widest library gate. *)
+    let config = Cell.Config.reference (Cell.Gate.of_name "aoi222") in
+    let network = Cell.Config.network config in
+    Test.make ~name:"hg_extraction"
+      (Staged.stage (fun () ->
+           let m = Bdd.manager () in
+           List.iter
+             (fun node ->
+               ignore (Sp.Network.h_function m network node);
+               ignore (Sp.Network.g_function m network node))
+             (Sp.Network.power_nodes network)))
+  in
+  let gate_exploration =
+    (* P3: full power exploration of one aoi221 (24 configurations). *)
+    let gate = Cell.Gate.of_name "aoi221" in
+    let input_stats =
+      Array.init 5 (fun i ->
+          Stoch.Signal_stats.make ~prob:0.5
+            ~density:(10. ** (4. +. float_of_int i)))
+    in
+    Test.make ~name:"gate_exploration"
+      (Staged.stage (fun () ->
+           for config = 0 to Cell.Gate.config_count gate - 1 do
+             ignore
+               (Power.Model.gate_power ctx.Experiments.Common.power gate
+                  ~config ~input_stats ~load:20e-15 ())
+           done))
+  in
+  let optimize_rca8 =
+    (* P4: whole-circuit greedy optimization. *)
+    let circuit = Circuits.Suite.find "rca8" in
+    let inputs =
+      Power.Scenario.input_stats ~rng:(Stoch.Rng.create 1) Power.Scenario.A
+        circuit
+    in
+    Test.make ~name:"optimize_rca8"
+      (Staged.stage (fun () ->
+           ignore
+             (Reorder.Optimizer.optimize ctx.Experiments.Common.power
+                ~delay:ctx.Experiments.Common.delay circuit ~inputs)))
+  in
+  let switchsim_c17 =
+    (* P5: event throughput of the switch-level simulator. *)
+    let circuit = Circuits.Suite.find "c17" in
+    let sim = Switchsim.Sim.build ctx.Experiments.Common.proc circuit in
+    let stats _ = Stoch.Signal_stats.make ~prob:0.5 ~density:1e5 in
+    Test.make ~name:"switchsim_c17_1k_events"
+      (Staged.stage (fun () ->
+           ignore
+             (Switchsim.Sim.run_stats sim ~rng:(Stoch.Rng.create 3) ~stats
+                ~horizon:2e-3 ())))
+  in
+  let tests =
+    Test.make_grouped ~name:"treorder"
+      [ bdd_apply; hg_extraction; gate_exploration; optimize_rca8; switchsim_c17 ]
+  in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) () in
+  let raw = Benchmark.all cfg Toolkit.Instance.[ monotonic_clock ] tests in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+  let table =
+    Report.Table.create
+      ~columns:
+        [ ("benchmark", Report.Table.Left); ("time/run", Report.Table.Right) ]
+  in
+  let rows = Hashtbl.fold (fun name r acc -> (name, r) :: acc) results [] in
+  List.iter
+    (fun (name, r) ->
+      let estimate =
+        match Analyze.OLS.estimates r with
+        | Some [ t ] -> Report.Table.cell_time (t *. 1e-9)
+        | Some _ | None -> "n/a"
+      in
+      Report.Table.add_row table [ name; estimate ])
+    (List.sort compare rows);
+  Report.Table.print table
+
+(* --- driver --- *)
+
+let targets =
+  [
+    ("table1", table1);
+    ("table2", table2);
+    ("figure5", figure5);
+    ("table3_a", table3 Power.Scenario.A);
+    ("table3_b", table3 Power.Scenario.B);
+    ("adder_profile", adder_profile);
+    ("ablation_delay", ablation_delay);
+    ("ablation_inputreorder", ablation_inputreorder);
+    ("model_accuracy", model_accuracy);
+    ("glitch", glitch);
+    ("sensitivity", sensitivity);
+    ("exactness", exactness);
+    ("sequential", sequential);
+    ("gate_accuracy", gate_accuracy);
+    ("perf", perf);
+  ]
+
+let () =
+  let requested =
+    match Array.to_list Sys.argv with
+    | _ :: (_ :: _ as names) -> names
+    | _ -> List.map fst targets
+  in
+  List.iter
+    (fun name ->
+      match List.assoc_opt name targets with
+      | Some f -> timed name (fun () -> f ())
+      | None ->
+          Printf.eprintf "unknown target %S; available: %s\n" name
+            (String.concat " " (List.map fst targets));
+          exit 1)
+    requested

@@ -1,0 +1,455 @@
+(* treorder — command-line front end.
+
+   Circuits are referenced either by benchmark-suite name (see
+   `treorder list`) or by a path to a netlist file (native format, or
+   BLIF with a .blif extension). *)
+
+open Cmdliner
+
+let load_circuit spec =
+  if Sys.file_exists spec then Netlist.Io.load spec
+  else
+    try Circuits.Suite.find spec
+    with Not_found ->
+      Printf.eprintf
+        "error: %S is neither a file nor a known benchmark (try `treorder list`)\n"
+        spec;
+      exit 1
+
+let circuit_arg =
+  let doc = "Benchmark name or netlist file path." in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"CIRCUIT" ~doc)
+
+let scenario_arg =
+  let doc = "Input scenario: A (random P/D) or B (latched, P=0.5, D=0.5/cycle)." in
+  Arg.(value & opt string "A" & info [ "s"; "scenario" ] ~docv:"A|B" ~doc)
+
+let seed_arg =
+  let doc = "Random seed for scenario A statistics and stimuli." in
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N" ~doc)
+
+let parse_scenario s =
+  try Power.Scenario.of_name s
+  with Not_found ->
+    Printf.eprintf "error: unknown scenario %S (use A or B)\n" s;
+    exit 1
+
+let context () = Experiments.Common.create ()
+
+let scenario_inputs ~seed scenario circuit =
+  Power.Scenario.input_stats ~rng:(Stoch.Rng.create seed)
+    (parse_scenario scenario) circuit
+
+(* --- list --- *)
+
+let list_cmd =
+  let run () =
+    let table =
+      Report.Table.create
+        ~columns:
+          [
+            ("name", Report.Table.Left);
+            ("gates", Report.Table.Right);
+            ("nets", Report.Table.Right);
+            ("inputs", Report.Table.Right);
+            ("outputs", Report.Table.Right);
+            ("depth", Report.Table.Right);
+          ]
+    in
+    List.iter
+      (fun (name, c) ->
+        Report.Table.add_row table
+          [
+            name;
+            string_of_int (Netlist.Circuit.gate_count c);
+            string_of_int (Netlist.Circuit.net_count c);
+            string_of_int (List.length (Netlist.Circuit.primary_inputs c));
+            string_of_int (List.length (Netlist.Circuit.primary_outputs c));
+            string_of_int (Netlist.Circuit.depth c);
+          ])
+      (Circuits.Suite.all ());
+    Report.Table.print table
+  in
+  Cmd.v
+    (Cmd.info "list" ~doc:"List the built-in benchmark circuits.")
+    Term.(const run $ const ())
+
+(* --- gates --- *)
+
+let gates_cmd =
+  let run () = print_string (Experiments.Table2.render (Experiments.Table2.run ())) in
+  Cmd.v
+    (Cmd.info "gates" ~doc:"Print the gate library and configuration counts (Table 2).")
+    Term.(const run $ const ())
+
+(* --- stats --- *)
+
+let stats_cmd =
+  let run spec scenario seed =
+    let circuit = load_circuit spec in
+    let ctx = context () in
+    let inputs = scenario_inputs ~seed scenario circuit in
+    let analysis = Power.Analysis.run ctx.Experiments.Common.power circuit ~inputs in
+    let table =
+      Report.Table.create
+        ~columns:
+          [
+            ("net", Report.Table.Left);
+            ("P", Report.Table.Right);
+            ("D (1/s)", Report.Table.Right);
+          ]
+    in
+    for net = 0 to Netlist.Circuit.net_count circuit - 1 do
+      let s = Power.Analysis.stats analysis net in
+      Report.Table.add_row table
+        [
+          Netlist.Circuit.net_name circuit net;
+          Report.Table.cell_float ~decimals:3 (Stoch.Signal_stats.prob s);
+          Printf.sprintf "%.4g" (Stoch.Signal_stats.density s);
+        ]
+    done;
+    Report.Table.print table
+  in
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:"Propagate equilibrium probabilities and transition densities.")
+    Term.(const run $ circuit_arg $ scenario_arg $ seed_arg)
+
+(* --- estimate --- *)
+
+let estimate_cmd =
+  let run spec scenario seed =
+    let circuit = load_circuit spec in
+    let ctx = context () in
+    let inputs = scenario_inputs ~seed scenario circuit in
+    let analysis = Power.Analysis.run ctx.Experiments.Common.power circuit ~inputs in
+    let b = Power.Estimate.circuit ctx.Experiments.Common.power circuit analysis in
+    Printf.printf "%s\n" (Format.asprintf "%a" Netlist.Circuit.pp_summary circuit);
+    Printf.printf "model power:    %s\n" (Report.Table.cell_power b.Power.Estimate.total);
+    Printf.printf "  internal:     %s\n" (Report.Table.cell_power b.Power.Estimate.internal);
+    Printf.printf "  output nodes: %s\n" (Report.Table.cell_power b.Power.Estimate.output)
+  in
+  Cmd.v
+    (Cmd.info "estimate" ~doc:"Estimate circuit power under the extended model.")
+    Term.(const run $ circuit_arg $ scenario_arg $ seed_arg)
+
+(* --- optimize --- *)
+
+let objective_arg =
+  let doc =
+    "Objective: best (min power), worst (max power), bounded (min power, no \
+     gate slower than reference), input-only (input permutations only), \
+     fastest (min delay)."
+  in
+  Arg.(value & opt string "best" & info [ "objective" ] ~docv:"OBJ" ~doc)
+
+let output_arg =
+  let doc = "Write the rewritten netlist to this file (native format)." in
+  Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE" ~doc)
+
+let optimize_cmd =
+  let run spec scenario seed objective out =
+    let circuit = load_circuit spec in
+    let ctx = context () in
+    let inputs = scenario_inputs ~seed scenario circuit in
+    let objective, input_only =
+      match objective with
+      | "best" -> (Reorder.Optimizer.Min_power, false)
+      | "worst" -> (Reorder.Optimizer.Max_power, false)
+      | "bounded" -> (Reorder.Optimizer.Min_power_delay_bounded, false)
+      | "input-only" -> (Reorder.Optimizer.Min_power, true)
+      | "fastest" -> (Reorder.Optimizer.Min_delay, false)
+      | other ->
+          Printf.eprintf "error: unknown objective %S\n" other;
+          exit 1
+    in
+    let r =
+      Reorder.Optimizer.optimize ctx.Experiments.Common.power
+        ~delay:ctx.Experiments.Common.delay ~objective
+        ~input_reordering_only:input_only circuit ~inputs
+    in
+    Printf.printf "%s\n" (Format.asprintf "%a" Reorder.Optimizer.pp_report r);
+    let sta c =
+      Delay.Sta.critical_delay (Delay.Sta.run ctx.Experiments.Common.delay c)
+    in
+    Printf.printf "critical delay: %s -> %s\n"
+      (Report.Table.cell_time (sta circuit))
+      (Report.Table.cell_time (sta r.Reorder.Optimizer.circuit));
+    Option.iter
+      (fun path ->
+        Netlist.Io.save r.Reorder.Optimizer.circuit path;
+        Printf.printf "wrote %s\n" path)
+      out
+  in
+  Cmd.v
+    (Cmd.info "optimize" ~doc:"Reorder transistors for the chosen objective.")
+    Term.(const run $ circuit_arg $ scenario_arg $ seed_arg $ objective_arg $ output_arg)
+
+(* --- simulate --- *)
+
+let horizon_arg =
+  let doc = "Simulation horizon in seconds." in
+  Arg.(value & opt float 2e-3 & info [ "horizon" ] ~docv:"SECONDS" ~doc)
+
+let simulate_cmd =
+  let run spec scenario seed horizon =
+    let circuit = load_circuit spec in
+    let ctx = context () in
+    let stats = scenario_inputs ~seed scenario circuit in
+    let sim = Switchsim.Sim.build ctx.Experiments.Common.proc circuit in
+    let r =
+      Switchsim.Sim.run_stats sim ~rng:(Stoch.Rng.create (seed + 1)) ~stats
+        ~horizon ()
+    in
+    Printf.printf "%s\n" (Format.asprintf "%a" Netlist.Circuit.pp_summary circuit);
+    Printf.printf "events:          %d input transitions over %s\n"
+      r.Switchsim.Sim.events
+      (Report.Table.cell_time r.Switchsim.Sim.horizon);
+    Printf.printf "energy:          %.4g J\n" r.Switchsim.Sim.energy;
+    Printf.printf "simulated power: %s\n" (Report.Table.cell_power r.Switchsim.Sim.power)
+  in
+  Cmd.v
+    (Cmd.info "simulate" ~doc:"Measure power with the switch-level simulator.")
+    Term.(const run $ circuit_arg $ scenario_arg $ seed_arg $ horizon_arg)
+
+(* --- delay --- *)
+
+let delay_cmd =
+  let run spec =
+    let circuit = load_circuit spec in
+    let ctx = context () in
+    let sta = Delay.Sta.run ctx.Experiments.Common.delay circuit in
+    Printf.printf "%s\n" (Format.asprintf "%a" Netlist.Circuit.pp_summary circuit);
+    Printf.printf "critical delay: %s\n"
+      (Report.Table.cell_time (Delay.Sta.critical_delay sta));
+    print_string "critical path:  ";
+    print_endline
+      (String.concat " -> "
+         (List.map (Netlist.Circuit.net_name circuit) (Delay.Sta.critical_path sta)))
+  in
+  Cmd.v
+    (Cmd.info "delay" ~doc:"Static timing analysis with Elmore gate delays.")
+    Term.(const run $ circuit_arg)
+
+(* --- check --- *)
+
+let check_cmd =
+  let run spec =
+    let circuit = load_circuit spec in
+    Printf.printf "%s\n" (Format.asprintf "%a" Netlist.Circuit.pp_summary circuit);
+    List.iter
+      (fun (cell, n) -> Printf.printf "  %-8s x%d\n" cell n)
+      (Netlist.Circuit.stats circuit);
+    match Netlist.Lint.check circuit with
+    | [] -> print_endline "no warnings"
+    | warnings ->
+        List.iter
+          (fun w ->
+            Printf.printf "warning: %s\n" (Netlist.Lint.describe circuit w))
+          warnings;
+        Printf.printf "%d warning(s)\n" (List.length warnings)
+  in
+  Cmd.v
+    (Cmd.info "check" ~doc:"Validate a netlist and report structural warnings.")
+    Term.(const run $ circuit_arg)
+
+(* --- show / dot / spice --- *)
+
+let show_cmd =
+  let run spec =
+    let circuit = load_circuit spec in
+    print_string (Netlist.Io.to_string circuit)
+  in
+  Cmd.v
+    (Cmd.info "show" ~doc:"Print a circuit in the native netlist format.")
+    Term.(const run $ circuit_arg)
+
+let gate_arg =
+  let doc = "Library gate name (see `treorder gates`)." in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"GATE" ~doc)
+
+let config_arg =
+  let doc = "Configuration index (0 = reference ordering)." in
+  Arg.(value & opt int 0 & info [ "config" ] ~docv:"K" ~doc)
+
+let with_gate name f =
+  match Cell.Gate.of_name name with
+  | gate -> f gate
+  | exception Not_found ->
+      Printf.eprintf "error: unknown gate %S (see `treorder gates`)\n" name;
+      exit 1
+
+let dot_cmd =
+  let run name config =
+    with_gate name (fun gate ->
+        if config < 0 || config >= Cell.Gate.config_count gate then begin
+          Printf.eprintf "error: %s has %d configurations\n" name
+            (Cell.Gate.config_count gate);
+          exit 1
+        end;
+        let cfg = List.nth (Cell.Config.all gate) config in
+        print_string
+          (Sp.Network.to_dot
+             ~name:(Printf.sprintf "%s_cfg%d" name config)
+             (Cell.Config.network cfg)))
+  in
+  Cmd.v
+    (Cmd.info "dot"
+       ~doc:"Graphviz drawing of a gate configuration's transistor graph.")
+    Term.(const run $ gate_arg $ config_arg)
+
+let spice_cmd =
+  let all_flag =
+    Arg.(value & flag & info [ "library" ] ~doc:"Emit every configuration of every gate.")
+  in
+  let gate_opt =
+    Arg.(value & pos 0 (some string) None & info [] ~docv:"GATE")
+  in
+  let run gate config all =
+    if all then print_string (Cell.Spice.library_deck ())
+    else
+      match gate with
+      | None ->
+          Printf.eprintf "error: give a gate name or --library\n";
+          exit 1
+      | Some name ->
+          with_gate name (fun gate -> print_string (Cell.Spice.subckt gate ~config))
+  in
+  Cmd.v
+    (Cmd.info "spice" ~doc:"SPICE subcircuit of a gate configuration.")
+    Term.(const run $ gate_opt $ config_arg $ all_flag)
+
+(* --- map --- *)
+
+let map_cmd =
+  let file_arg =
+    let doc = "Equation file (see the Logic.Eqn format)." in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE.eqn" ~doc)
+  in
+  let run file scenario seed optimize out =
+    let eqn =
+      try Logic.Eqn.load file
+      with Logic.Eqn.Parse_error { line; message } ->
+        Printf.eprintf "%s:%d: %s\n" file line message;
+        exit 1
+    in
+    let circuit =
+      try Logic.Mapper.map eqn
+      with Logic.Mapper.Unmappable message ->
+        Printf.eprintf "error: %s\n" message;
+        exit 1
+    in
+    Printf.printf "%s\n" (Format.asprintf "%a" Netlist.Circuit.pp_summary circuit);
+    List.iter
+      (fun (cell, n) -> Printf.printf "  %-8s x%d\n" cell n)
+      (Netlist.Circuit.stats circuit);
+    let circuit =
+      if optimize then begin
+        let ctx = context () in
+        let inputs = scenario_inputs ~seed scenario circuit in
+        let r =
+          Reorder.Optimizer.optimize ctx.Experiments.Common.power
+            ~delay:ctx.Experiments.Common.delay circuit ~inputs
+        in
+        Printf.printf "%s\n" (Format.asprintf "%a" Reorder.Optimizer.pp_report r);
+        r.Reorder.Optimizer.circuit
+      end
+      else circuit
+    in
+    Option.iter
+      (fun path ->
+        Netlist.Io.save circuit path;
+        Printf.printf "wrote %s\n" path)
+      out
+  in
+  let optimize_flag =
+    Arg.(value & flag & info [ "optimize" ] ~doc:"Also reorder for minimum power.")
+  in
+  Cmd.v
+    (Cmd.info "map" ~doc:"Map a Boolean equation file onto the gate library.")
+    Term.(const run $ file_arg $ scenario_arg $ seed_arg $ optimize_flag $ output_arg)
+
+(* --- profile / glitch / accuracy --- *)
+
+let profile_cmd =
+  let bits_arg =
+    Arg.(value & opt int 16 & info [ "bits" ] ~docv:"N" ~doc:"Adder width.")
+  in
+  let run bits =
+    let ctx = context () in
+    print_string
+      (Experiments.Adder_profile.render
+         (Experiments.Adder_profile.run ctx ~bits ()))
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:"Carry-chain activity profile of a ripple-carry adder (E5).")
+    Term.(const run $ bits_arg)
+
+let glitch_cmd =
+  let run scenario seed horizon =
+    let ctx = context () in
+    print_string
+      (Experiments.Glitch.render
+         (Experiments.Glitch.run ctx ~seed ~sim_horizon:horizon
+            ~circuits:(Circuits.Suite.small ())
+            (parse_scenario scenario)))
+  in
+  Cmd.v
+    (Cmd.info "glitch"
+       ~doc:"Glitch power of the small benchmarks under inertial delays (E9).")
+    Term.(const run $ scenario_arg $ seed_arg $ horizon_arg)
+
+let accuracy_cmd =
+  let run scenario seed horizon =
+    let ctx = context () in
+    print_string
+      (Experiments.Ablations.render_accuracy
+         (Experiments.Ablations.model_accuracy ctx ~seed ~sim_horizon:horizon
+            (parse_scenario scenario)))
+  in
+  Cmd.v
+    (Cmd.info "accuracy"
+       ~doc:"Model power vs switch-level power over the suite (E8).")
+    Term.(const run $ scenario_arg $ seed_arg $ horizon_arg)
+
+(* --- table3 --- *)
+
+let table3_cmd =
+  let run scenario seed horizon =
+    let ctx = context () in
+    let t =
+      Experiments.Table3.run ctx ~seed ~sim_horizon:horizon
+        (parse_scenario scenario)
+    in
+    print_string (Experiments.Table3.render t)
+  in
+  Cmd.v
+    (Cmd.info "table3"
+       ~doc:"Reproduce Table 3 (best-vs-worst over the benchmark suite).")
+    Term.(const run $ scenario_arg $ seed_arg $ horizon_arg)
+
+let main =
+  let doc = "transistor reordering for low-power CMOS (Musoll & Cortadella, DATE 1996)" in
+  Cmd.group
+    (Cmd.info "treorder" ~version:"1.0.0" ~doc)
+    [
+      list_cmd;
+      gates_cmd;
+      stats_cmd;
+      estimate_cmd;
+      optimize_cmd;
+      simulate_cmd;
+      delay_cmd;
+      check_cmd;
+      show_cmd;
+      dot_cmd;
+      spice_cmd;
+      map_cmd;
+      profile_cmd;
+      glitch_cmd;
+      accuracy_cmd;
+      table3_cmd;
+    ]
+
+let () = exit (Cmd.eval main)

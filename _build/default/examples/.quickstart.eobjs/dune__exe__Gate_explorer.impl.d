@@ -1,0 +1,1 @@
+examples/gate_explorer.ml: Array Bdd Cell Float Format List Power Printf Report Sp Stoch Sys

@@ -1,0 +1,1 @@
+examples/library_characterization.ml: Array Cell List Power Printf Stoch

@@ -1,0 +1,1 @@
+examples/map_equations.ml: Cell Delay Format List Logic Netlist Power Printf Reorder Stoch

@@ -1,0 +1,1 @@
+examples/map_equations.mli:

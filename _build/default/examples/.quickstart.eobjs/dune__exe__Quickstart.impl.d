@@ -1,0 +1,1 @@
+examples/quickstart.ml: Cell Delay Format Netlist Power Printf Reorder Report Stoch Switchsim

@@ -1,0 +1,1 @@
+examples/ripple_carry.ml: Array Cell Circuits Experiments Hashtbl Netlist Option Power Printf Reorder Report Stoch

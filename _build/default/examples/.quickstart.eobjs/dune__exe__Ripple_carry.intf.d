@@ -1,0 +1,1 @@
+examples/ripple_carry.mli:

@@ -1,0 +1,1 @@
+examples/scenario_sweep.ml: Circuits Experiments List Power

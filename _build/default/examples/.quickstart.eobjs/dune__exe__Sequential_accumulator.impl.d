@@ -1,0 +1,1 @@
+examples/sequential_accumulator.ml: Cell Delay Format List Netlist Power Printf Reorder Report Sequential Stoch

@@ -1,0 +1,31 @@
+(* Reproduce the paper's experimental flow end to end on a few
+   benchmarks: for both scenarios, derive best/worst reorderings, then
+   confirm the model's predicted saving with switch-level simulation and
+   report the delay cost — a miniature Table 3, plus the E6 and E7
+   ablations on the same circuits.
+
+   Run with: dune exec examples/scenario_sweep.exe *)
+
+let circuits () =
+  List.map
+    (fun n -> (n, Circuits.Suite.find n))
+    [ "c17"; "rca8"; "mux16"; "alu2"; "dec4"; "cmpgt8" ]
+
+let () =
+  let ctx = Experiments.Common.create () in
+  List.iter
+    (fun scenario ->
+      let t = Experiments.Table3.run ctx ~circuits:(circuits ()) scenario in
+      print_string (Experiments.Table3.render t);
+      print_newline ())
+    [ Power.Scenario.A; Power.Scenario.B ];
+
+  print_string
+    (Experiments.Ablations.render_delay_bounded
+       (Experiments.Ablations.delay_bounded ctx ~circuits:(circuits ())
+          Power.Scenario.A));
+  print_newline ();
+  print_string
+    (Experiments.Ablations.render_input_reordering
+       (Experiments.Ablations.input_reordering ctx ~circuits:(circuits ())
+          Power.Scenario.A))

@@ -1,0 +1,1 @@
+lib/cell/config.ml: Format Gate Hashtbl List Printf Sp

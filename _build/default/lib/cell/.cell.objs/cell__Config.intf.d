@@ -1,0 +1,1 @@
+lib/cell/config.mli: Format Gate Sp

@@ -1,0 +1,1 @@
+lib/cell/gate.ml: Bdd Format Hashtbl List Sp String

@@ -1,0 +1,1 @@
+lib/cell/gate.mli: Bdd Format Sp

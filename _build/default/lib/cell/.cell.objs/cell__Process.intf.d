@@ -1,0 +1,1 @@
+lib/cell/process.mli: Sp

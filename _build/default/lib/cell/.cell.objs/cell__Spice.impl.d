@@ -1,0 +1,1 @@
+lib/cell/spice.ml: Buffer Config Gate List Printf Sp String

@@ -1,0 +1,1 @@
+lib/cell/spice.mli: Gate

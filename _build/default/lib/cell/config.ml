@@ -1,0 +1,89 @@
+module T = Sp.Sp_tree
+
+type t = { pull_up : T.t; pull_down : T.t }
+
+let reference gate =
+  let pd = Gate.pull_down gate in
+  { pull_up = T.dual pd; pull_down = pd }
+
+let canonical_pair c = (T.canonical c.pull_up, T.canonical c.pull_down)
+
+let equal a b =
+  let ua, da = canonical_pair a and ub, db = canonical_pair b in
+  T.equal ua ub && T.equal da db
+
+let compare a b =
+  let ua, da = canonical_pair a and ub, db = canonical_pair b in
+  let c = T.compare ua ub in
+  if c <> 0 then c else T.compare da db
+
+let all gate =
+  let start = reference gate in
+  let ups = T.orderings start.pull_up in
+  let downs = T.orderings start.pull_down in
+  let combos =
+    List.concat_map
+      (fun pull_up -> List.map (fun pull_down -> { pull_up; pull_down }) downs)
+      ups
+  in
+  (* Put the reference configuration first. *)
+  start :: List.filter (fun c -> not (equal c start)) combos
+
+let internal_node_count c =
+  T.internal_node_count c.pull_down + T.internal_node_count c.pull_up
+
+(* Joint pivot: internal nodes 0 .. pd_gaps-1 live in the pull-down
+   network, the rest in the pull-up one (matching Network's numbering,
+   which lays the pull-down first). *)
+let pivot c k =
+  let pd_gaps = T.internal_node_count c.pull_down in
+  if k < pd_gaps then { c with pull_down = T.pivot c.pull_down k }
+  else { c with pull_up = T.pivot c.pull_up (k - pd_gaps) }
+
+let pivot_all ?(trace = fun _ _ -> ()) start =
+  let n = internal_node_count start in
+  let module Keys = Hashtbl in
+  let visited = Keys.create 32 in
+  let found = ref [ start ] in
+  Keys.add visited (canonical_pair start) ();
+  let rec search cfg current =
+    let cfg = pivot cfg current in
+    let key = canonical_pair cfg in
+    if not (Keys.mem visited key) then begin
+      Keys.add visited key ();
+      found := cfg :: !found;
+      trace current cfg;
+      for idx = 0 to n - 1 do
+        if idx <> current then search cfg idx
+      done
+    end
+  in
+  for idx = 0 to n - 1 do
+    search start idx
+  done;
+  List.rev !found
+
+let network c = Sp.Network.of_networks ~pull_up:c.pull_up ~pull_down:c.pull_down
+
+let index_in configs c =
+  let rec go i = function
+    | [] -> raise Not_found
+    | x :: rest -> if equal x c then i else go (i + 1) rest
+  in
+  go 0 configs
+
+let rec erase = function
+  | T.Leaf _ -> T.leaf 0
+  | T.Series cs -> T.series (List.map erase cs)
+  | T.Parallel cs -> T.parallel (List.map erase cs)
+
+let same_shape a b =
+  T.equal (T.canonical (erase a.pull_up)) (T.canonical (erase b.pull_up))
+  && T.equal (T.canonical (erase a.pull_down)) (T.canonical (erase b.pull_down))
+
+let to_string ?names c =
+  Printf.sprintf "PU=%s PD=%s"
+    (T.to_string ?names c.pull_up)
+    (T.to_string ?names c.pull_down)
+
+let pp ppf c = Format.pp_print_string ppf (to_string c)

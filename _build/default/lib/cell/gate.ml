@@ -1,0 +1,134 @@
+module T = Sp.Sp_tree
+
+type kind =
+  | Inv
+  | Nand of int
+  | Nor of int
+  | Aoi of int list
+  | Oai of int list
+
+type t = { kind : kind; name : string; pull_down : T.t; arity : int }
+
+let group_name prefix groups =
+  prefix ^ String.concat "" (List.map string_of_int groups)
+
+let kind_name = function
+  | Inv -> "inv"
+  | Nand n -> "nand" ^ string_of_int n
+  | Nor n -> "nor" ^ string_of_int n
+  | Aoi groups -> group_name "aoi" groups
+  | Oai groups -> group_name "oai" groups
+
+let leaves_from start count = List.init count (fun i -> T.leaf (start + i))
+
+(* AOI pull-down: parallel of series AND-groups. OAI pull-down: series of
+   parallel OR-groups. Inputs are numbered across groups left to right. *)
+let grouped combine_outer combine_inner groups =
+  let _, built =
+    List.fold_left
+      (fun (start, acc) size ->
+        (start + size, combine_inner (leaves_from start size) :: acc))
+      (0, []) groups
+  in
+  combine_outer (List.rev built)
+
+let validate_groups groups =
+  if List.length groups < 2 then
+    invalid_arg "Gate.make: AOI/OAI needs at least two groups";
+  if List.exists (fun g -> g < 1) groups then
+    invalid_arg "Gate.make: group sizes must be >= 1";
+  if List.for_all (fun g -> g = 1) groups then
+    invalid_arg "Gate.make: all-singleton AOI/OAI is a nor/nand"
+
+let pull_down_of_kind = function
+  | Inv -> T.leaf 0
+  | Nand n ->
+      if n < 2 then invalid_arg "Gate.make: nand fan-in must be >= 2";
+      T.series (leaves_from 0 n)
+  | Nor n ->
+      if n < 2 then invalid_arg "Gate.make: nor fan-in must be >= 2";
+      T.parallel (leaves_from 0 n)
+  | Aoi groups ->
+      validate_groups groups;
+      grouped T.parallel T.series groups
+  | Oai groups ->
+      validate_groups groups;
+      grouped T.series T.parallel groups
+
+let make kind =
+  let pull_down = pull_down_of_kind kind in
+  {
+    kind;
+    name = kind_name kind;
+    pull_down;
+    arity = List.length (T.inputs pull_down);
+  }
+
+let name t = t.name
+let kind t = t.kind
+let arity t = t.arity
+let pull_down t = t.pull_down
+
+let library =
+  List.map make
+    [
+      Inv;
+      Nand 2;
+      Nor 2;
+      Nand 3;
+      Nor 3;
+      Aoi [ 2; 1 ];
+      Oai [ 2; 1 ];
+      Nand 4;
+      Nor 4;
+      Aoi [ 2; 2 ];
+      Oai [ 2; 2 ];
+      Aoi [ 3; 1 ];
+      Oai [ 3; 1 ];
+      Aoi [ 2; 1; 1 ];
+      Oai [ 2; 1; 1 ];
+      Aoi [ 3; 1; 1 ];
+      Oai [ 3; 1; 1 ];
+      Aoi [ 2; 2; 1 ];
+      Oai [ 2; 2; 1 ];
+      Aoi [ 2; 2; 2 ];
+      Oai [ 2; 2; 2 ];
+    ]
+
+let of_name n =
+  match List.find_opt (fun g -> g.name = n) library with
+  | Some g -> g
+  | None -> raise Not_found
+
+let function_bdd m t = Bdd.not_ (T.conduction m T.Nmos t.pull_down)
+
+let transistor_count t = 2 * T.transistor_count t.pull_down
+
+let config_count t =
+  T.count_orderings t.pull_down * T.count_orderings (T.dual t.pull_down)
+
+(* Erase leaf labels: two configurations with the same label-erased
+   shape pair differ only by an input permutation, so they can share one
+   physical layout (the paper's oai21[A]/oai21[B] instances). *)
+let rec erase = function
+  | T.Leaf _ -> T.leaf 0
+  | T.Series cs -> T.series (List.map erase cs)
+  | T.Parallel cs -> T.parallel (List.map erase cs)
+
+let instance_count t =
+  let shapes = Hashtbl.create 16 in
+  let ups = T.orderings (T.dual t.pull_down) in
+  let downs = T.orderings t.pull_down in
+  List.iter
+    (fun up ->
+      List.iter
+        (fun down ->
+          Hashtbl.replace shapes
+            (T.canonical (erase up), T.canonical (erase down))
+            ())
+        downs)
+    ups;
+  Hashtbl.length shapes
+
+let equal a b = a.kind = b.kind
+let pp ppf t = Format.pp_print_string ppf t.name

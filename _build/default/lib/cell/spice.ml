@@ -1,0 +1,58 @@
+module N = Sp.Network
+
+let node_name = function
+  | N.Vdd -> "vdd"
+  | N.Vss -> "vss"
+  | N.Output -> "y"
+  | N.Internal i -> "n" ^ string_of_int i
+
+let subckt ?name gate ~config =
+  let configs = Config.all gate in
+  let cfg =
+    try List.nth configs config
+    with Failure _ | Invalid_argument _ ->
+      invalid_arg "Spice.subckt: configuration index out of range"
+  in
+  let network = Config.network cfg in
+  let subckt_name =
+    match name with
+    | Some n -> n
+    | None -> Printf.sprintf "%s_cfg%d" (Gate.name gate) config
+  in
+  let pins =
+    List.init (Gate.arity gate) (fun i -> "x" ^ string_of_int i)
+    @ [ "y"; "vdd"; "vss" ]
+  in
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf
+    (Printf.sprintf "* %s: %s\n" subckt_name (Config.to_string cfg));
+  Buffer.add_string buf
+    (Printf.sprintf ".subckt %s %s\n" subckt_name (String.concat " " pins));
+  List.iteri
+    (fun i (d : N.device) ->
+      (* MOS line: M<name> drain gate source bulk model. The source/
+         drain orientation is symmetric for our purposes; bulk ties to
+         the matching rail. *)
+      let model, prefix, bulk =
+        match d.polarity with
+        | Sp.Sp_tree.Pmos -> ("pmos", "MP", "vdd")
+        | Sp.Sp_tree.Nmos -> ("nmos", "MN", "vss")
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "%s%d %s x%d %s %s %s\n" prefix i (node_name d.a)
+           d.input (node_name d.b) bulk model))
+    (N.devices network);
+  Buffer.add_string buf ".ends\n";
+  Buffer.contents buf
+
+let library_deck () =
+  let buf = Buffer.create 8192 in
+  Buffer.add_string buf "* treorder gate library, every transistor reordering\n";
+  List.iter
+    (fun gate ->
+      for config = 0 to Gate.config_count gate - 1 do
+        Buffer.add_string buf (subckt gate ~config);
+        Buffer.add_char buf '\n'
+      done)
+    Gate.library;
+  Buffer.contents buf

@@ -1,0 +1,20 @@
+(** SPICE export of gate configurations.
+
+    Emits one [.subckt] per configuration with generic MOS model names
+    ([pmos]/[nmos]), so a reordered cell can be handed to an analog
+    simulator for validation. Node names follow the internal graph
+    ([y], [n0], [n1], ...); device names encode polarity and index. *)
+
+val subckt : ?name:string -> Gate.t -> config:int -> string
+(** E.g. for the oai21 reference configuration:
+    {v
+    .subckt oai21_cfg0 x0 x1 x2 y vdd vss
+    MP0 vdd x0 n1 vdd pmos
+    ...
+    .ends
+    v}
+    @raise Invalid_argument on a configuration index out of range. *)
+
+val library_deck : unit -> string
+(** Every configuration of every library gate, one deck — the
+    "upgraded library" of the paper's conclusion (a). *)

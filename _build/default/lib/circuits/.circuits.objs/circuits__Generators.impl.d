@@ -1,0 +1,1 @@
+lib/circuits/generators.ml: Array Cell Hashtbl List Logic Netlist Printf Stoch String

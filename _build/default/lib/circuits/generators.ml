@@ -1,0 +1,582 @@
+module B = Netlist.Builder
+
+let input_bus b prefix n = List.init n (fun i -> B.input b (Printf.sprintf "%s%d" prefix i))
+
+let outputs b nets = List.iter (B.output b) nets
+
+(* sum via two XORs, carry as inverted AOI222 majority. *)
+let full_adder b a bb cin =
+  let sum = B.xor2 b (B.xor2 b a bb) cin in
+  let carry = B.inv b (B.gate b "aoi222" [ a; bb; bb; cin; a; cin ]) in
+  (sum, carry)
+
+let half_adder b a bb = (B.xor2 b a bb, B.and2 b a bb)
+
+let mux2 b ~sel a0 a1 =
+  let nsel = B.inv b sel in
+  B.inv b (B.gate b "aoi22" [ sel; a1; nsel; a0 ])
+
+(* Balanced binary reduction of a net list. *)
+let rec reduce_tree b combine = function
+  | [] -> invalid_arg "Generators.reduce_tree: empty"
+  | [ x ] -> x
+  | nets ->
+      let rec pair = function
+        | x :: y :: rest -> combine b x y :: pair rest
+        | [ x ] -> [ x ]
+        | [] -> []
+      in
+      reduce_tree b combine (pair nets)
+
+let and_tree b nets = reduce_tree b (fun b x y -> B.and2 b x y) nets
+let or_tree b nets = reduce_tree b (fun b x y -> B.or2 b x y) nets
+let xor_tree b nets = reduce_tree b (fun b x y -> B.xor2 b x y) nets
+
+let ripple_carry_adder n =
+  if n < 1 then invalid_arg "ripple_carry_adder: n < 1";
+  let b = B.create ~name:(Printf.sprintf "rca%d" n) in
+  let a = input_bus b "a" n in
+  let bb = input_bus b "b" n in
+  let cin = B.input b "cin" in
+  let _, sums, carry =
+    List.fold_left2
+      (fun (i, sums, carry) ai bi ->
+        let s, c = full_adder b ai bi carry in
+        ignore i;
+        (i + 1, s :: sums, c))
+      (0, [], cin) a bb
+  in
+  outputs b (List.rev sums);
+  B.output b carry;
+  B.finish b
+
+(* Specialized first stages for the constant-carry chains of the
+   carry-select blocks (the netlist has no constant nets). *)
+let adder_chain_c0 b a bb =
+  match (a, bb) with
+  | a0 :: arest, b0 :: brest ->
+      let s0, c0 = half_adder b a0 b0 in
+      let sums, carry =
+        List.fold_left2
+          (fun (sums, carry) ai bi ->
+            let s, c = full_adder b ai bi carry in
+            (s :: sums, c))
+          ([ s0 ], c0) arest brest
+      in
+      (List.rev sums, carry)
+  | _ -> invalid_arg "adder_chain_c0: empty operands"
+
+let adder_chain_c1 b a bb =
+  match (a, bb) with
+  | a0 :: arest, b0 :: brest ->
+      let s0 = B.xnor2 b a0 b0 in
+      let c0 = B.or2 b a0 b0 in
+      let sums, carry =
+        List.fold_left2
+          (fun (sums, carry) ai bi ->
+            let s, c = full_adder b ai bi carry in
+            (s :: sums, c))
+          ([ s0 ], c0) arest brest
+      in
+      (List.rev sums, carry)
+  | _ -> invalid_arg "adder_chain_c1: empty operands"
+
+let carry_select_adder n =
+  if n < 1 then invalid_arg "carry_select_adder: n < 1";
+  let b = B.create ~name:(Printf.sprintf "csel%d" (2 * n)) in
+  let a = input_bus b "a" (2 * n) in
+  let bb = input_bus b "b" (2 * n) in
+  let cin = B.input b "cin" in
+  let split l =
+    let rec go i acc = function
+      | rest when i = n -> (List.rev acc, rest)
+      | x :: rest -> go (i + 1) (x :: acc) rest
+      | [] -> assert false
+    in
+    go 0 [] l
+  in
+  let a_lo, a_hi = split a and b_lo, b_hi = split bb in
+  (* Low half: plain ripple with cin. *)
+  let _, low_sums, low_carry =
+    List.fold_left2
+      (fun (i, sums, carry) ai bi ->
+        let s, c = full_adder b ai bi carry in
+        ignore i;
+        (i + 1, s :: sums, c))
+      (0, [], cin) a_lo b_lo
+  in
+  (* High half twice (carry 0 / carry 1), then select. *)
+  let sums0, carry0 = adder_chain_c0 b a_hi b_hi in
+  let sums1, carry1 = adder_chain_c1 b a_hi b_hi in
+  let high_sums =
+    List.map2 (fun s0 s1 -> mux2 b ~sel:low_carry s0 s1) sums0 sums1
+  in
+  let carry = mux2 b ~sel:low_carry carry0 carry1 in
+  outputs b (List.rev low_sums);
+  outputs b high_sums;
+  B.output b carry;
+  B.finish b
+
+let incrementer n =
+  if n < 1 then invalid_arg "incrementer: n < 1";
+  let b = B.create ~name:(Printf.sprintf "inc%d" n) in
+  let xs = input_bus b "x" n in
+  let rec go carry = function
+    | [] -> ([], carry)
+    | x :: rest ->
+        let s = B.xnor2 b x (B.inv b carry) in
+        (* s = x xor carry, built to vary the cell mix *)
+        let c = B.and2 b x carry in
+        let sums, out_carry = go c rest in
+        (s :: sums, out_carry)
+  in
+  match xs with
+  | [] -> assert false
+  | x0 :: rest ->
+      let s0 = B.inv b x0 in
+      let sums, carry = go x0 rest in
+      outputs b (s0 :: sums);
+      B.output b carry;
+      B.finish b
+
+let array_multiplier n =
+  if n < 2 then invalid_arg "array_multiplier: n < 2";
+  let b = B.create ~name:(Printf.sprintf "mult%d" n) in
+  let a = Array.of_list (input_bus b "a" n) in
+  let bb = Array.of_list (input_bus b "b" n) in
+  let partial i j = B.and2 b a.(j) bb.(i) in
+  let acc = Array.make (2 * n) None in
+  for j = 0 to n - 1 do
+    acc.(j) <- Some (partial 0 j)
+  done;
+  for i = 1 to n - 1 do
+    let carry = ref None in
+    for j = 0 to n - 1 do
+      let pos = i + j in
+      let bit = partial i j in
+      match (acc.(pos), !carry) with
+      | None, None -> acc.(pos) <- Some bit
+      | Some x, None ->
+          let s, c = half_adder b x bit in
+          acc.(pos) <- Some s;
+          carry := Some c
+      | None, Some c0 ->
+          let s, c = half_adder b bit c0 in
+          acc.(pos) <- Some s;
+          carry := Some c
+      | Some x, Some c0 ->
+          let s, c = full_adder b x bit c0 in
+          acc.(pos) <- Some s;
+          carry := Some c
+    done;
+    (* Ripple the row's final carry into the upper accumulator bits. *)
+    let pos = ref (i + n) in
+    while !carry <> None && !pos < (2 * n) do
+      (match (acc.(!pos), !carry) with
+      | None, Some c ->
+          acc.(!pos) <- Some c;
+          carry := None
+      | Some x, Some c ->
+          let s, c' = half_adder b x c in
+          acc.(!pos) <- Some s;
+          carry := Some c'
+      | _, None -> ());
+      incr pos
+    done
+  done;
+  Array.iter (function Some net -> B.output b net | None -> ()) acc;
+  B.finish b
+
+let parity n =
+  if n < 2 then invalid_arg "parity: n < 2";
+  let b = B.create ~name:(Printf.sprintf "par%d" n) in
+  let xs = input_bus b "x" n in
+  B.output b (xor_tree b xs);
+  B.finish b
+
+let mux_tree n =
+  let k =
+    let rec log2 acc v = if v <= 1 then acc else log2 (acc + 1) (v / 2) in
+    log2 0 n
+  in
+  if n < 2 || 1 lsl k <> n then
+    invalid_arg "mux_tree: width must be a power of two >= 2";
+  let b = B.create ~name:(Printf.sprintf "mux%d" n) in
+  let data = input_bus b "d" n in
+  let sels = input_bus b "s" k in
+  let out =
+    List.fold_left
+      (fun level sel ->
+        let rec pair = function
+          | a0 :: a1 :: rest -> mux2 b ~sel a0 a1 :: pair rest
+          | [] -> []
+          | [ _ ] -> assert false
+        in
+        pair level)
+      data sels
+  in
+  (match out with [ y ] -> B.output b y | _ -> assert false);
+  B.finish b
+
+let decoder k =
+  if k < 2 || k > 4 then invalid_arg "decoder: k must be in 2..4";
+  let b = B.create ~name:(Printf.sprintf "dec%d" k) in
+  let xs = Array.of_list (input_bus b "x" k) in
+  let nxs = Array.map (fun x -> B.inv b x) xs in
+  let nand_name = Printf.sprintf "nand%d" k in
+  for minterm = 0 to (1 lsl k) - 1 do
+    let literals =
+      List.init k (fun i ->
+          if minterm land (1 lsl i) <> 0 then xs.(i) else nxs.(i))
+    in
+    let y = B.inv b (B.gate b nand_name literals) in
+    B.output b y
+  done;
+  B.finish b
+
+let equality_comparator n =
+  if n < 2 then invalid_arg "equality_comparator: n < 2";
+  let b = B.create ~name:(Printf.sprintf "cmpeq%d" n) in
+  let a = input_bus b "a" n in
+  let bb = input_bus b "b" n in
+  let eqs = List.map2 (fun x y -> B.xnor2 b x y) a bb in
+  B.output b (and_tree b eqs);
+  B.finish b
+
+let magnitude_comparator n =
+  if n < 2 then invalid_arg "magnitude_comparator: n < 2";
+  let b = B.create ~name:(Printf.sprintf "cmpgt%d" n) in
+  let a = Array.of_list (input_bus b "a" n) in
+  let bb = Array.of_list (input_bus b "b" n) in
+  (* a > b: scan from the MSB; term i fires when all higher bits are
+     equal and a_i > b_i. *)
+  let eq i = B.xnor2 b a.(i) bb.(i) in
+  let gt i = B.and2 b a.(i) (B.inv b bb.(i)) in
+  let terms = ref [ gt (n - 1) ] in
+  let prefix = ref (eq (n - 1)) in
+  for i = n - 2 downto 0 do
+    terms := B.and2 b !prefix (gt i) :: !terms;
+    if i > 0 then prefix := B.and2 b !prefix (eq i)
+  done;
+  B.output b (or_tree b !terms);
+  B.finish b
+
+let majority n =
+  let b = B.create ~name:(Printf.sprintf "maj%d" n) in
+  let xs = input_bus b "x" n in
+  (match (n, xs) with
+  | 3, [ x; y; z ] ->
+      B.output b (B.inv b (B.gate b "aoi222" [ x; y; y; z; x; z ]))
+  | 5, _ ->
+      (* OR over the AND of every 3-subset. *)
+      let arr = Array.of_list xs in
+      let triples = ref [] in
+      for i = 0 to 4 do
+        for j = i + 1 to 4 do
+          for k = j + 1 to 4 do
+            triples :=
+              B.inv b (B.gate b "nand3" [ arr.(i); arr.(j); arr.(k) ])
+              :: !triples
+          done
+        done
+      done;
+      B.output b (or_tree b !triples)
+  | _ -> invalid_arg "majority: n must be 3 or 5");
+  B.finish b
+
+let priority_encoder n =
+  if n < 2 then invalid_arg "priority_encoder: n < 2";
+  let b = B.create ~name:(Printf.sprintf "prio%d" n) in
+  let xs = Array.of_list (input_bus b "x" n) in
+  (* out.(n-1) = x.(n-1); out.(i) = x.(i) & none-above(i). *)
+  let any_above = Array.make n None in
+  for i = n - 2 downto 0 do
+    any_above.(i) <-
+      (match any_above.(i + 1) with
+      | None -> Some xs.(n - 1)
+      | Some higher -> Some (B.or2 b xs.(i + 1) higher))
+  done;
+  for i = 0 to n - 1 do
+    match any_above.(i) with
+    | None -> B.output b xs.(i)
+    | Some above -> B.output b (B.and2 b xs.(i) (B.inv b above))
+  done;
+  B.finish b
+
+let and_or_tree n =
+  if n < 4 then invalid_arg "and_or_tree: n < 4";
+  let b = B.create ~name:(Printf.sprintf "tree%d" n) in
+  let xs = input_bus b "x" n in
+  (* Alternate NAND and NOR levels; odd leftovers ride to the next
+     level unchanged. *)
+  let rec level use_nand nets =
+    match nets with
+    | [] -> invalid_arg "and_or_tree: empty"
+    | [ y ] -> y
+    | _ ->
+        let combine x y =
+          if use_nand then B.nand2 b x y else B.nor2 b x y
+        in
+        let rec pair = function
+          | x :: y :: rest -> combine x y :: pair rest
+          | leftover -> leftover
+        in
+        level (not use_nand) (pair nets)
+  in
+  B.output b (level true xs);
+  B.finish b
+
+let alu_slice n =
+  if n < 1 then invalid_arg "alu_slice: n < 1";
+  let b = B.create ~name:(Printf.sprintf "alu%d" n) in
+  let a = input_bus b "a" n in
+  let bb = input_bus b "b" n in
+  let cin = B.input b "cin" in
+  let s0 = B.input b "s0" in
+  let s1 = B.input b "s1" in
+  let _, results, carry =
+    List.fold_left2
+      (fun (i, acc, carry) ai bi ->
+        ignore i;
+        let and_i = B.and2 b ai bi in
+        let or_i = B.or2 b ai bi in
+        let xor_i = B.xor2 b ai bi in
+        let sum_i, carry' = full_adder b ai bi carry in
+        let low = mux2 b ~sel:s0 and_i or_i in
+        let high = mux2 b ~sel:s0 xor_i sum_i in
+        let out = mux2 b ~sel:s1 low high in
+        (i + 1, out :: acc, carry'))
+      (0, [], cin) a bb
+  in
+  outputs b (List.rev results);
+  B.output b carry;
+  B.finish b
+
+let c17 () =
+  let b = B.create ~name:"c17" in
+  let i1 = B.input b "g1" in
+  let i2 = B.input b "g2" in
+  let i3 = B.input b "g3" in
+  let i6 = B.input b "g6" in
+  let i7 = B.input b "g7" in
+  let n10 = B.nand2 b ~name:"g10" i1 i3 in
+  let n11 = B.nand2 b ~name:"g11" i3 i6 in
+  let n16 = B.nand2 b ~name:"g16" i2 n11 in
+  let n19 = B.nand2 b ~name:"g19" n11 i7 in
+  let o22 = B.nand2 b ~name:"g22" n10 n16 in
+  let o23 = B.nand2 b ~name:"g23" n16 n19 in
+  B.output b o22;
+  B.output b o23;
+  B.finish b
+
+let kogge_stone_adder n =
+  if n < 2 then invalid_arg "kogge_stone_adder: n < 2";
+  let b = B.create ~name:(Printf.sprintf "ks%d" n) in
+  let a = Array.of_list (input_bus b "a" n) in
+  let bb = Array.of_list (input_bus b "b" n) in
+  let cin = B.input b "cin" in
+  let p = Array.init n (fun i -> B.xor2 b a.(i) bb.(i)) in
+  let g = Array.init n (fun i -> B.and2 b a.(i) bb.(i)) in
+  (* Prefix combine (G,P) o (G',P') = (G | P.G', P.P') at doubling
+     distances — the classic log-depth carry tree. *)
+  let gp = Array.init n (fun i -> (g.(i), p.(i))) in
+  let distance = ref 1 in
+  while !distance < n do
+    let next = Array.copy gp in
+    for i = n - 1 downto !distance do
+      let gi, pi = gp.(i) in
+      let gj, pj = gp.(i - !distance) in
+      next.(i) <- (B.or2 b gi (B.and2 b pi gj), B.and2 b pi pj)
+    done;
+    Array.blit next 0 gp 0 n;
+    distance := 2 * !distance
+  done;
+  (* carry into position i: c_{-1} = cin; c_i = G_{i:0} | P_{i:0}.cin *)
+  let carry_out i =
+    let gi, pi = gp.(i) in
+    B.or2 b gi (B.and2 b pi cin)
+  in
+  B.output b (B.xor2 b p.(0) cin);
+  for i = 1 to n - 1 do
+    B.output b (B.xor2 b p.(i) (carry_out (i - 1)))
+  done;
+  B.output b (carry_out (n - 1));
+  B.finish b
+
+let wallace_multiplier n =
+  if n < 2 then invalid_arg "wallace_multiplier: n < 2";
+  let b = B.create ~name:(Printf.sprintf "wal%d" n) in
+  let a = Array.of_list (input_bus b "a" n) in
+  let bb = Array.of_list (input_bus b "b" n) in
+  let columns = Array.make (2 * n) [] in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      columns.(i + j) <- B.and2 b a.(j) bb.(i) :: columns.(i + j)
+    done
+  done;
+  (* 3:2 reduction until every column holds at most two bits. *)
+  let too_tall () = Array.exists (fun c -> List.length c > 2) columns in
+  while too_tall () do
+    let next = Array.make (2 * n) [] in
+    Array.iteri
+      (fun pos bits ->
+        let rec reduce = function
+          | x :: y :: z :: rest ->
+              let s, c = full_adder b x y z in
+              next.(pos) <- s :: next.(pos);
+              if pos + 1 < 2 * n then next.(pos + 1) <- c :: next.(pos + 1);
+              reduce rest
+          | [ x; y ] when List.length bits > 2 ->
+              (* column participated in this round: compress the pair too *)
+              let s, c = half_adder b x y in
+              next.(pos) <- s :: next.(pos);
+              if pos + 1 < 2 * n then next.(pos + 1) <- c :: next.(pos + 1)
+          | rest -> next.(pos) <- rest @ next.(pos)
+        in
+        reduce bits)
+      columns;
+    Array.blit next 0 columns 0 (2 * n)
+  done;
+  (* Final carry-propagate stage over the two remaining rows. *)
+  let carry = ref None in
+  for pos = 0 to (2 * n) - 1 do
+    let bits = columns.(pos) in
+    let bits = match !carry with Some c -> c :: bits | None -> bits in
+    match bits with
+    | [] -> ()
+    | [ x ] ->
+        B.output b x;
+        carry := None
+    | [ x; y ] ->
+        let s, c = half_adder b x y in
+        B.output b s;
+        carry := Some c
+    | [ x; y; z ] ->
+        let s, c = full_adder b x y z in
+        B.output b s;
+        carry := Some c
+    | _ -> assert false
+  done;
+  B.finish b
+
+let carry_lookahead_adder n =
+  if n < 2 || n > 12 then invalid_arg "carry_lookahead_adder: n must be 2..12";
+  let module E = Logic.Expr in
+  let a i = E.var (Printf.sprintf "a%d" i) in
+  let bv i = E.var (Printf.sprintf "b%d" i) in
+  let cin = E.var "cin" in
+  let inputs =
+    List.init n (fun i -> Printf.sprintf "a%d" i)
+    @ List.init n (fun i -> Printf.sprintf "b%d" i)
+    @ [ "cin" ]
+  in
+  let p i = E.xor (a i) (bv i) in
+  let g i = E.and_ [ a i; bv i ] in
+  (* c_{i} = carry into position i, fully expanded lookahead form. *)
+  let carry_into i =
+    let terms =
+      (* g_j propagated through p_{j+1..i-1}, plus cin through all. *)
+      List.init i (fun j ->
+          E.and_ (g j :: List.init (i - 1 - j) (fun k -> p (j + 1 + k))))
+      @ [ E.and_ (cin :: List.init i p) ]
+    in
+    E.or_ terms
+  in
+  let equations =
+    List.init n (fun i ->
+        (Printf.sprintf "s%d" i, E.xor (p i) (carry_into i)))
+    @ [ ("cout", carry_into n) ]
+  in
+  let outputs = List.init n (fun i -> Printf.sprintf "s%d" i) @ [ "cout" ] in
+  Logic.Mapper.map_bindings
+    ~name:(Printf.sprintf "cla%d" n)
+    ~inputs ~equations ~outputs
+
+let gray_to_binary n =
+  if n < 2 then invalid_arg "gray_to_binary: n < 2";
+  let b = B.create ~name:(Printf.sprintf "gray%d" n) in
+  let g = Array.of_list (input_bus b "g" n) in
+  (* b_{n-1} = g_{n-1}; b_i = b_{i+1} xor g_i. *)
+  let bits = Array.make n g.(n - 1) in
+  for i = n - 2 downto 0 do
+    bits.(i) <- B.xor2 b bits.(i + 1) g.(i)
+  done;
+  Array.iter (B.output b) bits;
+  B.finish b
+
+let bcd_to_7seg () =
+  let module E = Logic.Expr in
+  (* Segments lit per digit 0-15 (hex A-F keep the function fully
+     specified on the upper rows). *)
+  let digit_segments =
+    [|
+      "abcdef"; "bc"; "abdeg"; "abcdg"; "bcfg"; "acdfg"; "acdefg"; "abc";
+      "abcdefg"; "abcdfg"; "abcefg"; "cdefg"; "adef"; "bcdeg"; "adefg"; "aefg";
+    |]
+  in
+  let masks =
+    List.map
+      (fun seg ->
+        let mask = ref 0 in
+        Array.iteri
+          (fun digit lit ->
+            if String.contains lit seg then mask := !mask lor (1 lsl digit))
+          digit_segments;
+        (Printf.sprintf "s%c" seg, !mask))
+      [ 'a'; 'b'; 'c'; 'd'; 'e'; 'f'; 'g' ]
+  in
+  let x = Array.init 4 (fun i -> E.var (Printf.sprintf "x%d" i)) in
+  let minterm digit =
+    E.and_
+      (List.init 4 (fun i ->
+           if digit land (1 lsl i) <> 0 then x.(i) else E.not_ x.(i)))
+  in
+  let equations =
+    List.map
+      (fun (seg, mask) ->
+        let minterms =
+          List.filteri (fun d _ -> mask land (1 lsl d) <> 0)
+            (List.init 16 minterm)
+        in
+        (seg, E.or_ minterms))
+      masks
+  in
+  Logic.Mapper.map_bindings ~name:"bcd7seg"
+    ~inputs:[ "x0"; "x1"; "x2"; "x3" ]
+    ~equations
+    ~outputs:(List.map fst masks)
+
+let random_logic ~seed ~inputs ~gates =
+  if inputs < 1 || gates < 1 then invalid_arg "random_logic: empty";
+  let rng = Stoch.Rng.create seed in
+  let b = B.create ~name:(Printf.sprintf "rnd_s%d_g%d" seed gates) in
+  let pool = ref [||] in
+  let used = Hashtbl.create (inputs + gates) in
+  let add net = pool := Array.append !pool [| net |] in
+  List.iter add (input_bus b "x" inputs);
+  let cells = Array.of_list Cell.Gate.library in
+  for _ = 1 to gates do
+    let cell = cells.(Stoch.Rng.int rng (Array.length cells)) in
+    let len = Array.length !pool in
+    (* Locality: mostly draw from the newest 16 nets so that depth grows
+       with size, with an occasional long-range tap. *)
+    let draw () =
+      let window = min len 16 in
+      let idx =
+        if Stoch.Rng.bernoulli rng 0.15 then Stoch.Rng.int rng len
+        else len - 1 - Stoch.Rng.int rng window
+      in
+      let net = !pool.(idx) in
+      Hashtbl.replace used net ();
+      net
+    in
+    let fanins = List.init (Cell.Gate.arity cell) (fun _ -> draw ()) in
+    let config = Stoch.Rng.int rng (Cell.Gate.config_count cell) in
+    add (B.gate b ~config (Cell.Gate.name cell) fanins)
+  done;
+  (* Every unread gate output becomes a primary output. *)
+  Array.iteri
+    (fun i net ->
+      if i >= inputs && not (Hashtbl.mem used net) then B.output b net)
+    !pool;
+  B.finish b

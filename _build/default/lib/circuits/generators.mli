@@ -1,0 +1,101 @@
+(** Parameterized benchmark circuit generators.
+
+    The MCNC-substitute suite (DESIGN.md §2): arithmetic blocks with the
+    carry-chain activity profile the paper's §1.1 motivates, regular
+    logic structures, the ISCAS c17 toy, and seeded random multilevel
+    logic. All generators are deterministic; every circuit is expressed
+    directly over the Table-2 library. *)
+
+val ripple_carry_adder : int -> Netlist.Circuit.t
+(** [n]-bit adder, inputs [a0.. b0.. cin], outputs [s0.. s(n-1) cout].
+    @raise Invalid_argument if [n < 1]. *)
+
+val carry_select_adder : int -> Netlist.Circuit.t
+(** [2n]-bit adder built from three [n]-bit ripple blocks and a mux
+    stage. *)
+
+val incrementer : int -> Netlist.Circuit.t
+(** [n]-bit +1 (half-adder chain). *)
+
+val array_multiplier : int -> Netlist.Circuit.t
+(** [n]x[n] array multiplier (AND matrix + adder rows).
+    @raise Invalid_argument if [n < 2]. *)
+
+val parity : int -> Netlist.Circuit.t
+(** [n]-input XOR tree. *)
+
+val mux_tree : int -> Netlist.Circuit.t
+(** [2^k]-to-1 multiplexer with [k] select lines; pass the number of
+    data inputs [2^k]. @raise Invalid_argument unless a power of two
+    >= 2. *)
+
+val decoder : int -> Netlist.Circuit.t
+(** [k]-to-[2^k] line decoder, [k] in 2..4. *)
+
+val equality_comparator : int -> Netlist.Circuit.t
+(** [a = b] over [n]-bit operands. *)
+
+val magnitude_comparator : int -> Netlist.Circuit.t
+(** [a > b] over [n]-bit operands. *)
+
+val majority : int -> Netlist.Circuit.t
+(** Majority of [n] inputs ([n] odd, 3 or 5). *)
+
+val priority_encoder : int -> Netlist.Circuit.t
+(** [n]-input priority resolver: output [i] high iff input [i] is the
+    highest-index asserted input. *)
+
+val and_or_tree : int -> Netlist.Circuit.t
+(** Balanced alternating NAND/NOR reduction tree over [n] inputs. *)
+
+val alu_slice : int -> Netlist.Circuit.t
+(** [n]-bit mini-ALU: op ∈ {AND, OR, XOR, ADD} selected by [s1 s0]. *)
+
+val c17 : unit -> Netlist.Circuit.t
+(** The ISCAS-85 c17 benchmark: 6 NAND2 gates, 5 inputs, 2 outputs. *)
+
+val kogge_stone_adder : int -> Netlist.Circuit.t
+(** [n]-bit parallel-prefix adder: balanced log-depth carry tree — the
+    structural opposite of the ripple chain for the E5 comparison.
+    @raise Invalid_argument if [n < 2]. *)
+
+val wallace_multiplier : int -> Netlist.Circuit.t
+(** [n]x[n] multiplier with Wallace-tree (3:2 compressor) reduction and
+    a ripple final stage. @raise Invalid_argument if [n < 2]. *)
+
+val carry_lookahead_adder : int -> Netlist.Circuit.t
+(** [n]-bit single-level carry-lookahead adder, generated as Boolean
+    equations and technology-mapped (exercises {!Logic.Mapper} in the
+    suite). Keep [n] modest — the lookahead terms grow quadratically. *)
+
+val gray_to_binary : int -> Netlist.Circuit.t
+(** [n]-bit Gray-code decoder (XOR chain). *)
+
+val bcd_to_7seg : unit -> Netlist.Circuit.t
+(** BCD digit to seven-segment decoder (full 16-row truth table,
+    segments a..g), generated from minterm equations via the mapper. *)
+
+val random_logic :
+  seed:int -> inputs:int -> gates:int -> Netlist.Circuit.t
+(** Seeded random multilevel network over the whole library; fanins are
+    drawn with locality so depth grows with [gates]. Every gate output
+    that remains unread becomes a primary output. *)
+
+(** {1 Reusable pieces} *)
+
+val full_adder :
+  Netlist.Builder.t ->
+  Netlist.Circuit.net ->
+  Netlist.Circuit.net ->
+  Netlist.Circuit.net ->
+  Netlist.Circuit.net * Netlist.Circuit.net
+(** [(sum, carry)] — XOR pair for the sum, AOI222+INV majority for the
+    carry. *)
+
+val mux2 :
+  Netlist.Builder.t ->
+  sel:Netlist.Circuit.net ->
+  Netlist.Circuit.net ->
+  Netlist.Circuit.net ->
+  Netlist.Circuit.net
+(** [mux2 b ~sel a0 a1] = [a1] when [sel] else [a0] (AOI22 + INV). *)

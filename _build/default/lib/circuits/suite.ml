@@ -1,0 +1,74 @@
+module G = Generators
+
+(* Builders are thunks so `all` constructs fresh circuits each call. *)
+let catalogue : (string * (unit -> Netlist.Circuit.t)) list =
+  [
+    ("c17", G.c17);
+    ("maj3", fun () -> G.majority 3);
+    ("par4", fun () -> G.parity 4);
+    ("dec2", fun () -> G.decoder 2);
+    ("inc6", fun () -> G.incrementer 6);
+    ("mux4", fun () -> G.mux_tree 4);
+    ("rca4", fun () -> G.ripple_carry_adder 4);
+    ("cmpeq4", fun () -> G.equality_comparator 4);
+    ("cmpgt4", fun () -> G.magnitude_comparator 4);
+    ("alu1", fun () -> G.alu_slice 1);
+    ("maj5", fun () -> G.majority 5);
+    ("dec3", fun () -> G.decoder 3);
+    ("par9", fun () -> G.parity 9);
+    ("prio8", fun () -> G.priority_encoder 8);
+    ("tree16", fun () -> G.and_or_tree 16);
+    ("mux8", fun () -> G.mux_tree 8);
+    ("inc12", fun () -> G.incrementer 12);
+    ("rca8", fun () -> G.ripple_carry_adder 8);
+    ("cmpeq8", fun () -> G.equality_comparator 8);
+    ("cmpgt8", fun () -> G.magnitude_comparator 8);
+    ("dec4", fun () -> G.decoder 4);
+    ("alu2", fun () -> G.alu_slice 2);
+    ("mux16", fun () -> G.mux_tree 16);
+    ("par16", fun () -> G.parity 16);
+    ("tree24", fun () -> G.and_or_tree 24);
+    ("csel8", fun () -> G.carry_select_adder 4);
+    ("mult4", fun () -> G.array_multiplier 4);
+    ("rca16", fun () -> G.ripple_carry_adder 16);
+    ("alu4", fun () -> G.alu_slice 4);
+    ("prio16", fun () -> G.priority_encoder 16);
+    ("csel16", fun () -> G.carry_select_adder 8);
+    ("mult5", fun () -> G.array_multiplier 5);
+    ("rca24", fun () -> G.ripple_carry_adder 24);
+    ("gray8", fun () -> G.gray_to_binary 8);
+    ("bcd7seg", G.bcd_to_7seg);
+    ("cla8", fun () -> G.carry_lookahead_adder 8);
+    ("ks8", fun () -> G.kogge_stone_adder 8);
+    ("ks16", fun () -> G.kogge_stone_adder 16);
+    ("wal4", fun () -> G.wallace_multiplier 4);
+    ("wal5", fun () -> G.wallace_multiplier 5);
+    ("rnd_a", fun () -> G.random_logic ~seed:11 ~inputs:8 ~gates:60);
+    ("rnd_b", fun () -> G.random_logic ~seed:23 ~inputs:12 ~gates:90);
+    ("rnd_c", fun () -> G.random_logic ~seed:37 ~inputs:10 ~gates:140);
+    ("rnd_d", fun () -> G.random_logic ~seed:41 ~inputs:16 ~gates:200);
+    ("rnd_e", fun () -> G.random_logic ~seed:59 ~inputs:20 ~gates:280);
+    ("rca32", fun () -> G.ripple_carry_adder 32);
+    ("mult6", fun () -> G.array_multiplier 6);
+    ("ks32", fun () -> G.kogge_stone_adder 32);
+    ("rnd_f", fun () -> G.random_logic ~seed:61 ~inputs:24 ~gates:400);
+    ("rnd_g", fun () -> G.random_logic ~seed:67 ~inputs:28 ~gates:540);
+  ]
+
+let all () =
+  List.map
+    (fun (name, build) ->
+      (name, Netlist.Circuit.with_name (build ()) name))
+    catalogue
+
+let names () = List.map fst catalogue
+
+let find name =
+  match List.assoc_opt name catalogue with
+  | Some build -> Netlist.Circuit.with_name (build ()) name
+  | None -> raise Not_found
+
+let small () =
+  List.filter
+    (fun (_, c) -> Netlist.Circuit.gate_count c < 100)
+    (all ())

@@ -1,0 +1,18 @@
+(** The benchmark suite used by the Table-3 reproduction (DESIGN.md §2).
+
+    Thirty-plus circuits: arithmetic (ripple/carry-select adders,
+    multipliers, incrementers — the §1.1 carry-chain workloads), regular
+    logic (parity, mux, decoder, comparators, majority, priority,
+    reduction trees, ALU slices), the ISCAS c17 toy, and seeded random
+    multilevel networks. All deterministic. *)
+
+val all : unit -> (string * Netlist.Circuit.t) list
+(** Every benchmark, built fresh, in canonical order. *)
+
+val names : unit -> string list
+
+val find : string -> Netlist.Circuit.t
+(** @raise Not_found for an unknown benchmark name. *)
+
+val small : unit -> (string * Netlist.Circuit.t) list
+(** A fast subset (< 100 gates each) for smoke tests and examples. *)

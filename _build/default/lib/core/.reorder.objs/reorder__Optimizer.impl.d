@@ -1,0 +1,1 @@
+lib/core/optimizer.ml: Array Cell Delay Float Format List Netlist Option Power

@@ -1,0 +1,1 @@
+lib/core/optimizer.mli: Delay Format Netlist Power Stoch

@@ -1,0 +1,203 @@
+module C = Netlist.Circuit
+
+type objective =
+  | Min_power
+  | Max_power
+  | Min_power_delay_bounded
+  | Min_delay
+
+type report = {
+  circuit : C.t;
+  configs : int array;
+  power_before : float;
+  power_after : float;
+  gates_changed : int;
+  configurations_explored : int;
+}
+
+let pp_report ppf r =
+  Format.fprintf ppf
+    "%s: %.4g -> %.4g W (%d/%d gates changed, %d configurations explored)"
+    (C.name r.circuit) r.power_before r.power_after r.gates_changed
+    (Array.length r.configs) r.configurations_explored
+
+(* Static timing of the circuit with an explicit configuration
+   assignment, without materializing a rewritten circuit. Mirrors
+   Delay.Sta but reads configs from [assignment]. *)
+let critical_delay_with delay_table ~external_load circuit assignment =
+  let arrival = Array.make (C.net_count circuit) 0. in
+  let load_of g =
+    let gate = C.gate_at circuit g in
+    let pins =
+      List.fold_left
+        (fun acc (reader, pin) ->
+          let cell = (C.gate_at circuit reader).C.cell in
+          let network = Cell.Config.network (Cell.Config.reference cell) in
+          acc
+          +. Cell.Process.input_pin_capacitance
+               (Delay.Elmore.process delay_table)
+               network pin)
+        0.
+        (C.readers circuit gate.C.output)
+    in
+    if C.is_primary_output circuit gate.C.output then pins +. external_load
+    else pins
+  in
+  List.iter
+    (fun g ->
+      let gate = C.gate_at circuit g in
+      let load = load_of g in
+      let worst = ref 0. in
+      Array.iteri
+        (fun pin net ->
+          let d =
+            Delay.Elmore.pin_delay delay_table gate.C.cell
+              ~config:assignment.(g) ~pin ~load
+          in
+          worst := Float.max !worst (arrival.(net) +. d))
+        gate.C.fanins;
+      arrival.(gate.C.output) <- !worst)
+    (C.topological_order circuit);
+  List.fold_left
+    (fun acc net -> Float.max acc arrival.(net))
+    0. (C.primary_outputs circuit)
+
+(* Candidate selection for one gate under the power objectives
+   (FIND_BEST_REORDERING): power of each configuration with the gate's
+   actual fan-out load and propagated input statistics. *)
+let choose_by_power power_table ~maximize ~candidates ~load ~input_stats
+    (gate : C.gate) =
+  let cell = gate.C.cell in
+  let groups = Power.Model.groups_of_nets gate.C.fanins in
+  let score config =
+    let p =
+      (Power.Model.gate_power power_table cell ~config ~input_stats ~groups
+         ~load ())
+        .Power.Model.total
+    in
+    if maximize then -.p else p
+  in
+  List.fold_left
+    (fun (best_i, best_s) i ->
+      let s = score i in
+      if s < best_s then (i, s) else (best_i, best_s))
+    (gate.C.config, score gate.C.config)
+    candidates
+  |> fst
+
+let choose_by_delay delay_table ~candidates ~load (gate : C.gate) =
+  List.fold_left
+    (fun (best_i, best_d) i ->
+      let d = Delay.Elmore.worst_delay delay_table gate.C.cell ~config:i ~load in
+      if d < best_d then (i, d) else (best_i, best_d))
+    ( gate.C.config,
+      Delay.Elmore.worst_delay delay_table gate.C.cell ~config:gate.C.config
+        ~load )
+    candidates
+  |> fst
+
+let default_external_load = 20e-15
+
+let optimize power_table ~delay:delay_table
+    ?(external_load = default_external_load) ?(objective = Min_power)
+    ?(input_reordering_only = false) circuit ~inputs =
+  let analysis = Power.Analysis.run power_table circuit ~inputs in
+  let power_before =
+    Power.Estimate.total power_table ~external_load circuit analysis
+  in
+  let n = C.gate_count circuit in
+  let configs = Array.init n (fun g -> (C.gate_at circuit g).C.config) in
+  let explored = ref 0 in
+  let candidates_for (gate : C.gate) =
+    let cell = gate.C.cell in
+    let all = Cell.Config.all cell in
+    let reference = Cell.Config.reference cell in
+    let indexed = List.mapi (fun i c -> (i, c)) all in
+    let kept =
+      if input_reordering_only then
+        List.filter (fun (_, c) -> Cell.Config.same_shape c reference) indexed
+      else indexed
+    in
+    List.map fst kept
+  in
+  (* The delay bound is the *input* circuit's critical path: accepting a
+     candidate must never push the circuit beyond it (§6.b: "power
+     reductions without increasing the delay"). *)
+  let delay_budget =
+    match objective with
+    | Min_power_delay_bounded ->
+        Some
+          (critical_delay_with delay_table ~external_load circuit configs
+          +. 1e-18)
+    | Min_power | Max_power | Min_delay -> None
+  in
+  (* Fig. 3: statistics are configuration-independent (§4.2), so the
+     single Analysis pass already gives every gate its final input
+     statistics; we visit gates in the paper's topological order. *)
+  List.iter
+    (fun g ->
+      let gate = C.gate_at circuit g in
+      let input_stats = Power.Analysis.gate_input_stats analysis circuit g in
+      let load = Power.Estimate.output_load power_table ~external_load circuit g in
+      let candidates = candidates_for gate in
+      explored := !explored + List.length candidates;
+      let chosen =
+        match objective with
+        | Min_power ->
+            choose_by_power power_table ~maximize:false ~candidates ~load
+              ~input_stats gate
+        | Max_power ->
+            choose_by_power power_table ~maximize:true ~candidates ~load
+              ~input_stats gate
+        | Min_delay -> choose_by_delay delay_table ~candidates ~load gate
+        | Min_power_delay_bounded ->
+            let budget = Option.get delay_budget in
+            let admissible =
+              List.filter
+                (fun i ->
+                  let saved = configs.(g) in
+                  configs.(g) <- i;
+                  let d =
+                    critical_delay_with delay_table ~external_load circuit
+                      configs
+                  in
+                  configs.(g) <- saved;
+                  d <= budget)
+                candidates
+            in
+            choose_by_power power_table ~maximize:false ~candidates:admissible
+              ~load ~input_stats gate
+      in
+      configs.(g) <- chosen)
+    (C.topological_order circuit);
+  let rewritten = C.with_configs circuit configs in
+  let power_after =
+    Power.Estimate.total power_table ~external_load rewritten analysis
+  in
+  let gates_changed = ref 0 in
+  Array.iteri
+    (fun g chosen ->
+      if chosen <> (C.gate_at circuit g).C.config then incr gates_changed)
+    configs;
+  {
+    circuit = rewritten;
+    configs;
+    power_before;
+    power_after;
+    gates_changed = !gates_changed;
+    configurations_explored = !explored;
+  }
+
+let best_and_worst power_table ~delay ?external_load circuit ~inputs =
+  let best =
+    optimize power_table ~delay ?external_load ~objective:Min_power circuit
+      ~inputs
+  in
+  let worst =
+    optimize power_table ~delay ?external_load ~objective:Max_power circuit
+      ~inputs
+  in
+  (best, worst)
+
+let reduction_percent ~best ~worst =
+  if worst <= 0. then 0. else 100. *. (worst -. best) /. worst

@@ -1,0 +1,60 @@
+(** The paper's power-optimization algorithm (Fig. 3).
+
+    One depth-first (topological) traversal of the circuit: the
+    probability and transition density of every net is computed once
+    (they are configuration-independent, §4.2 — the monotonic property
+    that makes the greedy pass globally optimal with respect to the
+    model); then each gate's configurations are exhaustively explored
+    (§4.3) and the one optimizing the objective is selected. *)
+
+type objective =
+  | Min_power  (** the paper's FIND_BEST_REORDERING *)
+  | Max_power
+      (** worst-case ordering — the baseline Table 3 compares against *)
+  | Min_power_delay_bounded
+      (** best power subject to never exceeding the {e circuit}'s
+          critical-path delay as received (checked with incremental
+          static timing at every tentative choice) — the paper's "power
+          reductions without increasing the delay" future-work direction
+          (§6.b). Note a per-gate worst-case bound would be vacuous:
+          symmetric configurations share their worst-case pin delay. *)
+  | Min_delay
+      (** fastest configuration (the speed-oriented reordering of
+          Carlson & Chen the paper contrasts with) *)
+
+type report = {
+  circuit : Netlist.Circuit.t;  (** rewritten with the chosen configs *)
+  configs : int array;  (** chosen configuration per gate *)
+  power_before : float;  (** model power of the input circuit, W *)
+  power_after : float;  (** model power of the rewritten circuit, W *)
+  gates_changed : int;
+  configurations_explored : int;
+}
+
+val pp_report : Format.formatter -> report -> unit
+
+val optimize :
+  Power.Model.table ->
+  delay:Delay.Elmore.table ->
+  ?external_load:float ->
+  ?objective:objective ->
+  ?input_reordering_only:bool ->
+  Netlist.Circuit.t ->
+  inputs:(Netlist.Circuit.net -> Stoch.Signal_stats.t) ->
+  report
+(** [input_reordering_only] (default false) restricts candidates to the
+    reference configuration's layout shape — the §2 input-reordering
+    subset, used as an ablation baseline. *)
+
+val best_and_worst :
+  Power.Model.table ->
+  delay:Delay.Elmore.table ->
+  ?external_load:float ->
+  Netlist.Circuit.t ->
+  inputs:(Netlist.Circuit.net -> Stoch.Signal_stats.t) ->
+  report * report
+(** [(best, worst)] under [Min_power] / [Max_power] — the pair Table 3's
+    reduction percentages are computed from. *)
+
+val reduction_percent : best:float -> worst:float -> float
+(** [100·(worst-best)/worst]; 0 when [worst] is 0. *)

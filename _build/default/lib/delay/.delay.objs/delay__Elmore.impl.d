@@ -1,0 +1,1 @@
+lib/delay/elmore.ml: Array Cell Float Hashtbl List Sp

@@ -1,0 +1,1 @@
+lib/delay/sta.ml: Array Cell Elmore List Netlist

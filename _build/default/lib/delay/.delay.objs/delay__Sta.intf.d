@@ -1,0 +1,1 @@
+lib/delay/sta.mli: Elmore Netlist

@@ -1,0 +1,134 @@
+module N = Sp.Network
+
+(* A path's delay is affine in the output load: [fixed + coef * load],
+   where [coef] is the total path resistance (the output capacitance
+   C(y) + load discharges through the whole path) and [fixed] collects
+   the internal-node terms plus C(y)'s own contribution. *)
+type affine = { fixed : float; coef : float }
+
+type pin_model = { rise : affine list; fall : affine list }
+
+type table = {
+  proc : Cell.Process.t;
+  cache : (string * int, pin_model array) Hashtbl.t;
+}
+
+let table proc = { proc; cache = Hashtbl.create 256 }
+let process t = t.proc
+
+(* All simple paths from Output to [rail], as device lists ordered from
+   the output toward the rail. *)
+let rail_paths network rail =
+  let blocked = match rail with N.Vss -> N.Vdd | _ -> N.Vss in
+  let adjacency n =
+    List.filter_map
+      (fun (d : N.device) ->
+        if d.a = n then Some (d, d.b)
+        else if d.b = n then Some (d, d.a)
+        else None)
+      (N.devices network)
+  in
+  let paths = ref [] in
+  let rec explore here on_path acc =
+    if here = rail then paths := List.rev acc :: !paths
+    else if here <> blocked then
+      List.iter
+        (fun (d, next) ->
+          if not (List.mem next on_path) then
+            explore next (next :: on_path) (d :: acc))
+        (adjacency here)
+  in
+  explore N.Output [ N.Output ] [];
+  !paths
+
+(* Elmore terms for one path when [pin]'s device switches last. *)
+let path_affine t network pin path =
+  match
+    List.exists (fun (d : N.device) -> d.input = pin) path
+  with
+  | false -> None
+  | true ->
+      let resistances =
+        List.map
+          (fun (d : N.device) -> Cell.Process.device_resistance t.proc d.polarity)
+          path
+      in
+      let total_r = List.fold_left ( +. ) 0. resistances in
+      (* Nodes along the path, from the output side: node m sits between
+         device m and device m+1; its downstream resistance is the sum
+         of resistances of devices m+1..k. Only nodes above the pin's
+         device still carry charge. *)
+      let rec walk devices rs downstream node_entry fixed =
+        match (devices, rs) with
+        | [], [] -> fixed
+        | (d : N.device) :: rest_d, r :: rest_r ->
+            if d.input = pin then fixed
+            else
+              let downstream = downstream -. r in
+              let mid =
+                (* the node between this device and the next one *)
+                let further = if d.a = node_entry then d.b else d.a in
+                further
+              in
+              let fixed =
+                match mid with
+                | N.Internal _ ->
+                    fixed
+                    +. (Cell.Process.node_capacitance t.proc network mid
+                        *. downstream)
+                | N.Vdd | N.Vss | N.Output -> fixed
+              in
+              walk rest_d rest_r downstream mid fixed
+        | _ -> assert false
+      in
+      let internal_fixed = walk path resistances total_r N.Output 0. in
+      let c_out = Cell.Process.node_capacitance t.proc network N.Output in
+      Some { fixed = internal_fixed +. (c_out *. total_r); coef = total_r }
+
+let build_models t cell config_index =
+  let configs = Cell.Config.all cell in
+  let config =
+    try List.nth configs config_index
+    with Failure _ | Invalid_argument _ ->
+      invalid_arg "Delay.Elmore: configuration index out of range"
+  in
+  let network = Cell.Config.network config in
+  let fall_paths = rail_paths network N.Vss in
+  let rise_paths = rail_paths network N.Vdd in
+  Array.init (Cell.Gate.arity cell) (fun pin ->
+      let collect paths =
+        List.filter_map (path_affine t network pin) paths
+      in
+      { rise = collect rise_paths; fall = collect fall_paths })
+
+let get t cell config =
+  let key = (Cell.Gate.name cell, config) in
+  match Hashtbl.find_opt t.cache key with
+  | Some m -> m
+  | None ->
+      let m = build_models t cell config in
+      Hashtbl.add t.cache key m;
+      m
+
+let eval load paths =
+  List.fold_left (fun acc a -> Float.max acc (a.fixed +. (a.coef *. load))) 0. paths
+
+let pin_delay_rise_fall t cell ~config ~pin ~load =
+  if load < 0. then invalid_arg "Delay.Elmore: negative load";
+  let models = get t cell config in
+  if pin < 0 || pin >= Array.length models then
+    invalid_arg "Delay.Elmore: pin out of range";
+  let m = models.(pin) in
+  (eval load m.rise, eval load m.fall)
+
+let pin_delay t cell ~config ~pin ~load =
+  let rise, fall = pin_delay_rise_fall t cell ~config ~pin ~load in
+  Float.max rise fall
+
+let worst_delay t cell ~config ~load =
+  let arity = Cell.Gate.arity cell in
+  let rec go pin acc =
+    if pin >= arity then acc
+    else go (pin + 1) (Float.max acc (pin_delay t cell ~config ~pin ~load))
+  in
+  go 0 0.

@@ -1,0 +1,1 @@
+lib/experiments/ablations.ml: Circuits Common Delay Hashtbl List Power Printf Reorder Report Stoch Switchsim

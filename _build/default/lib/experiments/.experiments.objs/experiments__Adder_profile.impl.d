@@ -1,0 +1,1 @@
+lib/experiments/adder_profile.ml: Array Cell Circuits Common List Netlist Power Printf Report Stoch Switchsim

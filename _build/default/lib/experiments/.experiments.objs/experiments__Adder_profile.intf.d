@@ -1,0 +1,1 @@
+lib/experiments/adder_profile.mli: Common

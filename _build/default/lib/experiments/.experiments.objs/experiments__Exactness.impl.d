@@ -1,0 +1,1 @@
+lib/experiments/exactness.ml: Array Circuits Common Float Hashtbl List Netlist Power Report Stoch Switchsim

@@ -1,0 +1,1 @@
+lib/experiments/exactness.mli: Common Netlist

@@ -1,0 +1,1 @@
+lib/experiments/figure5.ml: Buffer Cell Common List Printf

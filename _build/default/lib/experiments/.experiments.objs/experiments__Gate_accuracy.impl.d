@@ -1,0 +1,1 @@
+lib/experiments/gate_accuracy.ml: Array Cell Common Float Fun Hashtbl List Power Printf Queue Report Sp Stoch

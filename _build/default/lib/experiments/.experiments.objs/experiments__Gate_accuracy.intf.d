@@ -1,0 +1,1 @@
+lib/experiments/gate_accuracy.mli: Cell Common

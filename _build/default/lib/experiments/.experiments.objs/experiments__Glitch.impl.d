@@ -1,0 +1,1 @@
+lib/experiments/glitch.ml: Circuits Common Delay Hashtbl List Netlist Power Reorder Report Stoch Switchsim

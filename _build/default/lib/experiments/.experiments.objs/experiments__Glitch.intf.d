@@ -1,0 +1,1 @@
+lib/experiments/glitch.mli: Common Netlist Power

@@ -1,0 +1,1 @@
+lib/experiments/sensitivity.ml: Cell Circuits Common Hashtbl List Power Reorder Report Stoch Table1

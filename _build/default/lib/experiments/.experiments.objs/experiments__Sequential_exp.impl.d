@@ -1,0 +1,1 @@
+lib/experiments/sequential_exp.ml: Common Float Hashtbl List Netlist Power Reorder Report Sequential Stoch

@@ -1,0 +1,1 @@
+lib/experiments/sequential_exp.mli: Common Sequential

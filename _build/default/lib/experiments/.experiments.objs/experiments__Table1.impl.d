@@ -1,0 +1,1 @@
+lib/experiments/table1.ml: Cell Common Float List Power Printf Report Stoch

@@ -1,0 +1,1 @@
+lib/experiments/table3.ml: Circuits Common Delay Hashtbl List Netlist Power Printf Reorder Report Stoch Switchsim

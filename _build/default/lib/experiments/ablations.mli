@@ -1,0 +1,55 @@
+(** E6/E7/E8 — ablation studies called out in DESIGN.md.
+
+    E6 (delay-bounded): the paper's §6(b) future-work direction — how
+    much of the power reduction survives when no gate may become slower
+    than its reference configuration?
+
+    E7 (input reordering only): §2 notes input reordering is a strict
+    subset of transistor reordering; quantify the gap.
+
+    E8 (model accuracy): the paper observes the model overestimates
+    power by a roughly constant offset, making estimated improvements
+    (M) smaller than simulated ones (S); we report model-vs-simulated
+    power pairs, their correlation, and the mean ratio. *)
+
+type delay_bounded_row = {
+  name : string;
+  free_percent : float;  (** unconstrained best-vs-worst reduction, model *)
+  bounded_percent : float;  (** delay-bounded best-vs-worst reduction *)
+  free_delay_percent : float;  (** circuit delay change of the free best *)
+  bounded_delay_percent : float;  (** must stay ≈ 0 or negative at gate level *)
+}
+
+val delay_bounded :
+  Common.t -> ?seed:int -> ?circuits:(string * Netlist.Circuit.t) list ->
+  Power.Scenario.t -> delay_bounded_row list
+
+type input_reorder_row = {
+  name : string;
+  full_percent : float;  (** reduction of reference->best, full exploration *)
+  input_only_percent : float;  (** reduction restricted to input permutation *)
+}
+
+val input_reordering :
+  Common.t -> ?seed:int -> ?circuits:(string * Netlist.Circuit.t) list ->
+  Power.Scenario.t -> input_reorder_row list
+
+type accuracy_point = {
+  name : string;
+  model_power : float;  (** W, reference configuration *)
+  sim_power : float;  (** W, same netlist and stimulus *)
+}
+
+type accuracy = {
+  points : accuracy_point list;
+  correlation : float;  (** Pearson correlation of log powers *)
+  mean_ratio : float;  (** geometric mean of model/sim *)
+}
+
+val model_accuracy :
+  Common.t -> ?seed:int -> ?sim_horizon:float ->
+  ?circuits:(string * Netlist.Circuit.t) list -> Power.Scenario.t -> accuracy
+
+val render_delay_bounded : delay_bounded_row list -> string
+val render_input_reordering : input_reorder_row list -> string
+val render_accuracy : accuracy -> string

@@ -1,0 +1,34 @@
+(** E11 — how much does the paper's spatial-independence assumption
+    cost? (extension)
+
+    Three estimates of every net's transition density are compared on
+    small benchmarks: the paper's gate-local propagation, the exact
+    global-BDD computation ({!Power.Exact}), and the switch-level
+    simulation as ground truth. The local estimate is exact on
+    fan-out-free circuits and biased through reconvergence; the global
+    one must agree with the simulator within sampling noise. *)
+
+type row = {
+  name : string;
+  nets : int;  (** nets with exact density above the noise floor *)
+  local_mean_error : float;
+      (** mean relative error of the local vs exact density, % *)
+  local_worst_error : float;  (** worst single-net error, % *)
+  sim_mean_error : float;
+      (** mean relative deviation of the simulator vs exact, % — the
+          sampling-noise yardstick *)
+  max_bdd : int;  (** largest global BDD built *)
+}
+
+val row :
+  Common.t -> ?seed:int -> ?sim_horizon:float ->
+  string * Netlist.Circuit.t -> row
+
+val run :
+  Common.t -> ?seed:int -> ?sim_horizon:float ->
+  ?circuits:(string * Netlist.Circuit.t) list -> unit -> row list
+(** Defaults to a small-PI subset of the suite (global BDDs!). Inputs
+    are scenario-B statistics (P = 0.5 is where reconvergence bias
+    peaks). *)
+
+val render : row list -> string

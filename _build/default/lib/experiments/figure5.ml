@@ -1,0 +1,45 @@
+type step = {
+  order : int;
+  pivoted_node : int option;
+  description : string;
+}
+
+type t = step list
+
+let pin_names = [| "a1"; "a2"; "b" |]
+
+let describe config =
+  Cell.Config.to_string ~names:(Common.input_names pin_names) config
+
+let run () =
+  let gate = Cell.Gate.of_name "oai21" in
+  let start = Cell.Config.reference gate in
+  let steps = ref [ { order = 0; pivoted_node = None; description = describe start } ] in
+  let count = ref 0 in
+  let trace node config =
+    incr count;
+    steps :=
+      { order = !count; pivoted_node = Some node; description = describe config }
+      :: !steps
+  in
+  ignore (Cell.Config.pivot_all ~trace start);
+  List.rev !steps
+
+let render t =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf
+    "Figure 5 — pivot exploration of the gate y=(a1+a2).b\n";
+  List.iter
+    (fun s ->
+      let move =
+        match s.pivoted_node with
+        | None -> "start           "
+        | Some n -> Printf.sprintf "pivot node n%-3d " n
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "  %d: %s %s\n" s.order move s.description))
+    t;
+  Buffer.add_string buf
+    (Printf.sprintf "  -> %d configurations generated (paper: 4)\n"
+       (List.length t));
+  Buffer.contents buf

@@ -1,0 +1,17 @@
+(** E3 — the paper's Fig. 5: execution example of the exhaustive
+    exploration algorithm on the gate implementing [y = (a1 + a2)·b].
+
+    The trace lists every configuration in discovery order together with
+    the internal node pivoted to reach it; the paper's figure shows the
+    same search generating all four configurations of Fig. 1(a). *)
+
+type step = {
+  order : int;  (** 0 = the starting configuration *)
+  pivoted_node : int option;  (** [None] for the start *)
+  description : string;
+}
+
+type t = step list
+
+val run : unit -> t
+val render : t -> string

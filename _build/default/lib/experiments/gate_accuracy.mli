@@ -1,0 +1,32 @@
+(** E13 — per-gate model validation by exhaustive transition
+    enumeration (extension).
+
+    For every configuration of every library gate, the switch-level
+    simulator measures the energy of {e all} [4^n] input-vector
+    transitions; the average under uniform i.i.d. per-cycle vectors is
+    the ground-truth power at [P = 0.5], [D = 0.5/cycle]. Compared
+    against the closed-form model, per gate:
+
+    - the mean absolute power error over configurations, and
+    - whether the model picks the same best/worst configuration as the
+      exhaustive truth — the property the whole optimization rests on. *)
+
+type row = {
+  gate : string;
+  configurations : int;
+  mean_error_percent : float;  (** |model − exhaustive| / exhaustive *)
+  best_matches : bool;  (** model argmin = exhaustive argmin *)
+  worst_matches : bool;
+  rank_correlation : float;
+      (** Pearson correlation of per-configuration powers *)
+}
+
+val powers : Common.t -> Cell.Gate.t -> float list * float list
+(** [(exhaustive, model)] per configuration — exposed for tests and
+    debugging. *)
+
+val row : Common.t -> Cell.Gate.t -> row
+val run : Common.t -> ?gates:Cell.Gate.t list -> unit -> row list
+(** Defaults to the whole library. *)
+
+val render : row list -> string

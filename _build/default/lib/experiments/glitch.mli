@@ -1,0 +1,32 @@
+(** E9 — glitch (useless-transition) power, an extension beyond the
+    paper's zero-delay evaluation.
+
+    The paper's introduction motivates density-aware optimization with
+    the observation that useless signal transitions account for a large
+    fraction of dynamic power. The timed simulation mode makes that
+    fraction measurable: each gate's output is delayed by its Elmore
+    inertial delay, so unequal path delays generate (and short pulses
+    absorb) hazards. For every circuit we report the glitch overhead of
+    the reference netlist and whether the best-power reordering also
+    helps once glitches are accounted for. *)
+
+type row = {
+  name : string;
+  zero_power : float;  (** W, zero-delay simulation *)
+  timed_power : float;  (** W, same stimulus, inertial delays *)
+  glitch_percent : float;  (** 100·(timed−zero)/timed *)
+  timed_reduction_percent : float;
+      (** best-vs-worst reduction measured with the timed simulator *)
+}
+
+type t = { rows : row list; avg_glitch : float; avg_timed_reduction : float }
+
+val run :
+  Common.t ->
+  ?seed:int ->
+  ?sim_horizon:float ->
+  ?circuits:(string * Netlist.Circuit.t) list ->
+  Power.Scenario.t ->
+  t
+
+val render : t -> string

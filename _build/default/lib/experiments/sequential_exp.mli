@@ -1,0 +1,29 @@
+(** E12 — latch-bounded sequential machines (extension).
+
+    Scenario B says the circuit is the whole clocked system; this
+    experiment closes the register loop: steady-state statistics are
+    obtained by fixpoint iteration, validated against a cycle-accurate
+    simulation, and the combinational core is reordered under them.
+    The fixpoint's lag-one independence approximation is exact for
+    white state (LFSR) and biased for correlated state (binary
+    counters) — both columns are reported. *)
+
+type row = {
+  name : string;
+  gates : int;
+  iterations : int;  (** fixpoint iterations to convergence *)
+  converged : bool;
+  density_error_percent : float;
+      (** mean relative error, fixpoint vs cycle-simulated register
+          density (∞-safe: capped at 999) *)
+  model_reduction_percent : float;
+      (** best-vs-worst of the core under the fixpoint statistics *)
+  sim_reduction_percent : float;
+      (** same, measured by cycle-accurate switch-level simulation *)
+}
+
+val run :
+  Common.t -> ?seed:int -> ?cycles:int ->
+  ?machines:(string * Sequential.Machine.t) list -> unit -> row list
+
+val render : row list -> string

@@ -1,0 +1,34 @@
+(** E1 — the paper's Table 1 / Fig. 1 motivation example.
+
+    The gate implementing [y = (a1 + a2)·b] (oai21) is evaluated under
+    the extended power model in its four transistor configurations, for
+    the paper's two input-activity cases (all equilibrium probabilities
+    0.5):
+
+    - case 1: [D(a1) = 10K], [D(a2) = 100K], [D(b) = 1M] trans/s;
+    - case 2: [D(a1) = 1M], [D(a2) = 100K], [D(b) = 10K].
+
+    The paper reports powers relative to configuration (D) in case 1,
+    a 19 % best-vs-worst reduction in case 1 and 17 % in case 2, and —
+    the headline — that the {e optimal configuration flips} between the
+    cases. Configuration letters in the scan are not recoverable, so we
+    print our own configuration descriptions. *)
+
+type row = {
+  config_index : int;
+  description : string;  (** e.g. ["PU=((a1 . a2) | b) PD=(b . (a1 | a2))"] *)
+  case1_relative : float;  (** power / max case-1 power *)
+  case2_relative : float;
+}
+
+type t = {
+  rows : row list;
+  case1_reduction_percent : float;  (** best vs worst, case 1 *)
+  case2_reduction_percent : float;
+  optimum_flips : bool;  (** argmin differs between the cases *)
+}
+
+val run : Common.t -> t
+
+val render : t -> string
+(** The table plus the two reduction lines, ready to print. *)

@@ -1,0 +1,21 @@
+(** E2 — the paper's Table 2: the gate library with the number of
+    distinct transistor reorderings per gate.
+
+    Counts are regenerated three ways and must agree: the closed-form
+    product of factorials, the exhaustive enumeration, and the paper's
+    pivot algorithm. Layout-instance counts reproduce the paper's
+    [\[A,B,...\]] bracket annotations. *)
+
+type row = {
+  gate : string;
+  arity : int;
+  transistors : int;
+  configurations : int;  (** the paper's #C column *)
+  instances : int;  (** 1 = no bracket annotation *)
+  pivot_configurations : int;  (** must equal [configurations] *)
+}
+
+type t = row list
+
+val run : unit -> t
+val render : t -> string

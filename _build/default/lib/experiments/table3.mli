@@ -1,0 +1,43 @@
+(** E4 — the paper's Table 3: best-vs-worst power reduction over the
+    benchmark suite, per scenario.
+
+    For each circuit: the optimizer produces the best and the worst
+    reordering (model objective); the model reduction is column M; both
+    netlists are then measured with the switch-level simulator under one
+    common stochastic stimulus to give column S; column D is the
+    relative increase in critical-path delay of the best-power netlist
+    versus the original library mapping. The paper reports scenario-A
+    averages of ≈9 % (M), ≈12 % (S) and ≈+4 % (D), with scenario B
+    roughly half of A. *)
+
+type row = {
+  name : string;
+  gates : int;  (** the paper's G column *)
+  model_percent : float;  (** M: best-vs-worst, power model *)
+  sim_percent : float;  (** S: best-vs-worst, switch-level simulation *)
+  delay_percent : float;  (** D: delay increase of best vs original *)
+}
+
+type t = {
+  scenario : Power.Scenario.t;
+  rows : row list;
+  avg_model : float;
+  avg_sim : float;
+  avg_delay : float;
+}
+
+val run :
+  Common.t ->
+  ?seed:int ->
+  ?sim_horizon:float ->
+  ?circuits:(string * Netlist.Circuit.t) list ->
+  Power.Scenario.t ->
+  t
+(** [sim_horizon] (default 2 ms) trades simulation noise for run time
+    (activity densities are ~10⁵–10⁶ /s, so 2 ms ≈ 10³ transitions per
+    input). [circuits] defaults to the full suite. *)
+
+val row : Common.t -> ?seed:int -> ?sim_horizon:float -> Power.Scenario.t -> string * Netlist.Circuit.t -> row
+(** One circuit's Table-3 entry. *)
+
+val render : t -> string

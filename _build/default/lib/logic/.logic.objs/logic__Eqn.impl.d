@@ -1,0 +1,1 @@
+lib/logic/eqn.ml: Buffer Expr Filename Format Fun Hashtbl List String

@@ -1,0 +1,1 @@
+lib/logic/eqn.mli: Expr

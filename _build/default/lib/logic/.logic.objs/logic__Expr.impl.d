@@ -1,0 +1,1 @@
+lib/logic/expr.ml: Bdd Format Hashtbl List Stdlib String

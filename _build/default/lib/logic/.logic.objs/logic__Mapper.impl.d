@@ -1,0 +1,1 @@
+lib/logic/mapper.ml: Cell Eqn Expr Hashtbl List Netlist Printf Stdlib String

@@ -1,0 +1,1 @@
+lib/logic/mapper.mli: Eqn Expr Netlist

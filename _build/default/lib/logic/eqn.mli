@@ -1,0 +1,36 @@
+(** A tiny equation-file front end.
+
+    {v
+    # full adder
+    input a b cin
+    sum  = a ^ b ^ cin
+    cout = (a & b) | (cin & (a ^ b))
+    output sum cout
+    v}
+
+    Operators by increasing binding strength: [|], [^], [&], [~];
+    parentheses as usual; constants [0] and [1]; identifiers are
+    [\[A-Za-z_\]\[A-Za-z0-9_\]*]. Right-hand sides may reference earlier
+    left-hand sides. [input] lines are optional (free variables are
+    inferred); [output] defaults to every defined name that no later
+    equation uses. *)
+
+type t = {
+  name : string;
+  inputs : string list;  (** declaration order *)
+  equations : (string * Expr.t) list;  (** file order *)
+  outputs : string list;
+}
+
+exception Parse_error of { line : int; message : string }
+
+val of_string : ?name:string -> string -> t
+(** @raise Parse_error on syntax errors, duplicate definitions, use of
+    undefined names (when [input] lines are present), or cyclic
+    definitions. *)
+
+val to_string : t -> string
+(** Round-trips through {!of_string}. *)
+
+val load : string -> t
+(** Reads a file; the circuit name defaults to the basename. *)

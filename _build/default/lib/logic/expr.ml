@@ -1,0 +1,151 @@
+type t =
+  | Var of string
+  | Const of bool
+  | Not of t
+  | And of t list
+  | Or of t list
+  | Xor of t * t
+
+let rec compare a b =
+  if a == b then 0
+  else
+    match (a, b) with
+  | Var x, Var y -> Stdlib.compare x y
+  | Const x, Const y -> Stdlib.compare x y
+  | Not x, Not y -> compare x y
+  | Xor (x1, x2), Xor (y1, y2) ->
+      let c = compare x1 y1 in
+      if c <> 0 then c else compare x2 y2
+  | And xs, And ys | Or xs, Or ys -> compare_lists xs ys
+  | Var _, (Const _ | Not _ | And _ | Or _ | Xor _) -> -1
+  | (Const _ | Not _ | And _ | Or _ | Xor _), Var _ -> 1
+  | Const _, (Not _ | And _ | Or _ | Xor _) -> -1
+  | (Not _ | And _ | Or _ | Xor _), Const _ -> 1
+  | Not _, (And _ | Or _ | Xor _) -> -1
+  | (And _ | Or _ | Xor _), Not _ -> 1
+  | And _, (Or _ | Xor _) -> -1
+  | (Or _ | Xor _), And _ -> 1
+  | Or _, Xor _ -> -1
+  | Xor _, Or _ -> 1
+
+and compare_lists xs ys =
+  match (xs, ys) with
+  | [], [] -> 0
+  | [], _ :: _ -> -1
+  | _ :: _, [] -> 1
+  | x :: xs, y :: ys ->
+      let c = compare x y in
+      if c <> 0 then c else compare_lists xs ys
+
+let equal a b = compare a b = 0
+
+let var name =
+  if name = "" then invalid_arg "Expr.var: empty name";
+  Var name
+
+let const b = Const b
+
+let not_ = function
+  | Not e -> e
+  | Const b -> Const (not b)
+  | (Var _ | And _ | Or _ | Xor _) as e -> Not e
+
+(* Flatten + fold an associative-commutative connective.
+   [absorbing] short-circuits ([false] for and, [true] for or);
+   [neutral] disappears. Complementary children reduce to absorbing. *)
+let ac_construct ~wrap ~unwrap ~absorbing children =
+  let rec flatten acc = function
+    | [] -> Some acc
+    | e :: rest -> (
+        match e with
+        | Const b when b = absorbing -> None
+        | Const _ -> flatten acc rest
+        | other -> (
+            match unwrap other with
+            | Some inner -> flatten acc (inner @ rest)
+            | None -> flatten (other :: acc) rest))
+  in
+  match flatten [] children with
+  | None -> Const absorbing
+  | Some collected -> (
+      let sorted = List.sort_uniq compare collected in
+      let complementary =
+        List.exists (fun e -> List.exists (fun f -> equal f (not_ e)) sorted) sorted
+      in
+      if complementary then Const absorbing
+      else
+        match sorted with
+        | [] -> Const (not absorbing)
+        | [ e ] -> e
+        | es -> wrap es)
+
+let and_ children =
+  ac_construct
+    ~wrap:(fun es -> And es)
+    ~unwrap:(function And es -> Some es | _ -> None)
+    ~absorbing:false children
+
+let or_ children =
+  ac_construct
+    ~wrap:(fun es -> Or es)
+    ~unwrap:(function Or es -> Some es | _ -> None)
+    ~absorbing:true children
+
+let xor a b =
+  match (a, b) with
+  | Const x, Const y -> Const (x <> y)
+  | Const false, e | e, Const false -> e
+  | Const true, e | e, Const true -> not_ e
+  | a, b ->
+      if equal a b then Const false
+      else if equal a (not_ b) then Const true
+      else if compare a b <= 0 then Xor (a, b)
+      else Xor (b, a)
+
+let variables e =
+  let tbl = Hashtbl.create 16 in
+  let rec go = function
+    | Var v -> Hashtbl.replace tbl v ()
+    | Const _ -> ()
+    | Not e -> go e
+    | Xor (a, b) ->
+        go a;
+        go b
+    | And es | Or es -> List.iter go es
+  in
+  go e;
+  List.sort Stdlib.compare (Hashtbl.fold (fun v () acc -> v :: acc) tbl [])
+
+let rec eval env = function
+  | Var v -> env v
+  | Const b -> b
+  | Not e -> not (eval env e)
+  | And es -> List.for_all (eval env) es
+  | Or es -> List.exists (eval env) es
+  | Xor (a, b) -> eval env a <> eval env b
+
+let rec to_bdd m ~var_index = function
+  | Var v -> Bdd.var m (var_index v)
+  | Const true -> Bdd.one m
+  | Const false -> Bdd.zero m
+  | Not e -> Bdd.not_ (to_bdd m ~var_index e)
+  | And es -> Bdd.conj m (List.map (to_bdd m ~var_index) es)
+  | Or es -> Bdd.disj m (List.map (to_bdd m ~var_index) es)
+  | Xor (a, b) -> Bdd.xor (to_bdd m ~var_index a) (to_bdd m ~var_index b)
+
+(* Precedence for printing: | < ^ < & < ~/atom. *)
+let rec to_string_prec level e =
+  let wrap threshold s = if level > threshold then "(" ^ s ^ ")" else s in
+  match e with
+  | Var v -> v
+  | Const true -> "1"
+  | Const false -> "0"
+  | Not e -> "~" ^ to_string_prec 3 e
+  | And es -> wrap 2 (String.concat " & " (List.map (to_string_prec 3) es))
+  | Xor (a, b) ->
+      wrap 1 (to_string_prec 2 a ^ " ^ " ^ to_string_prec 2 b)
+  | Or es -> wrap 0 (String.concat " | " (List.map (to_string_prec 1) es))
+
+let to_string e = to_string_prec 0 e
+
+let pp ppf e = Format.pp_print_string ppf (to_string e)

@@ -1,0 +1,48 @@
+(** Boolean expressions — the front-end representation the technology
+    mapper consumes.
+
+    Connectives are n-ary where associativity makes it natural; the
+    smart constructors flatten, deduplicate and constant-fold so that
+    structurally different spellings of one function tend to share a
+    representation (which the mapper exploits for subexpression
+    sharing). *)
+
+type t = private
+  | Var of string
+  | Const of bool
+  | Not of t
+  | And of t list  (** ≥ 2 children, flattened, sorted, no duplicates *)
+  | Or of t list
+  | Xor of t * t
+
+(** {1 Construction} *)
+
+val var : string -> t
+(** @raise Invalid_argument on an empty name. *)
+
+val const : bool -> t
+val not_ : t -> t
+(** Cancels double negation and folds constants. *)
+
+val and_ : t list -> t
+(** Flattens nested conjunctions, drops [true], returns [false] on any
+    [false] child, collapses duplicates, sorts children canonically.
+    Empty list = [true]. *)
+
+val or_ : t list -> t
+val xor : t -> t -> t
+(** Folds constants ([x ^ 1 = ~x]) and [x ^ x = 0]. *)
+
+(** {1 Observation} *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val variables : t -> string list
+(** Ascending, distinct. *)
+
+val eval : (string -> bool) -> t -> bool
+val to_bdd : Bdd.manager -> var_index:(string -> int) -> t -> Bdd.t
+val to_string : t -> string
+(** Parseable by {!Eqn}: [~] not, [&] and, [|] or, [^] xor, parentheses. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,309 @@
+module B = Netlist.Builder
+module C = Netlist.Circuit
+
+exception Unmappable of string
+
+(* A mapped subexpression: [net] carries the expression when [negated]
+   is false, its complement otherwise. *)
+type signal = { net : C.net; negated : bool }
+
+type state = {
+  builder : B.t;
+  memo : (Expr.t, signal) Hashtbl.t;
+  inverse : (C.net, C.net) Hashtbl.t;  (* net -> its inverted copy *)
+  gates : (string * C.net list, C.net) Hashtbl.t;  (* structural hashing *)
+}
+
+(* Structurally hash gate instances: an identical cell on identical
+   nets is built once. Fully symmetric cells (NAND/NOR) are keyed on the
+   sorted fanins, since every pin order is electrically available as a
+   reordering anyway. *)
+let emit state cell_name nets =
+  let symmetric =
+    String.length cell_name >= 3
+    && (String.sub cell_name 0 3 = "nan" || String.sub cell_name 0 3 = "nor")
+  in
+  let key_nets = if symmetric then List.sort Stdlib.compare nets else nets in
+  let key = (cell_name, key_nets) in
+  match Hashtbl.find_opt state.gates key with
+  | Some net -> net
+  | None ->
+      let net = B.gate state.builder cell_name nets in
+      Hashtbl.add state.gates key net;
+      net
+
+let invert state net =
+  match Hashtbl.find_opt state.inverse net with
+  | Some m -> m
+  | None ->
+      let m = emit state "inv" [ net ] in
+      Hashtbl.add state.inverse net m;
+      Hashtbl.add state.inverse m net;
+      m
+
+let positive state s = if s.negated then invert state s.net else s.net
+
+(* Group sizes of the library's AOI/OAI cells, with the gate that
+   realizes each (declaration order = descending sizes = pin order). *)
+let complex_cells =
+  List.filter_map
+    (fun gate ->
+      match Cell.Gate.kind gate with
+      | Cell.Gate.Aoi groups -> Some (`Aoi, groups, Cell.Gate.name gate)
+      | Cell.Gate.Oai groups -> Some (`Oai, groups, Cell.Gate.name gate)
+      | Cell.Gate.Inv | Cell.Gate.Nand _ | Cell.Gate.Nor _ -> None)
+    Cell.Gate.library
+
+(* Decompose the children of an OR (resp. AND) into AND (resp. OR)
+   groups for AOI (resp. OAI) matching: atoms count as singleton
+   groups. Returns groups sorted by descending size, or None when any
+   child is neither a group nor an atom. *)
+let decompose_groups ~inner children =
+  let group_of = function
+    | Expr.And es when inner = `And -> Some es
+    | Expr.Or es when inner = `Or -> Some es
+    | (Expr.Var _ | Expr.Not _ | Expr.Xor _) as atom -> Some [ atom ]
+    | Expr.And _ | Expr.Or _ | Expr.Const _ -> None
+  in
+  let rec collect acc = function
+    | [] -> Some (List.rev acc)
+    | child :: rest -> (
+        match group_of child with
+        | Some g -> collect (g :: acc) rest
+        | None -> None)
+  in
+  match collect [] children with
+  | None -> None
+  | Some groups ->
+      Some
+        (List.sort
+           (fun a b -> Stdlib.compare (List.length b) (List.length a))
+           groups)
+
+let find_complex_cell kind sizes =
+  List.find_opt
+    (fun (k, groups, _) -> k = kind && groups = sizes)
+    complex_cells
+
+let rec map_expr state expr =
+  match Hashtbl.find_opt state.memo expr with
+  | Some s -> s
+  | None ->
+      let s = map_uncached state expr in
+      Hashtbl.add state.memo expr s;
+      s
+
+and map_uncached state expr =
+  match expr with
+  | Expr.Var v -> (
+      (* Variables are pre-seeded in the memo; reaching here is a
+         programming error in the caller. *)
+      ignore v;
+      raise (Unmappable "unbound variable"))
+  | Expr.Const _ ->
+      raise (Unmappable "expression reduces to a constant (no tie cells)")
+  | Expr.Not e ->
+      let s = map_expr state e in
+      { s with negated = not s.negated }
+  | Expr.Xor (a, b) ->
+      (* xor(~a, b) = ~xor(a, b): child polarities fold into the flag,
+         so the four NANDs always work on the raw nets. *)
+      let sa = map_expr state a and sb = map_expr state b in
+      let na = sa.net and nb = sb.net in
+      let m = emit state "nand2" [ na; nb ] in
+      let y =
+        emit state "nand2"
+          [ emit state "nand2" [ na; m ]; emit state "nand2" [ nb; m ] ]
+      in
+      { net = y; negated = sa.negated <> sb.negated }
+  | Expr.And es -> map_ac state `And es
+  | Expr.Or es -> map_ac state `Or es
+
+(* AND/OR of arbitrary width, with complex-cell matching first. *)
+and map_ac state polarity children =
+  match try_complex state polarity children with
+  | Some s -> s
+  | None ->
+      let n = List.length children in
+      if n <= 4 then map_simple state polarity children
+      else begin
+        (* Chunk wide gates through 4-input trees. *)
+        let rec chunks acc current count = function
+          | [] -> List.rev (List.rev current :: acc)
+          | e :: rest ->
+              if count = 4 then chunks (List.rev current :: acc) [ e ] 1 rest
+              else chunks acc (e :: current) (count + 1) rest
+        in
+        let groups = chunks [] [] 0 children in
+        let partials =
+          List.map
+            (function
+              | [ single ] -> map_expr state single
+              | chunk -> map_simple state polarity chunk)
+            groups
+        in
+        map_ac_signals state polarity partials
+      end
+
+(* AND/OR over already-mapped signals (used above the chunking). *)
+and map_ac_signals state polarity signals =
+  match signals with
+  | [ s ] -> s
+  | _ ->
+      let n = List.length signals in
+      if n <= 4 then emit_simple state polarity signals
+      else
+        let rec chunks acc current count = function
+          | [] -> List.rev (List.rev current :: acc)
+          | s :: rest ->
+              if count = 4 then chunks (List.rev current :: acc) [ s ] 1 rest
+              else chunks acc (s :: current) (count + 1) rest
+        in
+        let partials =
+          List.map
+            (function
+              | [ single ] -> single
+              | chunk -> emit_simple state polarity chunk)
+            (chunks [] [] 0 signals)
+        in
+        map_ac_signals state polarity partials
+
+and map_simple state polarity children =
+  emit_simple state polarity (List.map (map_expr state) children)
+
+(* One NAND/NOR level over ≤ 4 signals. De Morgan picks the cheaper
+   gate: an all-negated AND is a NOR of the raw nets (zero inverters),
+   and symmetrically. *)
+and emit_simple state polarity signals =
+  let n = List.length signals in
+  assert (n >= 2 && n <= 4);
+  let all_negated = List.for_all (fun s -> s.negated) signals in
+  let raw_nets = List.map (fun s -> s.net) signals in
+  match (polarity, all_negated) with
+  | `And, true ->
+      (* and(~x...) = ~or(x...) = nor(x...) *)
+      let name = "nor" ^ string_of_int n in
+      { net = emit state name raw_nets; negated = false }
+  | `Or, true ->
+      let name = "nand" ^ string_of_int n in
+      { net = emit state name raw_nets; negated = false }
+  | `And, false ->
+      let name = "nand" ^ string_of_int n in
+      let nets = List.map (positive state) signals in
+      { net = emit state name nets; negated = true }
+  | `Or, false ->
+      let name = "nor" ^ string_of_int n in
+      let nets = List.map (positive state) signals in
+      { net = emit state name nets; negated = true }
+
+(* Two-level AOI/OAI matching: OR of AND-groups (resp. AND of
+   OR-groups) whose descending group sizes name a library cell. *)
+and try_complex state polarity children =
+  let kind, inner =
+    match polarity with `Or -> (`Aoi, `And) | `And -> (`Oai, `Or)
+  in
+  match decompose_groups ~inner children with
+  | None -> None
+  | Some groups -> (
+      let sizes = List.map List.length groups in
+      if List.length groups < 2 || List.for_all (fun s -> s = 1) sizes then None
+      else
+        match find_complex_cell kind sizes with
+        | None -> None
+        | Some (_, _, cell_name) ->
+            let leaves = List.concat groups in
+            let nets =
+              List.map
+                (fun leaf -> positive state (map_expr state leaf))
+                leaves
+            in
+            Some { net = emit state cell_name nets; negated = true })
+
+let map_bindings ~name ~inputs ~equations ~outputs =
+  let state =
+    {
+      builder = B.create ~name;
+      memo = Hashtbl.create 64;
+      inverse = Hashtbl.create 16;
+      gates = Hashtbl.create 64;
+    }
+  in
+  List.iter
+    (fun v ->
+      let net = B.input state.builder v in
+      Hashtbl.replace state.memo (Expr.var v) { net; negated = false })
+    inputs;
+  let defined = Hashtbl.create 16 in
+  List.iter (fun v -> Hashtbl.replace defined v (Expr.var v)) inputs;
+  (* Each lhs is mapped with earlier lhs occurrences substituted, so the
+     memo table does the sharing across equations. *)
+  let rec substitute e =
+    match (e : Expr.t) with
+    | Expr.Var v -> (
+        match Hashtbl.find_opt defined v with
+        | Some (Expr.Var v') when v' = v -> e
+        | Some resolved -> resolved
+        | None -> invalid_arg (Printf.sprintf "Mapper: undefined name %S" v))
+    | Expr.Const _ -> e
+    | Expr.Not x -> Expr.not_ (substitute x)
+    | Expr.And xs -> Expr.and_ (List.map substitute xs)
+    | Expr.Or xs -> Expr.or_ (List.map substitute xs)
+    | Expr.Xor (a, b) -> Expr.xor (substitute a) (substitute b)
+  in
+  let named_nets = ref [] in
+  let output_signals =
+    let lhs_signal = Hashtbl.create 16 in
+    List.iter
+      (fun (lhs, rhs) ->
+        let resolved = substitute rhs in
+        if Hashtbl.mem defined lhs then
+          invalid_arg (Printf.sprintf "Mapper: %S defined twice" lhs);
+        Hashtbl.replace defined lhs resolved;
+        let s =
+          match resolved with
+          | Expr.Const _ ->
+              raise
+                (Unmappable
+                   (Printf.sprintf "output %S reduces to a constant" lhs))
+          | _ -> map_expr state resolved
+        in
+        Hashtbl.replace lhs_signal lhs s;
+        (* Only a positive-polarity net may carry the equation's name. *)
+        if not s.negated then named_nets := (lhs, s.net) :: !named_nets)
+      equations;
+    List.map
+      (fun out ->
+        match Hashtbl.find_opt lhs_signal out with
+        | Some s -> (out, s)
+        | None -> invalid_arg (Printf.sprintf "Mapper: undefined output %S" out))
+      outputs
+  in
+  (* Outputs must come out positive: pay a final inverter if needed. *)
+  let output_nets =
+    List.map
+      (fun (out, s) ->
+        let net = positive state s in
+        (out, net))
+      output_signals
+  in
+  List.iter (fun (_, net) -> B.output state.builder net) output_nets;
+  let circuit = B.finish state.builder in
+  (* Give equation names to the gate-output nets that realize them
+     (positive polarity only, first writer wins, never rename a primary
+     input — an output may legitimately alias one). *)
+  let circuit = ref circuit in
+  List.iter
+    (fun (name, net) ->
+      let is_input = C.driver !circuit net = C.Primary_input in
+      if
+        (not is_input)
+        && C.net_of_name !circuit name = None
+        && C.net_name !circuit net <> name
+      then
+        try circuit := C.rename_net !circuit net name with C.Invalid _ -> ())
+    (List.rev (output_nets @ !named_nets));
+  !circuit
+
+let map (eqn : Eqn.t) =
+  map_bindings ~name:eqn.Eqn.name ~inputs:eqn.Eqn.inputs
+    ~equations:eqn.Eqn.equations ~outputs:eqn.Eqn.outputs

@@ -1,0 +1,36 @@
+(** Technology mapping of Boolean equations onto the Table-2 library.
+
+    A polarity-aware recursive mapper: every subexpression is realized
+    by one net plus a negation flag, so inverters are only materialized
+    where a positive literal is structurally required. Matching order
+    per node:
+
+    - two-level OR-of-ANDs (resp. AND-of-ORs) whose group sizes fit a
+      library AOI (resp. OAI) cell become a single complex gate;
+    - XORs become the standard four-NAND structure, absorbing child
+      polarities into the result flag for free;
+    - plain AND/OR of ≤ 4 literals become one NAND/NOR (an all-negated
+      AND collapses to a NOR by De Morgan without any inverter);
+    - wider conjunctions are chunked through NAND4/INV trees.
+
+    Common subexpressions are shared (the {!Expr} smart constructors
+    canonicalize, the mapper memoizes), and so are inverters. Output and
+    intermediate nets inherit their equation names where possible. *)
+
+exception Unmappable of string
+(** Raised when an output reduces to a constant after folding — the
+    library has no tie cells. *)
+
+val map : Eqn.t -> Netlist.Circuit.t
+(** @raise Unmappable, see above. *)
+
+val map_bindings :
+  name:string ->
+  inputs:string list ->
+  equations:(string * Expr.t) list ->
+  outputs:string list ->
+  Netlist.Circuit.t
+(** Programmatic entry point; [equations] must be topologically ordered
+    (each right-hand side uses inputs or earlier left-hand sides), as
+    {!Eqn.of_string} guarantees.
+    @raise Invalid_argument on references to undefined names. *)

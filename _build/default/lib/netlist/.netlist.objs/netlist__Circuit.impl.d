@@ -1,0 +1,1 @@
+lib/netlist/circuit.ml: Array Cell Format Hashtbl List Option Printf Queue

@@ -1,0 +1,1 @@
+lib/netlist/eval.ml: Array Bdd Cell Circuit Hashtbl List Sp

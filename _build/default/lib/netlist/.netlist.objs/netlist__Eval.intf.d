@@ -1,0 +1,1 @@
+lib/netlist/eval.mli: Bdd Circuit

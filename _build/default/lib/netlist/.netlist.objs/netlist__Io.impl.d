@@ -1,0 +1,1 @@
+lib/netlist/io.ml: Array Buffer Cell Circuit Filename Format Fun Hashtbl List Printf String

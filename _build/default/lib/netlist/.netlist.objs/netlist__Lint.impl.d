@@ -1,0 +1,1 @@
+lib/netlist/lint.ml: Array Cell Circuit Hashtbl List Printf

@@ -1,0 +1,57 @@
+type t = {
+  name : string;
+  mutable net_names : string list;  (* reversed *)
+  mutable net_count : int;
+  mutable inputs : Circuit.net list;  (* reversed *)
+  mutable outputs : Circuit.net list;  (* reversed, deduplicated *)
+  mutable gates : Circuit.gate list;  (* reversed *)
+}
+
+let create ~name =
+  { name; net_names = []; net_count = 0; inputs = []; outputs = []; gates = [] }
+
+let fresh_net b name =
+  let id = b.net_count in
+  let name = if name = "" then "n" ^ string_of_int id else name in
+  b.net_names <- name :: b.net_names;
+  b.net_count <- id + 1;
+  id
+
+let input b name =
+  let id = fresh_net b name in
+  b.inputs <- id :: b.inputs;
+  id
+
+let gate b ?(name = "") ?(config = 0) cell_name fanins =
+  let cell = Cell.Gate.of_name cell_name in
+  if List.length fanins <> Cell.Gate.arity cell then
+    invalid_arg
+      (Printf.sprintf "Builder.gate: %s expects %d fanins, got %d" cell_name
+         (Cell.Gate.arity cell) (List.length fanins));
+  let output = fresh_net b name in
+  b.gates <-
+    { Circuit.cell; config; fanins = Array.of_list fanins; output } :: b.gates;
+  output
+
+let inv b ?name x = gate b ?name "inv" [ x ]
+let nand2 b ?name x y = gate b ?name "nand2" [ x; y ]
+let nor2 b ?name x y = gate b ?name "nor2" [ x; y ]
+let and2 b ?name x y = inv b ?name (nand2 b x y)
+let or2 b ?name x y = inv b ?name (nor2 b x y)
+
+(* Standard four-NAND xor; the final gate carries the caller's name. *)
+let xor2 b ?name x y =
+  let m = nand2 b x y in
+  nand2 b ?name (nand2 b x m) (nand2 b y m)
+
+let xnor2 b ?name x y = inv b ?name (xor2 b x y)
+
+let output b net =
+  if not (List.mem net b.outputs) then b.outputs <- net :: b.outputs
+
+let finish b =
+  Circuit.create ~name:b.name
+    ~net_names:(Array.of_list (List.rev b.net_names))
+    ~primary_inputs:(List.rev b.inputs)
+    ~primary_outputs:(List.rev b.outputs)
+    ~gates:(List.rev b.gates)

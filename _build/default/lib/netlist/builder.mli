@@ -1,0 +1,41 @@
+(** Imperative construction of circuits.
+
+    Nets must be created (as primary inputs or gate outputs) before they
+    are used, which makes every built circuit acyclic by construction;
+    {!finish} still runs the full {!Circuit.create} validation. *)
+
+type t
+
+val create : name:string -> t
+
+val input : t -> string -> Circuit.net
+(** Declares a primary input net.
+    @raise Circuit.Invalid on a duplicate name (detected at {!finish}). *)
+
+val gate :
+  t -> ?name:string -> ?config:int -> string -> Circuit.net list -> Circuit.net
+(** [gate b cell_name fanins] instantiates a library gate and returns its
+    output net. [name] defaults to ["n<k>"]; [config] to 0 (the
+    reference ordering).
+    @raise Not_found on an unknown cell name.
+    @raise Invalid_argument if the fanin count does not match the cell
+    arity. *)
+
+val inv : t -> ?name:string -> Circuit.net -> Circuit.net
+val nand2 : t -> ?name:string -> Circuit.net -> Circuit.net -> Circuit.net
+val nor2 : t -> ?name:string -> Circuit.net -> Circuit.net -> Circuit.net
+(** Shorthands for the most common cells. *)
+
+val and2 : t -> ?name:string -> Circuit.net -> Circuit.net -> Circuit.net
+val or2 : t -> ?name:string -> Circuit.net -> Circuit.net -> Circuit.net
+val xor2 : t -> ?name:string -> Circuit.net -> Circuit.net -> Circuit.net
+val xnor2 : t -> ?name:string -> Circuit.net -> Circuit.net -> Circuit.net
+(** Composite helpers expanded over the library (AND = NAND+INV, XOR =
+    four NAND2 in the standard arrangement, ...). The optional [name]
+    names the final output net. *)
+
+val output : t -> Circuit.net -> unit
+(** Marks a net as primary output (idempotent). *)
+
+val finish : t -> Circuit.t
+(** Validates and freezes. *)

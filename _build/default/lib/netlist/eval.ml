@@ -1,0 +1,54 @@
+let nets circuit ~inputs =
+  let values = Array.make (Circuit.net_count circuit) false in
+  List.iter
+    (fun net -> values.(net) <- inputs net)
+    (Circuit.primary_inputs circuit);
+  List.iter
+    (fun g ->
+      let gate = Circuit.gate_at circuit g in
+      let env pin = values.(gate.Circuit.fanins.(pin)) in
+      values.(gate.Circuit.output) <-
+        not
+          (Sp.Sp_tree.conducts Sp.Sp_tree.Nmos env
+             (Cell.Gate.pull_down gate.Circuit.cell)))
+    (Circuit.topological_order circuit);
+  values
+
+let outputs circuit ~inputs =
+  let values = nets circuit ~inputs in
+  List.map (fun net -> values.(net)) (Circuit.primary_outputs circuit)
+
+let output_bdds m circuit =
+  let var_of_input = Hashtbl.create 16 in
+  List.iteri
+    (fun i net -> Hashtbl.add var_of_input net i)
+    (Circuit.primary_inputs circuit);
+  let funcs = Array.make (Circuit.net_count circuit) (Bdd.zero m) in
+  List.iter
+    (fun net -> funcs.(net) <- Bdd.var m (Hashtbl.find var_of_input net))
+    (Circuit.primary_inputs circuit);
+  List.iter
+    (fun g ->
+      let gate = Circuit.gate_at circuit g in
+      let f = Cell.Gate.function_bdd m gate.Circuit.cell in
+      let substituted =
+        (* Substitute pin variables with fanin functions. Pin variables
+           are 0..arity-1; compose from the highest pin down so earlier
+           substitutions cannot capture later pin variables... composing
+           with shifted temporaries avoids capture entirely. *)
+        let arity = Cell.Gate.arity gate.Circuit.cell in
+        let shift = 1_000_000 in
+        let lifted = ref f in
+        for pin = 0 to arity - 1 do
+          lifted := Bdd.compose !lifted pin (Bdd.var m (shift + pin))
+        done;
+        let result = ref !lifted in
+        for pin = 0 to arity - 1 do
+          result :=
+            Bdd.compose !result (shift + pin) funcs.(gate.Circuit.fanins.(pin))
+        done;
+        !result
+      in
+      funcs.(gate.Circuit.output) <- substituted)
+    (Circuit.topological_order circuit);
+  List.map (fun net -> (net, funcs.(net))) (Circuit.primary_outputs circuit)

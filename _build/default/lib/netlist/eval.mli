@@ -1,0 +1,17 @@
+(** Zero-delay functional evaluation of a circuit.
+
+    Used by tests and examples to check that generated circuits compute
+    what they claim, and to cross-validate the switch-level simulator
+    (whose settled node values must agree with functional evaluation on
+    every input vector). *)
+
+val nets : Circuit.t -> inputs:(Circuit.net -> bool) -> bool array
+(** Value of every net under the given primary-input assignment. *)
+
+val outputs : Circuit.t -> inputs:(Circuit.net -> bool) -> bool list
+(** Primary-output values, in declaration order. *)
+
+val output_bdds : Bdd.manager -> Circuit.t -> (Circuit.net * Bdd.t) list
+(** Symbolic functions of the primary outputs over BDD variables indexed
+    by position in [Circuit.primary_inputs] (global functional
+    equivalence checking for small circuits). *)

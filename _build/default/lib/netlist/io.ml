@@ -1,0 +1,245 @@
+exception Parse_error of { line : int; message : string }
+
+let parse_error line fmt =
+  Format.kasprintf (fun message -> raise (Parse_error { line; message })) fmt
+
+let to_string c =
+  let buf = Buffer.create 1024 in
+  let net n = Circuit.net_name c n in
+  Buffer.add_string buf ("circuit " ^ Circuit.name c ^ "\n");
+  List.iter
+    (fun n -> Buffer.add_string buf ("input " ^ net n ^ "\n"))
+    (Circuit.primary_inputs c);
+  Array.iter
+    (fun (g : Circuit.gate) ->
+      Buffer.add_string buf
+        (Printf.sprintf "gate %s %s = %s [%d]\n"
+           (Cell.Gate.name g.cell) (net g.output)
+           (String.concat " " (List.map net (Array.to_list g.fanins)))
+           g.config))
+    (Circuit.gates c);
+  List.iter
+    (fun n -> Buffer.add_string buf ("output " ^ net n ^ "\n"))
+    (Circuit.primary_outputs c);
+  Buffer.contents buf
+
+(* Tokenized line with its 1-based source position. *)
+let significant_lines text =
+  String.split_on_char '\n' text
+  |> List.mapi (fun i l -> (i + 1, l))
+  |> List.filter_map (fun (i, l) ->
+         let l = match String.index_opt l '#' with
+           | Some j -> String.sub l 0 j
+           | None -> l
+         in
+         let words =
+           String.split_on_char ' ' l
+           |> List.concat_map (String.split_on_char '\t')
+           |> List.filter (fun w -> w <> "")
+         in
+         if words = [] then None else Some (i, words))
+
+type pending_gate = {
+  line : int;
+  cell : Cell.Gate.t;
+  out_name : string;
+  in_names : string list;
+  config : int;
+}
+
+let of_string text =
+  let name = ref "circuit" in
+  let inputs = ref [] (* names, reversed *) in
+  let outputs = ref [] in
+  let pending = ref [] in
+  let parse_gate line = function
+    | cell_name :: out_name :: "=" :: rest ->
+        let cell =
+          try Cell.Gate.of_name cell_name
+          with Not_found -> parse_error line "unknown cell %S" cell_name
+        in
+        let in_names, config =
+          match List.rev rest with
+          | last :: before
+            when String.length last > 2
+                 && last.[0] = '['
+                 && last.[String.length last - 1] = ']' -> begin
+              let k = String.sub last 1 (String.length last - 2) in
+              match int_of_string_opt k with
+              | Some k -> (List.rev before, k)
+              | None -> parse_error line "bad configuration index %S" last
+            end
+          | _ -> (rest, 0)
+        in
+        pending := { line; cell; out_name; in_names; config } :: !pending
+    | _ -> parse_error line "expected: gate <cell> <out> = <in...> [k]"
+  in
+  List.iter
+    (fun (line, words) ->
+      match words with
+      | "circuit" :: [ n ] -> name := n
+      | "circuit" :: _ -> parse_error line "expected: circuit <name>"
+      | "input" :: names when names <> [] ->
+          List.iter (fun n -> inputs := n :: !inputs) names
+      | "output" :: names when names <> [] ->
+          List.iter (fun n -> outputs := n :: !outputs) names
+      | "gate" :: rest -> parse_gate line rest
+      | keyword :: _ -> parse_error line "unknown directive %S" keyword
+      | [] -> ())
+    (significant_lines text);
+  (* Assign net ids: primary inputs first, then gate outputs in file
+     order; fanins may reference either. *)
+  let ids = Hashtbl.create 64 in
+  let names = ref [] in
+  let next = ref 0 in
+  let declare line what n =
+    if Hashtbl.mem ids n then parse_error line "net %S declared twice (%s)" n what;
+    Hashtbl.add ids n !next;
+    names := n :: !names;
+    incr next
+  in
+  List.iter (fun n -> declare 0 "input" n) (List.rev !inputs);
+  let pending = List.rev !pending in
+  List.iter (fun pg -> declare pg.line "gate output" pg.out_name) pending;
+  let resolve line n =
+    match Hashtbl.find_opt ids n with
+    | Some id -> id
+    | None -> parse_error line "undeclared net %S" n
+  in
+  let gates =
+    List.map
+      (fun pg ->
+        {
+          Circuit.cell = pg.cell;
+          config = pg.config;
+          fanins = Array.of_list (List.map (resolve pg.line) pg.in_names);
+          output = resolve pg.line pg.out_name;
+        })
+      pending
+  in
+  Circuit.create ~name:!name
+    ~net_names:(Array.of_list (List.rev !names))
+    ~primary_inputs:(List.map (resolve 0) (List.rev !inputs))
+    ~primary_outputs:(List.map (resolve 0) (List.rev !outputs))
+    ~gates
+
+(* --- BLIF subset --- *)
+
+(* Formal input pins A..F map to pin indices 0..5; the output pin is O
+   (Y and Z accepted). Case-insensitive. *)
+let pin_index line formal =
+  match String.uppercase_ascii formal with
+  | "A" -> `In 0
+  | "B" -> `In 1
+  | "C" -> `In 2
+  | "D" -> `In 3
+  | "E" -> `In 4
+  | "F" -> `In 5
+  | "O" | "Y" | "Z" -> `Out
+  | _ -> parse_error line "unknown formal pin %S" formal
+
+(* Join "\<newline>" continuation lines. *)
+let join_continuations text =
+  let buf = Buffer.create (String.length text) in
+  let n = String.length text in
+  let rec go i =
+    if i < n then
+      if i + 1 < n && text.[i] = '\\' && text.[i + 1] = '\n' then begin
+        Buffer.add_char buf ' ';
+        go (i + 2)
+      end
+      else begin
+        Buffer.add_char buf text.[i];
+        go (i + 1)
+      end
+  in
+  go 0;
+  Buffer.contents buf
+
+let of_blif text =
+  let text = join_continuations text in
+  let name = ref "blif" in
+  let inputs = ref [] and outputs = ref [] and pending = ref [] in
+  let seen_end = ref false in
+  List.iter
+    (fun (line, words) ->
+      if not !seen_end then
+        match words with
+        | ".model" :: [ n ] -> name := n
+        | ".model" :: _ -> parse_error line "expected: .model <name>"
+        | ".inputs" :: names -> inputs := !inputs @ names
+        | ".outputs" :: names -> outputs := !outputs @ names
+        | ".end" :: _ -> seen_end := true
+        | ".names" :: _ ->
+            parse_error line ".names is not supported: map the circuit onto the gate library first"
+        | ".latch" :: _ -> parse_error line "sequential elements are not supported"
+        | ".gate" :: cell_name :: bindings ->
+            let cell =
+              try Cell.Gate.of_name cell_name
+              with Not_found -> parse_error line "unknown cell %S" cell_name
+            in
+            let arity = Cell.Gate.arity cell in
+            let ins = Array.make arity "" in
+            let out = ref "" in
+            List.iter
+              (fun b ->
+                match String.index_opt b '=' with
+                | None -> parse_error line "expected pin=net, got %S" b
+                | Some i ->
+                    let formal = String.sub b 0 i in
+                    let actual = String.sub b (i + 1) (String.length b - i - 1) in
+                    begin match pin_index line formal with
+                    | `In k when k < arity -> ins.(k) <- actual
+                    | `In _ -> parse_error line "pin %S beyond %s arity" formal cell_name
+                    | `Out -> out := actual
+                    end)
+              bindings;
+            if !out = "" then parse_error line "missing output pin binding";
+            Array.iteri
+              (fun k n ->
+                if n = "" then
+                  parse_error line "missing binding for input pin %d of %s" k
+                    cell_name)
+              ins;
+            pending :=
+              {
+                line;
+                cell;
+                out_name = !out;
+                in_names = Array.to_list ins;
+                config = 0;
+              }
+              :: !pending
+        | ".gate" :: _ -> parse_error line "expected: .gate <cell> <pin=net...>"
+        | w :: _ when String.length w > 0 && w.[0] = '.' ->
+            parse_error line "unsupported BLIF directive %S" w
+        | _ -> parse_error line "unexpected tokens outside a directive")
+    (significant_lines text);
+  (* Reuse the native assembler by rendering to the native format. *)
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf ("circuit " ^ !name ^ "\n");
+  List.iter (fun n -> Buffer.add_string buf ("input " ^ n ^ "\n")) !inputs;
+  List.iter
+    (fun pg ->
+      Buffer.add_string buf
+        (Printf.sprintf "gate %s %s = %s\n" (Cell.Gate.name pg.cell) pg.out_name
+           (String.concat " " pg.in_names)))
+    (List.rev !pending);
+  List.iter (fun n -> Buffer.add_string buf ("output " ^ n ^ "\n")) !outputs;
+  of_string (Buffer.contents buf)
+
+let save c path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string c))
+
+let read_file path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let load path =
+  let text = read_file path in
+  if Filename.check_suffix path ".blif" then of_blif text else of_string text

@@ -1,0 +1,50 @@
+type warning =
+  | Dangling_net of Circuit.net
+  | Unused_input of Circuit.net
+  | High_fanout of Circuit.net * int
+  | Duplicate_gate of int * int
+  | Output_is_input of Circuit.net
+
+let check ?(fanout_threshold = 8) circuit =
+  let warnings = ref [] in
+  let add w = warnings := w :: !warnings in
+  for net = 0 to Circuit.net_count circuit - 1 do
+    let fanout = Circuit.fanout circuit net in
+    let is_output = Circuit.is_primary_output circuit net in
+    begin match Circuit.driver circuit net with
+    | Circuit.Primary_input ->
+        if fanout = 0 && not is_output then add (Unused_input net)
+        else if is_output then add (Output_is_input net)
+    | Circuit.Driven_by _ ->
+        if fanout = 0 && not is_output then add (Dangling_net net)
+    end;
+    if fanout > fanout_threshold then add (High_fanout (net, fanout))
+  done;
+  (* Structural duplicates: same cell, same configuration, same fanins. *)
+  let seen = Hashtbl.create 64 in
+  Array.iteri
+    (fun g (gate : Circuit.gate) ->
+      let key =
+        ( Cell.Gate.name gate.Circuit.cell,
+          gate.Circuit.config,
+          Array.to_list gate.Circuit.fanins )
+      in
+      match Hashtbl.find_opt seen key with
+      | Some first -> add (Duplicate_gate (first, g))
+      | None -> Hashtbl.add seen key g)
+    (Circuit.gates circuit);
+  List.rev !warnings
+
+let describe circuit = function
+  | Dangling_net net ->
+      Printf.sprintf "net %S is driven but never read" (Circuit.net_name circuit net)
+  | Unused_input net ->
+      Printf.sprintf "primary input %S is never read" (Circuit.net_name circuit net)
+  | High_fanout (net, n) ->
+      Printf.sprintf "net %S drives %d pins" (Circuit.net_name circuit net) n
+  | Duplicate_gate (a, b) ->
+      Printf.sprintf "gates %d and %d are identical instances (%s)" a b
+        (Cell.Gate.name (Circuit.gate_at circuit a).Circuit.cell)
+  | Output_is_input net ->
+      Printf.sprintf "primary output %S is wired straight to an input"
+        (Circuit.net_name circuit net)

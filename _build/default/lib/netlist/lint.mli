@@ -1,0 +1,19 @@
+(** Structural lint: warnings about legal-but-suspicious circuits.
+
+    {!Circuit.create} enforces hard invariants; this pass reports the
+    soft ones a reviewer would flag. *)
+
+type warning =
+  | Dangling_net of Circuit.net
+      (** driven by a gate but read by nothing and not an output *)
+  | Unused_input of Circuit.net  (** primary input nobody reads *)
+  | High_fanout of Circuit.net * int  (** fan-out beyond the threshold *)
+  | Duplicate_gate of int * int
+      (** two gate instances with the same cell and fanins *)
+  | Output_is_input of Circuit.net  (** primary output wired to an input *)
+
+val check : ?fanout_threshold:int -> Circuit.t -> warning list
+(** [fanout_threshold] defaults to 8 (a heavy load for a Sea-of-Gates
+    cell). Warnings are ordered by net/gate index. *)
+
+val describe : Circuit.t -> warning -> string

@@ -1,0 +1,1 @@
+lib/power/analysis.ml: Array List Model Netlist Stoch

@@ -1,0 +1,1 @@
+lib/power/analysis.mli: Model Netlist Stoch

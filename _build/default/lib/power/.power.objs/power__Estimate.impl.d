@@ -1,0 +1,1 @@
+lib/power/estimate.ml: Analysis Array List Model Netlist

@@ -1,0 +1,1 @@
+lib/power/exact.ml: Array Bdd Cell Hashtbl List Netlist Stoch

@@ -1,0 +1,1 @@
+lib/power/exact.mli: Netlist Stoch

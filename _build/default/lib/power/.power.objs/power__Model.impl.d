@@ -1,0 +1,1 @@
+lib/power/model.ml: Array Bdd Cell Fun Hashtbl List Printf Sp Stoch String

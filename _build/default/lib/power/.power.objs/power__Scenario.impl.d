@@ -1,0 +1,1 @@
+lib/power/scenario.ml: Hashtbl List Netlist Stoch

@@ -1,0 +1,1 @@
+lib/power/scenario.mli: Netlist Stoch

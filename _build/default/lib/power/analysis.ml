@@ -1,0 +1,34 @@
+module C = Netlist.Circuit
+
+type t = { per_net : Stoch.Signal_stats.t array }
+
+let gate_input_stats_of per_net (gate : C.gate) =
+  Array.map (fun net -> per_net.(net)) gate.C.fanins
+
+let run table circuit ~inputs =
+  let per_net =
+    Array.make (C.net_count circuit) (Stoch.Signal_stats.constant false)
+  in
+  List.iter
+    (fun net -> per_net.(net) <- inputs net)
+    (C.primary_inputs circuit);
+  List.iter
+    (fun g ->
+      let gate = C.gate_at circuit g in
+      let input_stats = gate_input_stats_of per_net gate in
+      let groups = Model.groups_of_nets gate.C.fanins in
+      per_net.(gate.C.output) <-
+        Model.output_stats table gate.C.cell ~input_stats ~groups ())
+    (C.topological_order circuit);
+  { per_net }
+
+let stats t net = t.per_net.(net)
+let all_stats t = Array.copy t.per_net
+
+let gate_input_stats t circuit g =
+  gate_input_stats_of t.per_net (C.gate_at circuit g)
+
+let total_density t =
+  Array.fold_left
+    (fun acc s -> acc +. Stoch.Signal_stats.density s)
+    0. t.per_net

@@ -1,0 +1,53 @@
+module C = Netlist.Circuit
+
+type breakdown = {
+  per_gate : float array;
+  internal : float;
+  output : float;
+  total : float;
+}
+
+let default_external_load = 20e-15
+
+let output_load table ?(external_load = default_external_load) circuit g =
+  let gate = C.gate_at circuit g in
+  let fanout_pins = C.readers circuit gate.C.output in
+  let pins =
+    List.fold_left
+      (fun acc (reader, pin) ->
+        let cell = (C.gate_at circuit reader).C.cell in
+        acc +. Model.input_pin_capacitance table cell pin)
+      0. fanout_pins
+  in
+  if C.is_primary_output circuit gate.C.output then pins +. external_load
+  else pins
+
+let gate table ?external_load circuit analysis g ~config =
+  let gate = C.gate_at circuit g in
+  let input_stats = Analysis.gate_input_stats analysis circuit g in
+  let groups = Model.groups_of_nets gate.C.fanins in
+  let load = output_load table ?external_load circuit g in
+  Model.gate_power table gate.C.cell ~config ~input_stats ~groups ~load ()
+
+let circuit table ?external_load circuit_ analysis =
+  let n = C.gate_count circuit_ in
+  let per_gate = Array.make n 0. in
+  let internal = ref 0. and output = ref 0. in
+  for g = 0 to n - 1 do
+    let power =
+      gate table ?external_load circuit_ analysis g
+        ~config:(C.gate_at circuit_ g).C.config
+    in
+    per_gate.(g) <- power.Model.total;
+    internal := !internal +. power.Model.internal;
+    output := !output +. power.Model.output
+  done;
+  {
+    per_gate;
+    internal = !internal;
+    output = !output;
+    total = !internal +. !output;
+  }
+
+let total table ?external_load circuit_ analysis =
+  (circuit table ?external_load circuit_ analysis).total

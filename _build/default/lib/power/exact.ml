@@ -1,0 +1,66 @@
+module C = Netlist.Circuit
+
+type t = {
+  per_net : Stoch.Signal_stats.t array;
+  max_size : int;
+}
+
+exception Blowup of { net : string; nodes : int }
+
+let run ?(max_nodes = 200_000) circuit ~inputs =
+  let m = Bdd.manager () in
+  let pis = C.primary_inputs circuit in
+  let pi_index = Hashtbl.create 16 in
+  List.iteri (fun i net -> Hashtbl.add pi_index net i) pis;
+  let pi_stats = Array.of_list (List.map inputs pis) in
+  let prob i = Stoch.Signal_stats.prob pi_stats.(i) in
+  let funcs = Array.make (C.net_count circuit) (Bdd.zero m) in
+  List.iter
+    (fun net -> funcs.(net) <- Bdd.var m (Hashtbl.find pi_index net))
+    pis;
+  let max_size = ref 1 in
+  (* Substitute fanin functions into each cell function, in topological
+     order; the capture-free two-phase composition mirrors
+     Netlist.Eval.output_bdds. *)
+  let shift = 1_000_000 in
+  List.iter
+    (fun g ->
+      let gate = C.gate_at circuit g in
+      let f = Cell.Gate.function_bdd m gate.C.cell in
+      let arity = Cell.Gate.arity gate.C.cell in
+      let lifted = ref f in
+      for pin = 0 to arity - 1 do
+        lifted := Bdd.compose !lifted pin (Bdd.var m (shift + pin))
+      done;
+      let result = ref !lifted in
+      for pin = 0 to arity - 1 do
+        result := Bdd.compose !result (shift + pin) funcs.(gate.C.fanins.(pin))
+      done;
+      let size = Bdd.size !result in
+      if size > max_nodes then
+        raise (Blowup { net = C.net_name circuit gate.C.output; nodes = size });
+      if size > !max_size then max_size := size;
+      funcs.(gate.C.output) <- !result)
+    (C.topological_order circuit);
+  let per_net =
+    Array.mapi
+      (fun net f ->
+        ignore net;
+        let p = Bdd.probability f prob in
+        let density =
+          List.fold_left
+            (fun acc pi ->
+              let d_pi = Stoch.Signal_stats.density pi_stats.(pi) in
+              if d_pi <= 0. then acc
+              else
+                acc +. (d_pi *. Bdd.probability (Bdd.boolean_difference f pi) prob))
+            0. (Bdd.support f)
+        in
+        Stoch.Signal_stats.make ~prob:p ~density)
+      funcs
+  in
+  { per_net; max_size = !max_size }
+
+let stats t net = t.per_net.(net)
+let all_stats t = Array.copy t.per_net
+let max_bdd_size t = t.max_size

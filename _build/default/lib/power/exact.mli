@@ -1,0 +1,35 @@
+(** Exact signal statistics via global BDDs.
+
+    The paper propagates probabilities and densities gate-locally under
+    a spatial-independence assumption (Parker-McCluskey / Najm), which
+    biases results through reconvergent fan-out. For small and
+    medium circuits we can instead build each net's global function over
+    the primary inputs and evaluate
+
+    - [P(net)] exactly, and
+    - [D(net) = Σ_pi P(∂net/∂pi)·D(pi)] — Najm's density computed on the
+      global function, which is exact for zero-delay semantics under
+      independent primary inputs.
+
+    This is deliberately {e not} used by the optimizer (the paper's
+    algorithm is the local one); it serves as the reference for the E11
+    exactness ablation. *)
+
+type t
+
+exception Blowup of { net : string; nodes : int }
+(** Raised when a net's BDD exceeds the node budget. *)
+
+val run :
+  ?max_nodes:int ->
+  Netlist.Circuit.t ->
+  inputs:(Netlist.Circuit.net -> Stoch.Signal_stats.t) ->
+  t
+(** [max_nodes] (default 200000) bounds each net's BDD size.
+    @raise Blowup when exceeded. *)
+
+val stats : t -> Netlist.Circuit.net -> Stoch.Signal_stats.t
+val all_stats : t -> Stoch.Signal_stats.t array
+
+val max_bdd_size : t -> int
+(** Largest per-net BDD encountered (diagnostics). *)

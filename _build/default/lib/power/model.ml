@@ -1,0 +1,238 @@
+module Stats = Stoch.Signal_stats
+
+type node_symbolic = {
+  sym_node : Sp.Network.node;
+  sym_cap : float;  (* junction + wire, excluding fan-out load *)
+  h : Bdd.t;
+  g : Bdd.t;
+  dh : Bdd.t array;  (* per input pin; zero for non-representative pins *)
+  dg : Bdd.t array;
+}
+
+type config_model = {
+  nodes : node_symbolic list;  (* output first *)
+  df : Bdd.t array;  (* ∂f/∂xi of the output function *)
+  f : Bdd.t;
+}
+
+type table = {
+  proc : Cell.Process.t;
+  bdd : Bdd.manager;
+  cache : (string, config_model) Hashtbl.t;
+  pin_caps : (string, float array) Hashtbl.t;
+}
+
+type node_power = {
+  node : Sp.Network.node;
+  probability : float;
+  transitions : float;
+  capacitance : float;
+  power : float;
+}
+
+type gate_power = {
+  nodes : node_power list;
+  internal : float;
+  output : float;
+  total : float;
+}
+
+let table proc =
+  {
+    proc;
+    bdd = Bdd.manager ();
+    cache = Hashtbl.create 256;
+    pin_caps = Hashtbl.create 64;
+  }
+
+let process t = t.proc
+
+let groups_of_nets fanins =
+  Array.mapi
+    (fun i net ->
+      let rec first j = if fanins.(j) = net then j else first (j + 1) in
+      ignore i;
+      first 0)
+    fanins
+
+let identity_groups arity = Array.init arity Fun.id
+
+let validate_groups ~arity groups =
+  if Array.length groups <> arity then
+    invalid_arg "Power.Model: groups length differs from gate arity";
+  Array.iteri
+    (fun i g ->
+      if g < 0 || g > i then
+        invalid_arg "Power.Model: groups must point at earlier pins";
+      if groups.(g) <> g then
+        invalid_arg "Power.Model: group representative must map to itself")
+    groups
+
+(* Pins tied to one net toggle together: substitute the representative
+   pin's variable for every tied pin, then Boolean differences with
+   respect to the representative capture the joint toggle. *)
+let remap_to_groups m groups f =
+  let result = ref f in
+  Array.iteri
+    (fun pin rep ->
+      if rep <> pin then result := Bdd.compose !result pin (Bdd.var m rep))
+    groups;
+  !result
+
+let cache_key cell config groups =
+  let tied = Array.exists (fun i -> groups.(i) <> i) (identity_groups (Array.length groups)) in
+  if tied then
+    Printf.sprintf "%s/%d/%s" (Cell.Gate.name cell) config
+      (String.concat "," (Array.to_list (Array.map string_of_int groups)))
+  else Printf.sprintf "%s/%d" (Cell.Gate.name cell) config
+
+let build_config_model t cell config_index groups =
+  let configs = Cell.Config.all cell in
+  let config =
+    try List.nth configs config_index
+    with Failure _ | Invalid_argument _ ->
+      invalid_arg "Power.Model: configuration index out of range"
+  in
+  let network = Cell.Config.network config in
+  let arity = Cell.Gate.arity cell in
+  let m = t.bdd in
+  let remap = remap_to_groups m groups in
+  (* Differences only with respect to representative pins; others stay
+     zero so downstream sums never double-count a tied net. *)
+  let differences f =
+    Array.init arity (fun i ->
+        if groups.(i) = i then Bdd.boolean_difference f i else Bdd.zero m)
+  in
+  let symbolic node =
+    let h = remap (Sp.Network.h_function m network node) in
+    let g = remap (Sp.Network.g_function m network node) in
+    {
+      sym_node = node;
+      sym_cap = Cell.Process.node_capacitance t.proc network node;
+      h;
+      g;
+      dh = differences h;
+      dg = differences g;
+    }
+  in
+  let nodes = List.map symbolic (Sp.Network.power_nodes network) in
+  let f = remap (Sp.Network.output_function m network) in
+  { nodes; f; df = differences f }
+
+let get t cell config groups =
+  let key = cache_key cell config groups in
+  match Hashtbl.find_opt t.cache key with
+  | Some m -> m
+  | None ->
+      let m = build_config_model t cell config groups in
+      Hashtbl.add t.cache key m;
+      m
+
+let check_stats cell input_stats =
+  if Array.length input_stats <> Cell.Gate.arity cell then
+    invalid_arg "Power.Model: input_stats length differs from gate arity"
+
+let resolve_groups cell = function
+  | None -> identity_groups (Cell.Gate.arity cell)
+  | Some groups ->
+      validate_groups ~arity:(Cell.Gate.arity cell) groups;
+      groups
+
+let prob_fn input_stats i = Stats.prob input_stats.(i)
+
+(* The paper's steady-state node probability; a node that can never be
+   driven (P(H)+P(G) = 0 under these statistics) is reported at 0. *)
+let node_probability ~p_h ~p_g =
+  let denom = p_h +. p_g in
+  if denom <= 0. then 0. else p_h /. denom
+
+let node_power_of t input_stats ~extra_cap ns =
+  let p = prob_fn input_stats in
+  let p_h = Bdd.probability ns.h p and p_g = Bdd.probability ns.g p in
+  let p_node = node_probability ~p_h ~p_g in
+  let transitions = ref 0. in
+  Array.iteri
+    (fun i dh_i ->
+      let d_i = Stats.density input_stats.(i) in
+      if d_i > 0. then begin
+        let toggle_h = Bdd.probability dh_i p in
+        let toggle_g = Bdd.probability ns.dg.(i) p in
+        transitions :=
+          !transitions
+          +. (d_i *. (((1. -. p_node) *. toggle_h) +. (p_node *. toggle_g)))
+      end)
+    ns.dh;
+  let capacitance = ns.sym_cap +. extra_cap in
+  let vdd = t.proc.Cell.Process.vdd in
+  {
+    node = ns.sym_node;
+    probability = p_node;
+    transitions = !transitions;
+    capacitance;
+    power = 0.5 *. capacitance *. vdd *. vdd *. !transitions;
+  }
+
+let gate_power t cell ~config ~input_stats ?groups ~load () =
+  check_stats cell input_stats;
+  if load < 0. then invalid_arg "Power.Model.gate_power: negative load";
+  let groups = resolve_groups cell groups in
+  let model = get t cell config groups in
+  let nodes =
+    List.map
+      (fun ns ->
+        let extra_cap =
+          match ns.sym_node with Sp.Network.Output -> load | _ -> 0.
+        in
+        node_power_of t input_stats ~extra_cap ns)
+      model.nodes
+  in
+  let split (internal, output) np =
+    match np.node with
+    | Sp.Network.Output -> (internal, output +. np.power)
+    | _ -> (internal +. np.power, output)
+  in
+  let internal, output = List.fold_left split (0., 0.) nodes in
+  { nodes; internal; output; total = internal +. output }
+
+let output_stats t cell ~input_stats ?groups () =
+  check_stats cell input_stats;
+  let groups = resolve_groups cell groups in
+  let model = get t cell 0 groups in
+  let p = prob_fn input_stats in
+  let prob = Bdd.probability model.f p in
+  let density =
+    Array.to_list model.df
+    |> List.mapi (fun i df_i ->
+           Stats.density input_stats.(i) *. Bdd.probability df_i p)
+    |> List.fold_left ( +. ) 0.
+  in
+  Stats.make ~prob ~density
+
+let output_density_contributions t cell ~input_stats ?groups () =
+  check_stats cell input_stats;
+  let groups = resolve_groups cell groups in
+  let model = get t cell 0 groups in
+  let p = prob_fn input_stats in
+  Array.mapi
+    (fun i df_i -> Stats.density input_stats.(i) *. Bdd.probability df_i p)
+    model.df
+
+let input_pin_capacitance t cell pin =
+  let name = Cell.Gate.name cell in
+  let caps =
+    match Hashtbl.find_opt t.pin_caps name with
+    | Some caps -> caps
+    | None ->
+        let network = Cell.Config.network (Cell.Config.reference cell) in
+        let caps =
+          Array.init (Cell.Gate.arity cell) (fun i ->
+              Cell.Process.input_pin_capacitance t.proc network i)
+        in
+        Hashtbl.add t.pin_caps name caps;
+        caps
+  in
+  if pin < 0 || pin >= Array.length caps then
+    invalid_arg "Power.Model.input_pin_capacitance: pin out of range";
+  caps.(pin)
+
+let cached_configs t = Hashtbl.length t.cache

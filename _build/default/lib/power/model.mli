@@ -1,0 +1,94 @@
+(** The paper's extended power-consumption model of a static CMOS gate
+    (§3.3), including internal-node power.
+
+    For every powered node [nk] of a configuration (output + internal),
+    the model extracts the path functions [H_nk] (to vdd) and [G_nk]
+    (to vss) and their Boolean differences with respect to each input.
+    Given input statistics it then computes:
+
+    - node equilibrium probability [P(nk) = P(H)/(P(H)+P(G))] (steady
+      state of the paper's charge/discharge recurrence);
+    - transitions caused by input [xi]:
+      [T(nk|xi) = D(xi)·((1-P(nk))·P(∂H/∂xi) + P(nk)·P(∂G/∂xi))], which
+      collapses to Najm's transition density at the output node;
+    - node power [W(nk) = ½·C(nk)·Vdd²·Σᵢ T(nk|xi)].
+
+    Symbolic data is cached per (cell, configuration) in a {!table}; the
+    numeric evaluation for given input statistics is cheap, which is
+    what makes exhaustive per-gate exploration fast (§4.1). *)
+
+type table
+(** Cache of per-configuration symbolic models for one process. *)
+
+val table : Cell.Process.t -> table
+val process : table -> Cell.Process.t
+
+type node_power = {
+  node : Sp.Network.node;
+  probability : float;  (** equilibrium probability of the node *)
+  transitions : float;  (** Σᵢ T(node|xᵢ), transitions per time unit *)
+  capacitance : float;  (** node capacitance used, F *)
+  power : float;  (** ½·C·Vdd²·transitions, W *)
+}
+
+type gate_power = {
+  nodes : node_power list;  (** output node first *)
+  internal : float;  (** W on internal nodes *)
+  output : float;  (** W on the output node (with load) *)
+  total : float;
+}
+
+val groups_of_nets : int array -> int array
+(** [groups_of_nets fanins] maps each pin to the first pin bound to the
+    same net: the [groups] argument for a gate instance whose fanins may
+    tie one net to several pins (e.g. a majority built on an AOI222).
+    Tied pins toggle {e together}; treating them as independent biases
+    probabilities and densities. *)
+
+val gate_power :
+  table ->
+  Cell.Gate.t ->
+  config:int ->
+  input_stats:Stoch.Signal_stats.t array ->
+  ?groups:int array ->
+  load:float ->
+  unit ->
+  gate_power
+(** [load] is the capacitance hanging on the output net beyond the
+    gate's own diffusion and wire (fan-out pins, external load).
+    [groups] (default: all pins distinct) identifies pins tied to one
+    net, per {!groups_of_nets}; tied pins must carry identical
+    [input_stats].
+    @raise Invalid_argument if [input_stats] or [groups] length differs
+    from the arity, [groups] is not of the {!groups_of_nets} form, or
+    [config] is out of range. *)
+
+val output_stats :
+  table ->
+  Cell.Gate.t ->
+  input_stats:Stoch.Signal_stats.t array ->
+  ?groups:int array ->
+  unit ->
+  Stoch.Signal_stats.t
+(** Output probability (Parker-McCluskey) and transition density (Najm).
+    Identical for every configuration of the gate — the monotonicity
+    property the greedy optimizer relies on (§4.2). *)
+
+val output_density_contributions :
+  table ->
+  Cell.Gate.t ->
+  input_stats:Stoch.Signal_stats.t array ->
+  ?groups:int array ->
+  unit ->
+  float array
+(** Per-input pin [P(∂f/∂xᵢ)·D(xᵢ)]: how much each input contributes to
+    the output activity (used by the ripple-carry analysis, E5). Tied
+    pins report their joint contribution on the representative pin and 0
+    on the others. *)
+
+val input_pin_capacitance : table -> Cell.Gate.t -> int -> float
+(** Load presented by pin [i] of the gate (independent of
+    configuration). *)
+
+val cached_configs : table -> int
+(** Number of (cell, configuration) models built so far (diagnostics). *)

@@ -1,0 +1,36 @@
+type t = A | B
+
+let cycle_time = 1e-6
+let max_density = 1e6
+
+let name = function A -> "A" | B -> "B"
+
+let of_name = function
+  | "A" | "a" -> A
+  | "B" | "b" -> B
+  | _ -> raise Not_found
+
+let scenario_b_stats =
+  Stoch.Signal_stats.make ~prob:0.5 ~density:(0.5 /. cycle_time)
+
+(* Draw every primary input's statistics once, eagerly, so that the
+   returned lookup is stable no matter how often or in which order it is
+   consulted. *)
+let input_stats ~rng scenario circuit =
+  let table = Hashtbl.create 16 in
+  List.iter
+    (fun net ->
+      let stats =
+        match scenario with
+        | A ->
+            Stoch.Signal_stats.make
+              ~prob:(Stoch.Rng.float rng)
+              ~density:(Stoch.Rng.float_range rng 0. max_density)
+        | B -> scenario_b_stats
+      in
+      Hashtbl.add table net stats)
+    (Netlist.Circuit.primary_inputs circuit);
+  fun net ->
+    match Hashtbl.find_opt table net with
+    | Some s -> s
+    | None -> invalid_arg "Scenario.input_stats: not a primary input net"

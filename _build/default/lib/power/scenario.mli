@@ -1,0 +1,32 @@
+(** The paper's two experimental scenarios (§5.1, Fig. 6).
+
+    Scenario A: the circuit is embedded in a larger system — primary
+    input probabilities are drawn uniformly from [\[0,1\]] and transition
+    densities uniformly from [\[0, 10⁶\]] transitions/second.
+
+    Scenario B: the circuit is the whole system, latched inputs at a
+    fixed frequency — every primary input has probability 0.5 and
+    density 0.5 transitions per cycle. We use a 1 µs cycle, i.e.
+    5·10⁵ transitions/second, so both scenarios share one time unit. *)
+
+type t = A | B
+
+val cycle_time : float
+(** Scenario-B clock period, seconds (1e-6). *)
+
+val max_density : float
+(** Scenario-A density upper bound, transitions/second (1e6). *)
+
+val name : t -> string
+val of_name : string -> t
+(** Accepts ["A"]/["a"]/["B"]/["b"]. @raise Not_found otherwise. *)
+
+val input_stats :
+  rng:Stoch.Rng.t ->
+  t ->
+  Netlist.Circuit.t ->
+  Netlist.Circuit.net ->
+  Stoch.Signal_stats.t
+(** Statistics assigned to each primary input. Scenario A draws from
+    [rng] once per net (stable across calls for the same net); scenario
+    B ignores [rng]. *)

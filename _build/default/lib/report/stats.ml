@@ -1,0 +1,53 @@
+let require_nonempty name = function
+  | [] -> invalid_arg ("Report.Stats." ^ name ^ ": empty list")
+  | _ :: _ -> ()
+
+let mean xs =
+  require_nonempty "mean" xs;
+  List.fold_left ( +. ) 0. xs /. float_of_int (List.length xs)
+
+let stddev xs =
+  require_nonempty "stddev" xs;
+  let m = mean xs in
+  let var = mean (List.map (fun x -> (x -. m) ** 2.) xs) in
+  sqrt var
+
+let median xs =
+  require_nonempty "median" xs;
+  let sorted = List.sort Float.compare xs in
+  let n = List.length sorted in
+  let at i = List.nth sorted i in
+  if n mod 2 = 1 then at (n / 2) else (at ((n / 2) - 1) +. at (n / 2)) /. 2.
+
+let minimum xs =
+  require_nonempty "minimum" xs;
+  List.fold_left Float.min infinity xs
+
+let maximum xs =
+  require_nonempty "maximum" xs;
+  List.fold_left Float.max neg_infinity xs
+
+let correlation xs ys =
+  if List.length xs <> List.length ys then
+    invalid_arg "Report.Stats.correlation: length mismatch";
+  if List.length xs < 2 then
+    invalid_arg "Report.Stats.correlation: need at least two points";
+  let mx = mean xs and my = mean ys in
+  let cov =
+    List.fold_left2 (fun acc x y -> acc +. ((x -. mx) *. (y -. my))) 0. xs ys
+  in
+  let sx = stddev xs and sy = stddev ys in
+  let n = float_of_int (List.length xs) in
+  if sx = 0. || sy = 0. then 0. else cov /. (n *. sx *. sy)
+
+let geometric_mean_ratio pairs =
+  require_nonempty "geometric_mean_ratio" pairs;
+  let log_sum =
+    List.fold_left
+      (fun acc (a, b) ->
+        if a <= 0. || b <= 0. then
+          invalid_arg "Report.Stats.geometric_mean_ratio: non-positive value";
+        acc +. log (a /. b))
+      0. pairs
+  in
+  exp (log_sum /. float_of_int (List.length pairs))

@@ -1,0 +1,24 @@
+(** Small summary-statistics helpers for experiment reporting. *)
+
+val mean : float list -> float
+(** @raise Invalid_argument on the empty list. *)
+
+val stddev : float list -> float
+(** Population standard deviation.
+    @raise Invalid_argument on the empty list. *)
+
+val median : float list -> float
+(** @raise Invalid_argument on the empty list. *)
+
+val minimum : float list -> float
+val maximum : float list -> float
+
+val correlation : float list -> float list -> float
+(** Pearson correlation.
+    @raise Invalid_argument on mismatched lengths or fewer than two
+    points; returns 0 when either series is constant. *)
+
+val geometric_mean_ratio : (float * float) list -> float
+(** Geometric mean of [a/b] pairs — used to summarize model-vs-measured
+    power ratios. @raise Invalid_argument if any value is non-positive
+    or the list is empty. *)

@@ -1,0 +1,108 @@
+type align = Left | Right
+
+type row = Cells of string list | Separator
+
+type t = {
+  headers : string list;
+  aligns : align list;
+  mutable rows : row list;  (* reversed *)
+}
+
+let create ~columns =
+  { headers = List.map fst columns; aligns = List.map snd columns; rows = [] }
+
+let add_row t cells =
+  if List.length cells <> List.length t.headers then
+    invalid_arg "Report.Table.add_row: wrong number of cells";
+  t.rows <- Cells cells :: t.rows
+
+let add_separator t = t.rows <- Separator :: t.rows
+
+let widths t =
+  let max_widths =
+    List.fold_left
+      (fun acc row ->
+        match row with
+        | Separator -> acc
+        | Cells cells -> List.map2 (fun w c -> max w (String.length c)) acc cells)
+      (List.map String.length t.headers)
+      t.rows
+  in
+  max_widths
+
+let pad align width s =
+  let fill = width - String.length s in
+  if fill <= 0 then s
+  else
+    match align with
+    | Left -> s ^ String.make fill ' '
+    | Right -> String.make fill ' ' ^ s
+
+let render t =
+  let ws = widths t in
+  let buf = Buffer.create 1024 in
+  let line cells aligns =
+    let padded = List.map2 (fun (w, a) c -> pad a w c)
+        (List.combine ws aligns) cells in
+    Buffer.add_string buf (String.concat "  " padded);
+    Buffer.add_char buf '\n'
+  in
+  let rule () =
+    Buffer.add_string buf
+      (String.concat "--" (List.map (fun w -> String.make w '-') ws));
+    Buffer.add_char buf '\n'
+  in
+  line t.headers (List.map (fun _ -> Left) t.headers);
+  rule ();
+  List.iter
+    (function
+      | Separator -> rule ()
+      | Cells cells -> line cells t.aligns)
+    (List.rev t.rows);
+  Buffer.contents buf
+
+let print t = print_string (render t)
+
+let csv_escape s =
+  if String.exists (fun c -> c = ',' || c = '"' || c = '\n') s then
+    "\"" ^ String.concat "\"\"" (String.split_on_char '"' s) ^ "\""
+  else s
+
+let to_csv t =
+  let buf = Buffer.create 1024 in
+  let line cells =
+    Buffer.add_string buf (String.concat "," (List.map csv_escape cells));
+    Buffer.add_char buf '\n'
+  in
+  line t.headers;
+  List.iter
+    (function Separator -> () | Cells cells -> line cells)
+    (List.rev t.rows);
+  Buffer.contents buf
+
+let cell_float ?(decimals = 1) v = Printf.sprintf "%.*f" decimals v
+
+let cell_percent ?decimals v = cell_float ?decimals v
+
+let cell_signed_percent ?(decimals = 1) v =
+  Printf.sprintf "%+.*f" decimals v
+
+let engineering units v =
+  let rec pick v = function
+    | [ (unit_, _) ] -> (v, unit_)
+    | (unit_, scale) :: rest ->
+        if Float.abs v >= scale then (v /. scale, unit_) else pick v rest
+    | [] -> assert false
+  in
+  let value, unit_ = pick v units in
+  Printf.sprintf "%.3g %s" value unit_
+
+let cell_power v =
+  engineering
+    [ ("W", 1.); ("mW", 1e-3); ("uW", 1e-6); ("nW", 1e-9); ("pW", 1e-12) ]
+    v
+
+let cell_time v =
+  engineering
+    [ ("s", 1.); ("ms", 1e-3); ("us", 1e-6); ("ns", 1e-9); ("ps", 1e-12) ]
+    v

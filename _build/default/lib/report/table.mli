@@ -1,0 +1,45 @@
+(** Plain-text table rendering for the experiment reports.
+
+    Columns are sized to their widest cell; numeric cells are
+    right-aligned, text cells left-aligned. The bench harness prints the
+    paper's tables through this module so every experiment has one
+    uniform, diffable output format. *)
+
+type align = Left | Right
+
+type t
+
+val create : columns:(string * align) list -> t
+(** Header row; every added row must match the column count. *)
+
+val add_row : t -> string list -> unit
+(** @raise Invalid_argument on width mismatch. *)
+
+val add_separator : t -> unit
+(** Horizontal rule (e.g. before an averages row). *)
+
+val render : t -> string
+(** Multi-line string, trailing newline included. *)
+
+val print : t -> unit
+(** [render] to stdout. *)
+
+val to_csv : t -> string
+(** Comma-separated values (quoted when needed), separators omitted. *)
+
+(** {1 Cell formatting helpers} *)
+
+val cell_float : ?decimals:int -> float -> string
+(** Fixed-point with [decimals] (default 1). *)
+
+val cell_percent : ?decimals:int -> float -> string
+(** As {!cell_float}, no sign for positives, e.g. ["12.3"]. *)
+
+val cell_signed_percent : ?decimals:int -> float -> string
+(** With explicit sign, e.g. ["-4.7"] / ["+12.3"]. *)
+
+val cell_power : float -> string
+(** Engineering notation for watts, e.g. ["3.42 uW"]. *)
+
+val cell_time : float -> string
+(** Engineering notation for seconds, e.g. ["1.24 ns"]. *)

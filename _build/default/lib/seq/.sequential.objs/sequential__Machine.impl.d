@@ -1,0 +1,1 @@
+lib/seq/machine.ml: Array Float Format Hashtbl List Netlist Power Reorder Stoch Switchsim

@@ -1,0 +1,1 @@
+lib/seq/machine.mli: Cell Delay Netlist Power Reorder Stoch

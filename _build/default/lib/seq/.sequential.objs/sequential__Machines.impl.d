@@ -1,0 +1,1 @@
+lib/seq/machines.ml: Array List Machine Netlist Printf

@@ -1,0 +1,1 @@
+lib/seq/machines.mli: Machine

@@ -1,0 +1,103 @@
+(** Latch-bounded sequential machines over a combinational core.
+
+    Scenario B of the paper frames the circuit as "the whole digital
+    system, with latches at its inputs, working at a fixed frequency".
+    This module closes that loop: a machine is a combinational circuit
+    plus register bindings [(d, q)] — at every clock edge the value of
+    net [d] is copied to primary input [q]. The combinational optimizer
+    applies unchanged to the core; what the registers add is the
+    question of which {e statistics} to feed it, answered two ways:
+
+    - {!steady_state}: the standard fixpoint — iterate the paper's
+      probability/density propagation with the register outputs'
+      statistics re-derived from their inputs
+      ([P(q) = P(d)], [D(q) = 2·P(d)·(1-P(d))] per cycle under the
+      lag-one independence approximation) until convergence;
+    - {!simulate}: cycle-accurate reference — run the machine for N
+      clock cycles on random stimuli, measure empirical statistics and
+      switch-level power from the recorded waveforms.
+
+    The fixpoint's temporal-independence approximation is exact for
+    white state processes (LFSRs) and knowingly wrong for strongly
+    correlated ones (binary counter bits toggle at rate [2^-i], not
+    [0.5]); E12 quantifies this. *)
+
+type t
+
+exception Invalid of string
+
+val create :
+  Netlist.Circuit.t -> registers:(string * string) list -> t
+(** [create comb ~registers] with [(d_name, q_name)] pairs: [q] must be
+    a primary input of [comb], each used once; [d] is any net.
+    @raise Invalid on violations. *)
+
+val circuit : t -> Netlist.Circuit.t
+val registers : t -> (Netlist.Circuit.net * Netlist.Circuit.net) list
+(** [(d, q)] pairs, as net ids. *)
+
+val free_inputs : t -> Netlist.Circuit.net list
+(** Primary inputs that are not register outputs. *)
+
+(** {1 Steady-state statistics (fixpoint)} *)
+
+type fixpoint = {
+  analysis : Power.Analysis.t;
+  iterations : int;
+  converged : bool;
+}
+
+val steady_state :
+  Power.Model.table ->
+  t ->
+  inputs:(Netlist.Circuit.net -> Stoch.Signal_stats.t) ->
+  ?cycle_time:float ->
+  ?max_iterations:int ->
+  ?tolerance:float ->
+  ?damping:float ->
+  unit ->
+  fixpoint
+(** [inputs] covers the free inputs only. [cycle_time] defaults to
+    {!Power.Scenario.cycle_time}; [max_iterations] to 500 (correlated
+    feedback like a counter's carry chain converges geometrically but
+    slowly); [tolerance] (max absolute change of any register
+    probability or per-cycle density between iterations) to 1e-6;
+    [damping] (default 1.0 = undamped) mixes each register's new
+    probability with the previous one — lower it if a machine's
+    iteration oscillates instead of converging. *)
+
+(** {1 Cycle-accurate reference} *)
+
+type trace = {
+  cycles : int;
+  register_stats : (Netlist.Circuit.net * Stoch.Signal_stats.t) list;
+      (** empirical statistics of each register output [q] *)
+  power : float;  (** switch-level power over the recorded run, W *)
+}
+
+val simulate :
+  Cell.Process.t ->
+  t ->
+  rng:Stoch.Rng.t ->
+  cycles:int ->
+  inputs:(Netlist.Circuit.net -> Stoch.Signal_stats.t) ->
+  ?cycle_time:float ->
+  unit ->
+  trace
+(** Free inputs are driven by per-cycle two-state Markov chains
+    realizing their [(P, D)]; registers start at random values; the
+    recorded per-net bit streams drive one zero-delay switch-level run.
+    @raise Invalid_argument if [cycles < 2]. *)
+
+(** {1 Optimization} *)
+
+val optimize :
+  Power.Model.table ->
+  delay:Delay.Elmore.table ->
+  ?objective:Reorder.Optimizer.objective ->
+  t ->
+  inputs:(Netlist.Circuit.net -> Stoch.Signal_stats.t) ->
+  Reorder.Optimizer.report * fixpoint
+(** Reorders the combinational core under the machine's steady-state
+    statistics; the returned report's circuit shares the original's
+    register bindings (rebuild with {!create} if needed). *)

@@ -1,0 +1,85 @@
+module B = Netlist.Builder
+
+let counter n =
+  if n < 2 then invalid_arg "Machines.counter: n < 2";
+  (* Incrementer over state q0..q(n-1); sum bits feed back. *)
+  let b = B.create ~name:(Printf.sprintf "counter%d" n) in
+  let q = Array.init n (fun i -> B.input b (Printf.sprintf "q%d" i)) in
+  let d = Array.make n q.(0) in
+  d.(0) <- B.inv b ~name:"d0" q.(0);
+  let carry = ref q.(0) in
+  for i = 1 to n - 1 do
+    d.(i) <- B.xor2 b ~name:(Printf.sprintf "d%d" i) q.(i) !carry;
+    if i < n - 1 then carry := B.and2 b q.(i) !carry
+  done;
+  Array.iter (B.output b) d;
+  let circuit = B.finish b in
+  Machine.create circuit
+    ~registers:(List.init n (fun i -> (Printf.sprintf "d%d" i, Printf.sprintf "q%d" i)))
+
+let lfsr n =
+  if n < 3 || n > 24 then invalid_arg "Machines.lfsr: n must be 3..24";
+  let b = B.create ~name:(Printf.sprintf "lfsr%d" n) in
+  let q = Array.init n (fun i -> B.input b (Printf.sprintf "q%d" i)) in
+  (* Feedback bit from the two top taps; shift towards index 0 needs no
+     logic, but registers want named d nets, so buffer through inverter
+     pairs (keeps the core purely library gates). *)
+  let feedback = B.xor2 b ~name:"fb" q.(n - 1) q.(n - 2) in
+  B.output b feedback;
+  for i = n - 1 downto 1 do
+    B.output b (B.inv b ~name:(Printf.sprintf "d%d" i) (B.inv b q.(i - 1)))
+  done;
+  let circuit = B.finish b in
+  Machine.create circuit
+    ~registers:
+      (("fb", "q0")
+      :: List.init (n - 1) (fun i ->
+             (Printf.sprintf "d%d" (i + 1), Printf.sprintf "q%d" (i + 1))))
+
+let accumulator n =
+  if n < 2 then invalid_arg "Machines.accumulator: n < 2";
+  let b = B.create ~name:(Printf.sprintf "acc%d" n) in
+  let a = Array.init n (fun i -> B.input b (Printf.sprintf "a%d" i)) in
+  let q = Array.init n (fun i -> B.input b (Printf.sprintf "q%d" i)) in
+  let carry = ref None in
+  for i = 0 to n - 1 do
+    let s, c =
+      match !carry with
+      | None ->
+          ( B.xor2 b ~name:(Printf.sprintf "s%d" i) a.(i) q.(i),
+            B.and2 b a.(i) q.(i) )
+      | Some cin ->
+          let sum = B.xor2 b ~name:(Printf.sprintf "s%d" i) (B.xor2 b a.(i) q.(i)) cin in
+          let cout =
+            B.inv b
+              (B.gate b "aoi222" [ a.(i); q.(i); q.(i); cin; a.(i); cin ])
+          in
+          (sum, cout)
+    in
+    B.output b s;
+    carry := Some c
+  done;
+  let circuit = B.finish b in
+  Machine.create circuit
+    ~registers:(List.init n (fun i -> (Printf.sprintf "s%d" i, Printf.sprintf "q%d" i)))
+
+let johnson n =
+  if n < 2 then invalid_arg "Machines.johnson: n < 2";
+  let b = B.create ~name:(Printf.sprintf "johnson%d" n) in
+  let q = Array.init n (fun i -> B.input b (Printf.sprintf "q%d" i)) in
+  (* d0 = ~q(n-1); d(i) = q(i-1) buffered through an inverter pair. *)
+  B.output b (B.inv b ~name:"d0" q.(n - 1));
+  for i = 1 to n - 1 do
+    B.output b (B.inv b ~name:(Printf.sprintf "d%d" i) (B.inv b q.(i - 1)))
+  done;
+  let circuit = B.finish b in
+  Machine.create circuit
+    ~registers:(List.init n (fun i -> (Printf.sprintf "d%d" i, Printf.sprintf "q%d" i)))
+
+let all () =
+  [
+    ("counter8", counter 8);
+    ("lfsr8", lfsr 8);
+    ("acc8", accumulator 8);
+    ("johnson8", johnson 8);
+  ]

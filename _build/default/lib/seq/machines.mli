@@ -1,0 +1,22 @@
+(** Benchmark sequential machines for the E12 experiment. *)
+
+val counter : int -> Machine.t
+(** [n]-bit binary up-counter: incrementer core, state fed back. The
+    textbook case of {e temporally correlated} state (bit [i] toggles
+    every [2^i] cycles), where the fixpoint's independence approximation
+    is knowingly wrong. *)
+
+val lfsr : int -> Machine.t
+(** Fibonacci LFSR with xor feedback from the two top taps: a white
+    state process where the fixpoint is accurate. [n] in 3..24. *)
+
+val accumulator : int -> Machine.t
+(** [acc <- acc + a]: ripple-carry core with the sum fed back, operand
+    bus [a] free — the datapath workload for sequential optimization. *)
+
+val johnson : int -> Machine.t
+(** [n]-stage Johnson (twisted-ring) counter: pure shifting with an
+    inverting wrap (built with inverter pairs so the core has gates). *)
+
+val all : unit -> (string * Machine.t) list
+(** Canonical instances: counter8, lfsr8, acc8, johnson8. *)

@@ -1,0 +1,1 @@
+lib/sp/network.ml: Bdd Buffer Format List Printf Sp_tree

@@ -1,0 +1,1 @@
+lib/sp/network.mli: Bdd Format Sp_tree

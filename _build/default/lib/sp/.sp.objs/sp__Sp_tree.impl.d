@@ -1,0 +1,1 @@
+lib/sp/sp_tree.ml: Bdd Format Hashtbl List Stdlib String

@@ -1,0 +1,1 @@
+lib/sp/sp_tree.mli: Bdd Format

@@ -1,0 +1,78 @@
+(** Flattened transistor-level graph of a static CMOS gate — the paper's
+    Fig. 2(a) representation.
+
+    The graph has one vertex per circuit node — [Vdd], [Vss], the gate
+    [Output] and the internal nodes created by series chains — and one
+    edge per transistor. This representation retains the transistor
+    order information of a configuration, and supports the paper's
+    H/G path-function extraction (Fig. 2(b)). *)
+
+type node = Vdd | Vss | Output | Internal of int
+
+type device = {
+  input : int;  (** gate input index driving the transistor *)
+  polarity : Sp_tree.polarity;
+  a : node;
+  b : node;  (** the two source/drain terminals (electrically symmetric) *)
+}
+
+type t
+
+val of_networks : pull_up:Sp_tree.t -> pull_down:Sp_tree.t -> t
+(** Lays [pull_up] (PMOS devices) between [Vdd] and [Output] and
+    [pull_down] (NMOS devices) between [Output] and [Vss]. Pull-down
+    internal nodes are numbered first, then pull-up ones, each network
+    left-to-right / supply-to-output in depth-first order. *)
+
+val complementary_gate : pull_down:Sp_tree.t -> t
+(** [of_networks ~pull_up:(Sp_tree.dual pull_down) ~pull_down]: the
+    standard fully-complementary static CMOS realization. *)
+
+val devices : t -> device list
+val device_count : t -> int
+
+val internal_count : t -> int
+(** Number of internal nodes (the paper's [p]). *)
+
+val internal_nodes : t -> node list
+(** [Internal 0 .. Internal (p-1)]. *)
+
+val power_nodes : t -> node list
+(** The nodes whose charging consumes power: all internal nodes plus the
+    output node. *)
+
+val inputs : t -> int list
+(** Distinct gate input indices, ascending. *)
+
+val node_degree : t -> node -> int
+(** Number of transistor source/drain terminals attached to the node —
+    drives the junction-capacitance model. *)
+
+val h_function : Bdd.manager -> t -> node -> Bdd.t
+(** [h_function m t n] is the paper's [H_n]: the Boolean condition (over
+    gate inputs) that at least one conducting path links [n] to [Vdd].
+    Paths may cross the output node but not the opposite rail.
+    @raise Invalid_argument when [n] is [Vdd] or [Vss]. *)
+
+val g_function : Bdd.manager -> t -> node -> Bdd.t
+(** [G_n]: conducting paths from [n] to [Vss]. *)
+
+val output_function : Bdd.manager -> t -> Bdd.t
+(** The logic function computed at the output ([H_Output]). *)
+
+val is_complementary : Bdd.manager -> t -> bool
+(** [H_Output = not G_Output]: the output is always driven, never
+    shorted. *)
+
+val has_short : Bdd.manager -> t -> bool
+(** [true] iff some node can be connected to both rails at once
+    ([H_n ∧ G_n] satisfiable) — never the case for a well-formed
+    complementary gate. *)
+
+val pp_node : Format.formatter -> node -> unit
+val pp : Format.formatter -> t -> unit
+
+val to_dot : ?name:string -> ?input_names:(int -> string) -> t -> string
+(** Graphviz rendering of the transistor graph: circuit nodes as
+    vertices, transistors as labeled edges (PMOS dashed), the rails
+    highlighted — the Fig. 2(a) picture. *)

@@ -1,0 +1,1 @@
+lib/stoch/rng.ml: Array Int64

@@ -1,0 +1,1 @@
+lib/stoch/signal_stats.ml: Float Format

@@ -1,0 +1,1 @@
+lib/stoch/signal_stats.mli: Format

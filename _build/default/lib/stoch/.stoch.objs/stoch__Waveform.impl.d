@@ -1,0 +1,1 @@
+lib/stoch/waveform.ml: Array List Rng Signal_stats

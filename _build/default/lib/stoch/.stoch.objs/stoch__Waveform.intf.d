@@ -1,0 +1,1 @@
+lib/stoch/waveform.mli: Rng Signal_stats

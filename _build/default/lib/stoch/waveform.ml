@@ -1,0 +1,88 @@
+type t = { initial : bool; transitions : float array; horizon : float }
+
+let validate ~transitions ~horizon =
+  if horizon < 0. then invalid_arg "Waveform.make: negative horizon";
+  let n = Array.length transitions in
+  for i = 0 to n - 1 do
+    let ti = transitions.(i) in
+    if ti <= 0. || ti > horizon then
+      invalid_arg "Waveform.make: transition outside (0, horizon]";
+    if i > 0 && ti <= transitions.(i - 1) then
+      invalid_arg "Waveform.make: transitions not strictly increasing"
+  done
+
+let make ~initial ~transitions ~horizon =
+  validate ~transitions ~horizon;
+  { initial; transitions = Array.copy transitions; horizon }
+
+let initial t = t.initial
+let horizon t = t.horizon
+let transitions t = Array.copy t.transitions
+let transition_count t = Array.length t.transitions
+
+(* Number of transitions at instants <= time, by binary search. *)
+let count_before t time =
+  let a = t.transitions in
+  let rec loop lo hi =
+    if lo >= hi then lo
+    else
+      let mid = (lo + hi) / 2 in
+      if a.(mid) <= time then loop (mid + 1) hi else loop lo mid
+  in
+  loop 0 (Array.length a)
+
+let value_at t time =
+  let flips = count_before t time in
+  if flips land 1 = 0 then t.initial else not t.initial
+
+let fold_intervals t ~init ~f =
+  let n = Array.length t.transitions in
+  let rec loop i start value acc =
+    let stop = if i < n then t.transitions.(i) else t.horizon in
+    let acc = if stop > start then f acc ~start ~stop ~value else acc in
+    if i >= n then acc else loop (i + 1) stop (not value) acc
+  in
+  loop 0 0. t.initial init
+
+let measure t =
+  if t.horizon <= 0. then invalid_arg "Waveform.measure: empty horizon";
+  let time_at_one =
+    fold_intervals t ~init:0. ~f:(fun acc ~start ~stop ~value ->
+        if value then acc +. (stop -. start) else acc)
+  in
+  Signal_stats.make
+    ~prob:(time_at_one /. t.horizon)
+    ~density:(float_of_int (Array.length t.transitions) /. t.horizon)
+
+let constant value ~horizon = make ~initial:value ~transitions:[||] ~horizon
+
+let of_bits ~bits ~period =
+  let n = Array.length bits in
+  if n = 0 then invalid_arg "Waveform.of_bits: empty bits";
+  if period <= 0. then invalid_arg "Waveform.of_bits: period <= 0";
+  let times = ref [] in
+  for k = 1 to n - 1 do
+    if bits.(k) <> bits.(k - 1) then
+      times := (float_of_int k *. period) :: !times
+  done;
+  make ~initial:bits.(0)
+    ~transitions:(Array.of_list (List.rev !times))
+    ~horizon:(float_of_int n *. period)
+
+let generate rng stats ~horizon =
+  if Signal_stats.is_constant stats then
+    constant (Rng.bernoulli rng (Signal_stats.prob stats)) ~horizon
+  else begin
+    let mu0, mu1 = Signal_stats.mean_holding_times stats in
+    if mu0 <= 0. || mu1 <= 0. then
+      invalid_arg "Waveform.generate: degenerate statistics (P=0 or 1 with D>0)";
+    let initial = Rng.bernoulli rng (Signal_stats.prob stats) in
+    let rec walk time value acc =
+      let hold = Rng.exponential rng (if value then mu1 else mu0) in
+      let time = time +. hold in
+      if time >= horizon then List.rev acc
+      else walk time (not value) (time :: acc)
+    in
+    let times = walk 0. initial [] in
+    make ~initial ~transitions:(Array.of_list times) ~horizon
+  end

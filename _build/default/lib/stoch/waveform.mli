@@ -1,0 +1,48 @@
+(** Piecewise-constant 0-1 waveforms over continuous time.
+
+    A waveform starts at time 0 with [initial] value and toggles at each
+    strictly increasing transition time. Waveforms are the interface
+    between the stochastic input model and the switch-level simulator,
+    and the empirical counterpart of {!Signal_stats}. *)
+
+type t
+
+val make : initial:bool -> transitions:float array -> horizon:float -> t
+(** [make ~initial ~transitions ~horizon] builds a waveform defined on
+    [\[0, horizon\]].
+    @raise Invalid_argument if the transition times are not strictly
+    increasing, not positive, or exceed [horizon]. *)
+
+val initial : t -> bool
+val horizon : t -> float
+
+val transitions : t -> float array
+(** Transition instants, strictly increasing. The returned array is
+    fresh. *)
+
+val transition_count : t -> int
+
+val value_at : t -> float -> bool
+(** [value_at w time] is the signal value at [time] (right-continuous:
+    at a transition instant the new value holds). *)
+
+val measure : t -> Signal_stats.t
+(** Empirical equilibrium probability (time-weighted fraction at 1) and
+    transition density (transitions / horizon).
+    @raise Invalid_argument on a zero-length horizon. *)
+
+val constant : bool -> horizon:float -> t
+
+val of_bits : bits:bool array -> period:float -> t
+(** Clocked waveform: [bits.(k)] holds during
+    [\[k*period, (k+1)*period)]. Only value changes become transitions.
+    @raise Invalid_argument if [bits] is empty or [period <= 0]. *)
+
+val generate : Rng.t -> Signal_stats.t -> horizon:float -> t
+(** Sample a stationary 0-1 Markov process realizing the given
+    statistics (§3.1 of the paper): exponential holding times with means
+    [2(1-P)/D] and [2P/D], initial state drawn from the equilibrium
+    distribution. Constant statistics yield a constant waveform. *)
+
+val fold_intervals : t -> init:'a -> f:('a -> start:float -> stop:float -> value:bool -> 'a) -> 'a
+(** Folds over the maximal constant intervals covering [\[0, horizon\]]. *)

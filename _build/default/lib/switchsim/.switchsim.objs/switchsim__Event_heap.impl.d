@@ -1,0 +1,1 @@
+lib/switchsim/event_heap.ml: Array

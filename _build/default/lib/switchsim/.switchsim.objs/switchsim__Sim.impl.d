@@ -1,0 +1,1 @@
+lib/switchsim/sim.ml: Array Cell Event_heap Float Hashtbl List Netlist Sp Stoch

@@ -1,0 +1,1 @@
+lib/switchsim/sim.mli: Cell Netlist Stoch

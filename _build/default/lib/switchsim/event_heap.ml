@@ -1,0 +1,65 @@
+type 'a entry = { time : float; payload : 'a }
+
+type 'a t = { mutable data : 'a entry array; mutable len : int }
+
+let create () = { data = [||]; len = 0 }
+
+let is_empty h = h.len = 0
+let size h = h.len
+
+let grow h filler =
+  let capacity = Array.length h.data in
+  if h.len >= capacity then begin
+    let fresh = max 16 (2 * capacity) in
+    let data = Array.make fresh filler in
+    Array.blit h.data 0 data 0 h.len;
+    h.data <- data
+  end
+
+let swap h i j =
+  let tmp = h.data.(i) in
+  h.data.(i) <- h.data.(j);
+  h.data.(j) <- tmp
+
+let rec sift_up h i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if h.data.(i).time < h.data.(parent).time then begin
+      swap h i parent;
+      sift_up h parent
+    end
+  end
+
+let rec sift_down h i =
+  let left = (2 * i) + 1 in
+  let right = left + 1 in
+  let smallest = ref i in
+  if left < h.len && h.data.(left).time < h.data.(!smallest).time then
+    smallest := left;
+  if right < h.len && h.data.(right).time < h.data.(!smallest).time then
+    smallest := right;
+  if !smallest <> i then begin
+    swap h i !smallest;
+    sift_down h !smallest
+  end
+
+let push h ~time payload =
+  let entry = { time; payload } in
+  grow h entry;
+  h.data.(h.len) <- entry;
+  h.len <- h.len + 1;
+  sift_up h (h.len - 1)
+
+let pop h =
+  if h.len = 0 then None
+  else begin
+    let top = h.data.(0) in
+    h.len <- h.len - 1;
+    if h.len > 0 then begin
+      h.data.(0) <- h.data.(h.len);
+      sift_down h 0
+    end;
+    Some (top.time, top.payload)
+  end
+
+let peek_time h = if h.len = 0 then None else Some h.data.(0).time

@@ -1,0 +1,18 @@
+(** Binary min-heap of timestamped events for the timed simulator.
+
+    Stale entries are handled by the consumer (lazy deletion): each
+    payload carries whatever serial number the caller needs to recognize
+    superseded events. *)
+
+type 'a t
+
+val create : unit -> 'a t
+val is_empty : 'a t -> bool
+val size : 'a t -> int
+
+val push : 'a t -> time:float -> 'a -> unit
+
+val pop : 'a t -> (float * 'a) option
+(** Smallest time first; ties pop in unspecified order. *)
+
+val peek_time : 'a t -> float option

@@ -1,0 +1,488 @@
+module C = Netlist.Circuit
+module W = Stoch.Waveform
+
+type value = V0 | V1 | VX
+
+(* Local node numbering inside one gate: 0 = vdd, 1 = vss, 2 = output,
+   3+i = internal node i. *)
+let vdd_node = 0
+let vss_node = 1
+let out_node = 2
+
+type sim_device = {
+  net : int;  (* controlling circuit net *)
+  polarity : Sp.Sp_tree.polarity;
+  a : int;
+  b : int;  (* local terminal nodes *)
+}
+
+type sim_gate = {
+  devices : sim_device array;
+  n_nodes : int;
+  caps : float array;  (* per local node; 0 for the rails *)
+  output_net : int;
+  adjacency : (int * int) array array;  (* node -> (device index, other node) *)
+}
+
+type t = {
+  circ : C.t;
+  proc : Cell.Process.t;
+  gates : sim_gate array;
+  topo : int array;
+  readers : int list array;  (* net -> reading gate indices *)
+}
+
+let local_of_node = function
+  | Sp.Network.Vdd -> vdd_node
+  | Sp.Network.Vss -> vss_node
+  | Sp.Network.Output -> out_node
+  | Sp.Network.Internal i -> 3 + i
+
+let default_external_load = 20e-15
+
+let build proc ?(external_load = default_external_load) circ =
+  let pin_cap cell pin =
+    let network = Cell.Config.network (Cell.Config.reference cell) in
+    Cell.Process.input_pin_capacitance proc network pin
+  in
+  let build_gate g (gate : C.gate) =
+    ignore g;
+    let configs = Cell.Config.all gate.C.cell in
+    let config = List.nth configs gate.C.config in
+    let network = Cell.Config.network config in
+    let n_nodes = 3 + Sp.Network.internal_count network in
+    let devices =
+      Array.of_list
+        (List.map
+           (fun (d : Sp.Network.device) ->
+             {
+               net = gate.C.fanins.(d.input);
+               polarity = d.polarity;
+               a = local_of_node d.a;
+               b = local_of_node d.b;
+             })
+           (Sp.Network.devices network))
+    in
+    let caps = Array.make n_nodes 0. in
+    List.iter
+      (fun node ->
+        caps.(local_of_node node) <-
+          Cell.Process.node_capacitance proc network node)
+      (Sp.Network.power_nodes network);
+    (* Fan-out load on the output node, mirroring the estimator. *)
+    let fanout_load =
+      List.fold_left
+        (fun acc (reader, pin) ->
+          acc +. pin_cap (C.gate_at circ reader).C.cell pin)
+        0.
+        (C.readers circ gate.C.output)
+    in
+    let external_part =
+      if C.is_primary_output circ gate.C.output then external_load else 0.
+    in
+    caps.(out_node) <- caps.(out_node) +. fanout_load +. external_part;
+    let adjacency = Array.make n_nodes [] in
+    Array.iteri
+      (fun i d ->
+        adjacency.(d.a) <- (i, d.b) :: adjacency.(d.a);
+        adjacency.(d.b) <- (i, d.a) :: adjacency.(d.b))
+      devices;
+    {
+      devices;
+      n_nodes;
+      caps;
+      output_net = gate.C.output;
+      adjacency = Array.map Array.of_list adjacency;
+    }
+  in
+  {
+    circ;
+    proc;
+    gates = Array.mapi build_gate (C.gates circ);
+    topo = Array.of_list (C.topological_order circ);
+    readers =
+      Array.init (C.net_count circ) (fun n ->
+          List.map fst (C.readers circ n));
+  }
+
+let circuit t = t.circ
+
+type result = {
+  horizon : float;
+  events : int;
+  energy : float;
+  power : float;
+  per_gate_energy : float array;
+  net_toggles : int array;
+  net_high_time : float array;
+}
+
+(* Reachability over conducting devices, as a bitmask of local nodes.
+   [on] decides whether each device conducts. *)
+let reach gate ~on start =
+  let mask = ref (1 lsl start) in
+  let stack = ref [ start ] in
+  while !stack <> [] do
+    match !stack with
+    | [] -> ()
+    | node :: rest ->
+        stack := rest;
+        Array.iter
+          (fun (di, other) ->
+            if !mask land (1 lsl other) = 0 && on gate.devices.(di) then begin
+              mask := !mask lor (1 lsl other);
+              stack := other :: !stack
+            end)
+          gate.adjacency.(node)
+  done;
+  !mask
+
+let device_definitely_on net_values d =
+  match (net_values.(d.net), d.polarity) with
+  | V1, Sp.Sp_tree.Nmos | V0, Sp.Sp_tree.Pmos -> true
+  | (V0 | V1 | VX), _ -> false
+
+let device_maybe_on net_values d =
+  match net_values.(d.net) with
+  | VX -> true
+  | V0 | V1 -> device_definitely_on net_values d
+
+type state = {
+  sim : t;
+  net_values : value array;
+  node_states : value array array;  (* per gate, per local node *)
+  dirty : bool array;  (* per gate *)
+  mutable energy : float;
+  per_gate_energy : float array;
+  net_toggles : int array;
+  net_high_time : float array;
+  net_last_change : float array;
+  mutable accounting_from : float;
+}
+
+let fresh_state sim warmup =
+  let n_nets = C.net_count sim.circ in
+  {
+    sim;
+    net_values = Array.make n_nets VX;
+    node_states =
+      Array.map
+        (fun g ->
+          let a = Array.make g.n_nodes VX in
+          a.(vdd_node) <- V1;
+          a.(vss_node) <- V0;
+          a)
+        sim.gates;
+    dirty = Array.make (Array.length sim.gates) false;
+    energy = 0.;
+    per_gate_energy = Array.make (Array.length sim.gates) 0.;
+    net_toggles = Array.make n_nets 0;
+    net_high_time = Array.make n_nets 0.;
+    net_last_change = Array.make n_nets 0.;
+    accounting_from = warmup;
+  }
+
+(* Accrue the time the net spent at 1 since its last change, clipped to
+   the accounting window. *)
+let accrue_high st ~now net =
+  if st.net_values.(net) = V1 then begin
+    let from = Float.max st.net_last_change.(net) st.accounting_from in
+    if now > from then st.net_high_time.(net) <- st.net_high_time.(net) +. (now -. from)
+  end
+
+let set_net st ~now ~accounting net v =
+  let old = st.net_values.(net) in
+  if old <> v then begin
+    accrue_high st ~now net;
+    if accounting then begin
+      match (old, v) with
+      | (V0, V1) | (V1, V0) -> st.net_toggles.(net) <- st.net_toggles.(net) + 1
+      | (V0 | V1 | VX), (V0 | V1 | VX) -> ()
+    end;
+    st.net_values.(net) <- v;
+    st.net_last_change.(net) <- now;
+    List.iter (fun g -> st.dirty.(g) <- true) st.sim.readers.(net)
+  end
+
+(* Solve one gate's node states against the current net values, without
+   committing anything: returns the array of next values (previous
+   values persist on isolated, charge-holding nodes). *)
+let solve st g =
+  let gate = st.sim.gates.(g) in
+  let states = st.node_states.(g) in
+  let definite = device_definitely_on st.net_values in
+  let maybe = device_maybe_on st.net_values in
+  let r1 = reach gate ~on:definite vdd_node in
+  let r0 = reach gate ~on:definite vss_node in
+  let m1 = reach gate ~on:maybe vdd_node in
+  let m0 = reach gate ~on:maybe vss_node in
+  Array.init gate.n_nodes (fun node ->
+      if node < out_node then states.(node)
+      else
+        let bit = 1 lsl node in
+        if r1 land bit <> 0 && m0 land bit = 0 then V1
+        else if r0 land bit <> 0 && m1 land bit = 0 then V0
+        else if m1 land bit = 0 && m0 land bit = 0 then states.(node)
+        else VX)
+
+(* Commit one node's new value, depositing charging energy when it
+   rises inside the accounting window. *)
+let commit_node st ~accounting g node next =
+  let gate = st.sim.gates.(g) in
+  let states = st.node_states.(g) in
+  let prev = states.(node) in
+  if next <> prev then begin
+    if accounting && next = V1 then begin
+      let vdd = st.sim.proc.Cell.Process.vdd in
+      let scale = match prev with V0 -> 1. | VX -> 0.5 | V1 -> 0. in
+      let e = scale *. gate.caps.(node) *. vdd *. vdd in
+      st.energy <- st.energy +. e;
+      st.per_gate_energy.(g) <- st.per_gate_energy.(g) +. e
+    end;
+    states.(node) <- next
+  end
+
+(* Zero-delay evaluation: commit every powered node immediately and
+   return the new output value. *)
+let evaluate_gate st ~accounting g =
+  let next = solve st g in
+  let gate = st.sim.gates.(g) in
+  for node = out_node to gate.n_nodes - 1 do
+    commit_node st ~accounting g node next.(node)
+  done;
+  next.(out_node)
+
+(* Sweep all dirty gates in topological order, propagating output
+   changes onward. *)
+let settle st ~now ~accounting =
+  Array.iter
+    (fun g ->
+      if st.dirty.(g) then begin
+        st.dirty.(g) <- false;
+        let out = evaluate_gate st ~accounting g in
+        set_net st ~now ~accounting st.sim.gates.(g).output_net out
+      end)
+    st.sim.topo
+
+let run t ?(warmup = 0.) ~inputs () =
+  let pis = C.primary_inputs t.circ in
+  let horizon =
+    match pis with
+    | [] -> invalid_arg "Switchsim.run: circuit has no primary inputs"
+    | first :: rest ->
+        let h = W.horizon (inputs first) in
+        List.iter
+          (fun net ->
+            if W.horizon (inputs net) <> h then
+              invalid_arg "Switchsim.run: waveform horizons differ")
+          rest;
+        h
+  in
+  if warmup < 0. || warmup >= horizon then
+    invalid_arg "Switchsim.run: warmup outside [0, horizon)";
+  let st = fresh_state t warmup in
+  (* Initial values at t = 0, no energy accounting. *)
+  List.iter
+    (fun net ->
+      st.net_values.(net) <- (if W.initial (inputs net) then V1 else V0))
+    pis;
+  Array.iter (fun g -> st.dirty.(g) <- true) t.topo;
+  settle st ~now:0. ~accounting:false;
+  (* Merge the per-input event streams by time. *)
+  let events =
+    List.concat_map
+      (fun net ->
+        Array.to_list (Array.map (fun time -> (time, net)) (W.transitions (inputs net))))
+      pis
+    |> List.sort (fun (t1, _) (t2, _) -> Float.compare t1 t2)
+  in
+  let n_events = List.length events in
+  (* Events sharing an instant (clocked stimuli) are applied together
+     before settling, otherwise phantom glitches appear between the
+     partial input updates. *)
+  let flip ~now ~accounting net =
+    let flipped =
+      match st.net_values.(net) with V1 -> V0 | V0 -> V1 | VX -> V1
+    in
+    set_net st ~now ~accounting net flipped
+  in
+  let rec process = function
+    | [] -> ()
+    | (now, net) :: rest ->
+        let accounting = now >= warmup in
+        flip ~now ~accounting net;
+        let rec simultaneous = function
+          | (t, other) :: more when t = now ->
+              flip ~now ~accounting other;
+              simultaneous more
+          | remaining -> remaining
+        in
+        let rest = simultaneous rest in
+        settle st ~now ~accounting;
+        process rest
+  in
+  process events;
+  (* Flush high-time up to the horizon. *)
+  Array.iteri (fun net _ -> accrue_high st ~now:horizon net) st.net_values;
+  let window = horizon -. warmup in
+  {
+    horizon = window;
+    events = n_events;
+    energy = st.energy;
+    power = st.energy /. window;
+    per_gate_energy = st.per_gate_energy;
+    net_toggles = st.net_toggles;
+    net_high_time = st.net_high_time;
+  }
+
+let run_stats t ~rng ~stats ~horizon ?(warmup = 0.) () =
+  let table = Hashtbl.create 16 in
+  List.iter
+    (fun net ->
+      let stream = Stoch.Rng.split rng in
+      Hashtbl.add table net (W.generate stream (stats net) ~horizon))
+    (C.primary_inputs t.circ);
+  let inputs net =
+    match Hashtbl.find_opt table net with
+    | Some w -> w
+    | None -> invalid_arg "Switchsim.run_stats: not a primary input net"
+  in
+  run t ~warmup ~inputs ()
+
+(* --- timed (inertial) mode --- *)
+
+type timed_event =
+  | Input_toggle of int  (* net *)
+  | Commit of int * int  (* gate, serial; stale when the serial moved on *)
+
+let run_timed t ?(warmup = 0.) ~gate_delay ~inputs () =
+  let pis = C.primary_inputs t.circ in
+  let horizon =
+    match pis with
+    | [] -> invalid_arg "Switchsim.run: circuit has no primary inputs"
+    | first :: rest ->
+        let h = W.horizon (inputs first) in
+        List.iter
+          (fun net ->
+            if W.horizon (inputs net) <> h then
+              invalid_arg "Switchsim.run: waveform horizons differ")
+          rest;
+        h
+  in
+  if warmup < 0. || warmup >= horizon then
+    invalid_arg "Switchsim.run: warmup outside [0, horizon)";
+  let n_gates = Array.length t.gates in
+  let delays =
+    Array.init n_gates (fun g ->
+        let d = gate_delay g in
+        if d < 0. || not (Float.is_finite d) then
+          invalid_arg "Switchsim.run_timed: negative gate delay";
+        d)
+  in
+  let st = fresh_state t warmup in
+  (* Initial values at t = 0 settle with zero delay, no accounting. *)
+  List.iter
+    (fun net ->
+      st.net_values.(net) <- (if W.initial (inputs net) then V1 else V0))
+    pis;
+  Array.iter (fun g -> st.dirty.(g) <- true) t.topo;
+  settle st ~now:0. ~accounting:false;
+  let heap = Event_heap.create () in
+  let n_events = ref 0 in
+  List.iter
+    (fun net ->
+      Array.iter
+        (fun time ->
+          incr n_events;
+          Event_heap.push heap ~time (Input_toggle net))
+        (W.transitions (inputs net)))
+    pis;
+  (* Per-gate pending output commit, invalidated by bumping the serial
+     (lazy deletion in the heap). *)
+  let serial = Array.make n_gates 0 in
+  let pending = Array.make n_gates VX in
+  let has_pending = Array.make n_gates false in
+  let schedule now g v =
+    serial.(g) <- serial.(g) + 1;
+    pending.(g) <- v;
+    has_pending.(g) <- true;
+    Event_heap.push heap ~time:(now +. delays.(g)) (Commit (g, serial.(g)))
+  in
+  let cancel g =
+    serial.(g) <- serial.(g) + 1;
+    has_pending.(g) <- false
+  in
+  (* A gate reacts to an input change: internal nodes follow at once
+     (their RC is folded into the gate delay), the output transition is
+     scheduled after the inertial delay — or absorbed if the inputs
+     moved back first. *)
+  let react now ~accounting g =
+    let next = solve st g in
+    let gate = t.gates.(g) in
+    for node = out_node + 1 to gate.n_nodes - 1 do
+      commit_node st ~accounting g node next.(node)
+    done;
+    let v = next.(out_node) in
+    let current = st.net_values.(gate.output_net) in
+    if has_pending.(g) then begin
+      if v = pending.(g) then ()
+      else if v = current then cancel g
+      else schedule now g v
+    end
+    else if v <> current then schedule now g v
+  in
+  let rec drain () =
+    match Event_heap.pop heap with
+    | None -> ()
+    | Some (now, event) ->
+        let accounting = now >= warmup in
+        begin match event with
+        | Input_toggle net ->
+            let flipped =
+              match st.net_values.(net) with V1 -> V0 | V0 -> V1 | VX -> V1
+            in
+            set_net st ~now ~accounting net flipped;
+            List.iter (react now ~accounting) t.readers.(net)
+        | Commit (g, s) ->
+            if has_pending.(g) && s = serial.(g) then begin
+              has_pending.(g) <- false;
+              let v = pending.(g) in
+              let gate = t.gates.(g) in
+              commit_node st ~accounting g out_node v;
+              set_net st ~now ~accounting gate.output_net v;
+              List.iter (react now ~accounting) t.readers.(gate.output_net)
+            end
+        end;
+        drain ()
+  in
+  drain ();
+  Array.iteri (fun net _ -> accrue_high st ~now:horizon net) st.net_values;
+  let window = horizon -. warmup in
+  {
+    horizon = window;
+    events = !n_events;
+    energy = st.energy;
+    power = st.energy /. window;
+    per_gate_energy = st.per_gate_energy;
+    net_toggles = st.net_toggles;
+    net_high_time = st.net_high_time;
+  }
+
+let run_timed_stats t ~rng ~stats ~gate_delay ~horizon ?(warmup = 0.) () =
+  let table = Hashtbl.create 16 in
+  List.iter
+    (fun net ->
+      let stream = Stoch.Rng.split rng in
+      Hashtbl.add table net (W.generate stream (stats net) ~horizon))
+    (C.primary_inputs t.circ);
+  let inputs net =
+    match Hashtbl.find_opt table net with
+    | Some w -> w
+    | None -> invalid_arg "Switchsim.run_stats: not a primary input net"
+  in
+  run_timed t ~warmup ~gate_delay ~inputs ()
+
+let measured_stats (r : result) net =
+  Stoch.Signal_stats.make
+    ~prob:(Float.min 1. (r.net_high_time.(net) /. r.horizon))
+    ~density:(float_of_int r.net_toggles.(net) /. r.horizon)

@@ -1,0 +1,95 @@
+(** Event-driven switch-level simulation with capacitor-charging energy
+    accounting — the measurement instrument of the paper's Table 3
+    (column S), substituting for the SLS simulator [11].
+
+    The circuit is simulated at the transistor level: each gate instance
+    is its configured transistor graph; on every input event the fan-out
+    cone is re-solved by path analysis (a node is high if a conducting
+    path links it to vdd, low if to vss, holds its charge when isolated;
+    complementary gates guarantee no shorts). Every low→high transition
+    of a node deposits [C·Vdd²] of energy; average power is energy over
+    the measurement window.
+
+    Signal values are ternary: nodes that have never been driven are
+    unknown ([X]); a charge from X is counted at half energy. Primary
+    inputs are always known, so gate outputs are always known too. *)
+
+type t
+(** Static simulation structure for one circuit (configurations baked
+    in — rebuild after {!Netlist.Circuit.with_configs}). *)
+
+val build :
+  Cell.Process.t -> ?external_load:float -> Netlist.Circuit.t -> t
+(** Node capacitances follow the same model as the power estimator:
+    junction + wire per node, fan-out pins + [external_load] (default
+    20 fF) on output nets. *)
+
+val circuit : t -> Netlist.Circuit.t
+
+type result = {
+  horizon : float;  (** measurement window, s (excludes warm-up) *)
+  events : int;  (** primary-input transitions processed *)
+  energy : float;  (** J over the window *)
+  power : float;  (** [energy /. horizon], W *)
+  per_gate_energy : float array;  (** J, by gate index *)
+  net_toggles : int array;  (** 0↔1 transitions per net *)
+  net_high_time : float array;  (** s spent at 1 per net *)
+}
+
+val run :
+  t -> ?warmup:float -> inputs:(Netlist.Circuit.net -> Stoch.Waveform.t) -> unit -> result
+(** Drives every primary input with its waveform. All waveforms must
+    share one horizon; energy and statistics are collected from
+    [warmup] (default 0) to the horizon.
+    @raise Invalid_argument on mismatched horizons or a warm-up beyond
+    the horizon. *)
+
+val run_stats :
+  t ->
+  rng:Stoch.Rng.t ->
+  stats:(Netlist.Circuit.net -> Stoch.Signal_stats.t) ->
+  horizon:float ->
+  ?warmup:float ->
+  unit ->
+  result
+(** Generates stationary Markov waveforms realizing [stats] (one
+    independent RNG stream per input) and runs. *)
+
+(** {1 Timed (inertial) mode}
+
+    The zero-delay run settles the whole circuit instantaneously, so it
+    never produces the {e useless transitions} (glitches) the paper's
+    introduction blames for a large fraction of dynamic power. The timed
+    mode delays each gate's {e output} by a caller-supplied inertial
+    delay (internal nodes still follow the inputs immediately): output
+    pulses shorter than the gate delay are absorbed, staggered input
+    arrivals produce glitches, and the energy accounting picks them up.
+    Compare a timed run against a zero-delay run on the same stimulus to
+    measure glitch power. *)
+
+val run_timed :
+  t ->
+  ?warmup:float ->
+  gate_delay:(int -> float) ->
+  inputs:(Netlist.Circuit.net -> Stoch.Waveform.t) ->
+  unit ->
+  result
+(** [gate_delay g] is the inertial propagation delay (seconds) of gate
+    index [g] under its current configuration and load — typically
+    [Delay.Elmore.worst_delay].
+    @raise Invalid_argument as {!run}, or on a negative gate delay. *)
+
+val run_timed_stats :
+  t ->
+  rng:Stoch.Rng.t ->
+  stats:(Netlist.Circuit.net -> Stoch.Signal_stats.t) ->
+  gate_delay:(int -> float) ->
+  horizon:float ->
+  ?warmup:float ->
+  unit ->
+  result
+(** Stochastic-stimulus variant of {!run_timed}; with equal [rng], it
+    drives exactly the waveforms {!run_stats} would. *)
+
+val measured_stats : result -> Netlist.Circuit.net -> Stoch.Signal_stats.t
+(** Empirical probability / density of a net over the window. *)

@@ -1,0 +1,1 @@
+test/test_cell.ml: Alcotest Bdd Cell Float List QCheck QCheck_alcotest Sp Stdlib

@@ -1,0 +1,1 @@
+test/test_circuits.ml: Alcotest Array Char Circuits List Netlist Printf QCheck QCheck_alcotest String

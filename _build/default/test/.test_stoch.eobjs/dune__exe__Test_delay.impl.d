@@ -1,0 +1,1 @@
+test/test_delay.ml: Alcotest Array Cell Delay Float Fun List Netlist QCheck QCheck_alcotest

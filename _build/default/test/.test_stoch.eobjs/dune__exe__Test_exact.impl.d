@@ -1,0 +1,1 @@
+test/test_exact.ml: Alcotest Array Cell Circuits Experiments Float List Netlist Option Power Printf QCheck QCheck_alcotest Stoch

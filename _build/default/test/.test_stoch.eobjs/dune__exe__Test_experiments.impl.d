@@ -1,0 +1,1 @@
+test/test_experiments.ml: Alcotest Cell Circuits Experiments List Power Printf Report String

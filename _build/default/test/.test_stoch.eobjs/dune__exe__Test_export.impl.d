@@ -1,0 +1,1 @@
+test/test_export.ml: Alcotest Cell Circuits Experiments List Sp String

@@ -1,0 +1,1 @@
+test/test_gate_accuracy.ml: Alcotest Cell Experiments Float List String

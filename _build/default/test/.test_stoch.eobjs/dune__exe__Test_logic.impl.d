@@ -1,0 +1,1 @@
+test/test_logic.ml: Alcotest Array Bdd Bytes Cell Char Delay Hashtbl List Logic Netlist Option Power Printf QCheck QCheck_alcotest Reorder Stoch String

@@ -1,0 +1,1 @@
+test/test_netlist.ml: Alcotest Array Bytes Cell Char Circuits Filename Fun Hashtbl List Netlist Option Printf QCheck QCheck_alcotest Stoch String Sys

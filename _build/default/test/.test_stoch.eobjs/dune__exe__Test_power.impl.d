@@ -1,0 +1,1 @@
+test/test_power.ml: Alcotest Array Cell Float Fun List Netlist Option Power QCheck QCheck_alcotest Sp Stoch

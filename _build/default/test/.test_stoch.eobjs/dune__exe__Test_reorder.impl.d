@@ -1,0 +1,1 @@
+test/test_reorder.ml: Alcotest Array Cell Circuits Delay Float Fun Hashtbl List Netlist Power Printf QCheck QCheck_alcotest Reorder Stoch

@@ -1,0 +1,1 @@
+test/test_seq.ml: Alcotest Array Cell Circuits Delay Float Hashtbl List Netlist Power Printf Reorder Sequential Stoch String

@@ -1,0 +1,1 @@
+test/test_sp.ml: Alcotest Bdd Fun List QCheck QCheck_alcotest Sp

@@ -1,0 +1,1 @@
+test/test_stoch.ml: Alcotest Array Float Fun QCheck QCheck_alcotest Stoch

@@ -1,0 +1,1 @@
+test/test_switchsim.ml: Alcotest Array Cell Circuits Float Hashtbl List Netlist Option Power Printf QCheck QCheck_alcotest Stoch Switchsim

@@ -1,0 +1,1 @@
+test/test_timed.ml: Alcotest Array Cell Circuits Delay List Netlist Option Printf QCheck QCheck_alcotest Stoch Switchsim

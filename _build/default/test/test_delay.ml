@@ -1,0 +1,197 @@
+(* Tests for the Elmore delay model and static timing analysis. The key
+   behavioural check: a critical input placed next to the output makes
+   the gate faster than next to the rail (§5's rule of thumb). *)
+
+module El = Delay.Elmore
+module Sta = Delay.Sta
+module C = Netlist.Circuit
+module B = Netlist.Builder
+
+let proc = Cell.Process.default
+let table () = El.table proc
+let gate = Cell.Gate.of_name
+
+(* Hand calculation for the inverter: single NMOS / single PMOS.
+   Fall: τ = (C_out + load)·R_n with C_out = 3 junctions + wire. *)
+let test_inverter_hand_computed () =
+  let t = table () in
+  let c_out = (2. *. 6e-15) +. 15e-15 in
+  let load = 10e-15 in
+  let rise, fall = El.pin_delay_rise_fall t (gate "inv") ~config:0 ~pin:0 ~load in
+  Alcotest.(check (float 1e-15)) "fall = (C+L)Rn" ((c_out +. load) *. 5e3) fall;
+  Alcotest.(check (float 1e-15)) "rise = (C+L)Rp" ((c_out +. load) *. 10e3) rise
+
+(* nand2: output has 3 terminals + wire; internal node 2 terminals.
+   Pull-down chain [x0 near output; x1 near ground].
+   Pin x0 last: only C_out discharges through both NMOS: τ = C_out·2Rn.
+   Pin x1 last: C_out·2Rn + C_int·Rn (internal node still charged). *)
+let test_nand2_position_dependence () =
+  let t = table () in
+  let c_out = (3. *. 6e-15) +. 15e-15 in
+  let c_int = 2. *. 6e-15 in
+  let r = 5e3 in
+  let _, fall0 = El.pin_delay_rise_fall t (gate "nand2") ~config:0 ~pin:0 ~load:0. in
+  let _, fall1 = El.pin_delay_rise_fall t (gate "nand2") ~config:0 ~pin:1 ~load:0. in
+  Alcotest.(check (float 1e-15)) "near-output pin" (c_out *. 2. *. r) fall0;
+  Alcotest.(check (float 1e-15)) "near-rail pin"
+    ((c_out *. 2. *. r) +. (c_int *. r))
+    fall1;
+  Alcotest.(check bool) "output-adjacent critical pin is faster" true
+    (fall0 < fall1)
+
+let test_reordering_swaps_pin_delays () =
+  (* Config 1 of nand2 swaps the chain; pin roles must swap. *)
+  let t = table () in
+  let d config pin =
+    snd (El.pin_delay_rise_fall t (gate "nand2") ~config ~pin ~load:0.)
+  in
+  Alcotest.(check (float 1e-18)) "pin0 cfg0 = pin1 cfg1" (d 0 0) (d 1 1);
+  Alcotest.(check (float 1e-18)) "pin1 cfg0 = pin0 cfg1" (d 0 1) (d 1 0)
+
+let test_delay_affine_in_load () =
+  let t = table () in
+  let d load = El.pin_delay t (gate "nand3") ~config:0 ~pin:1 ~load in
+  let d0 = d 0. and d1 = d 10e-15 and d2 = d 20e-15 in
+  Alcotest.(check (float 1e-18)) "affine" (d1 -. d0) (d2 -. d1);
+  Alcotest.(check bool) "increasing" true (d2 > d1 && d1 > d0)
+
+let test_worst_delay_is_max_pin () =
+  let t = table () in
+  let g = gate "oai21" in
+  let w = El.worst_delay t g ~config:0 ~load:5e-15 in
+  let pins =
+    List.init (Cell.Gate.arity g) (fun pin ->
+        El.pin_delay t g ~config:0 ~pin ~load:5e-15)
+  in
+  Alcotest.(check (float 1e-18)) "max" (List.fold_left Float.max 0. pins) w
+
+let test_validation () =
+  let t = table () in
+  Alcotest.check_raises "negative load" (Invalid_argument "Delay.Elmore: negative load")
+    (fun () -> ignore (El.pin_delay t (gate "inv") ~config:0 ~pin:0 ~load:(-1.)));
+  Alcotest.check_raises "bad pin" (Invalid_argument "Delay.Elmore: pin out of range")
+    (fun () -> ignore (El.pin_delay t (gate "inv") ~config:0 ~pin:3 ~load:0.));
+  Alcotest.check_raises "bad config"
+    (Invalid_argument "Delay.Elmore: configuration index out of range")
+    (fun () -> ignore (El.pin_delay t (gate "inv") ~config:9 ~pin:0 ~load:0.))
+
+(* Property: every pin of every configuration of every library gate has
+   positive rise and fall delays (complementary gates always have a path
+   through each pin). *)
+let prop_all_pins_positive =
+  let gates = Array.of_list Cell.Gate.library in
+  QCheck.Test.make ~name:"all pins of all configs have positive delays"
+    ~count:(Array.length gates)
+    (QCheck.make
+       ~print:(fun i -> Cell.Gate.name gates.(i))
+       QCheck.Gen.(int_bound (Array.length gates - 1)))
+    (fun gi ->
+      let t = table () in
+      let g = gates.(gi) in
+      List.for_all
+        (fun config ->
+          List.for_all
+            (fun pin ->
+              let rise, fall = El.pin_delay_rise_fall t g ~config ~pin ~load:1e-15 in
+              rise > 0. && fall > 0.)
+            (List.init (Cell.Gate.arity g) Fun.id))
+        (List.init (Cell.Gate.config_count g) Fun.id))
+
+(* --- STA --- *)
+
+let chain_of_inverters n =
+  let b = B.create ~name:"chain" in
+  let x = B.input b "x" in
+  let rec go i net = if i = 0 then net else go (i - 1) (B.inv b net) in
+  let out = go n x in
+  B.output b out;
+  B.finish b
+
+let test_sta_chain_monotone () =
+  let t = table () in
+  let d n = Sta.critical_delay (Sta.run t (chain_of_inverters n)) in
+  Alcotest.(check bool) "longer chain is slower" true
+    (d 8 > d 4 && d 4 > d 2 && d 2 > 0.)
+
+let test_sta_inverter_exact () =
+  let t = table () in
+  let sta = Sta.run t ~external_load:10e-15 (chain_of_inverters 1) in
+  let c_out = (2. *. 6e-15) +. 15e-15 in
+  Alcotest.(check (float 1e-15)) "rise delay through PMOS"
+    ((c_out +. 10e-15) *. 10e3)
+    (Sta.critical_delay sta)
+
+let test_sta_arrival_and_path () =
+  let t = table () in
+  let c = chain_of_inverters 3 in
+  let sta = Sta.run t c in
+  let path = Sta.critical_path sta in
+  Alcotest.(check int) "path visits input + 3 outputs" 4 (List.length path);
+  (match path with
+  | first :: _ ->
+      Alcotest.(check (float 0.)) "starts at arrival 0" 0. (Sta.arrival sta first)
+  | [] -> Alcotest.fail "empty path");
+  (match Sta.critical_output sta with
+  | Some out ->
+      Alcotest.(check (float 1e-18)) "critical = arrival at output"
+        (Sta.arrival sta out) (Sta.critical_delay sta)
+  | None -> Alcotest.fail "no critical output")
+
+let test_sta_config_affects_delay () =
+  (* nand3 with the critical (late) input: placing its transistor near
+     the output net shortens the circuit delay. Build a circuit where
+     input c arrives late (behind two inverters) and feeds pin 0 or 2. *)
+  let build pin_for_late =
+    let b = B.create ~name:"late" in
+    let a = B.input b "a" in
+    let c0 = B.input b "c" in
+    let late = B.inv b (B.inv b c0) in
+    let pins =
+      match pin_for_late with
+      | 0 -> [ late; a; a ]
+      | _ -> [ a; a; late ]
+    in
+    let y = B.gate b "nand3" pins in
+    B.output b y;
+    B.finish b
+  in
+  let t = table () in
+  let d pin = Sta.critical_delay (Sta.run t (build pin)) in
+  (* Pin 0 is laid next to the output in the reference nand3 config. *)
+  Alcotest.(check bool) "late input near output is faster" true (d 0 < d 2)
+
+let test_sta_empty_circuit () =
+  let b = B.create ~name:"wires" in
+  let x = B.input b "x" in
+  B.output b x;
+  let c = B.finish b in
+  let t = table () in
+  Alcotest.(check (float 0.)) "no gates, no delay" 0.
+    (Sta.critical_delay (Sta.run t c))
+
+let () =
+  Alcotest.run "delay"
+    [
+      ( "elmore",
+        [
+          Alcotest.test_case "inverter hand-computed" `Quick
+            test_inverter_hand_computed;
+          Alcotest.test_case "nand2 position dependence" `Quick
+            test_nand2_position_dependence;
+          Alcotest.test_case "reordering swaps pin delays" `Quick
+            test_reordering_swaps_pin_delays;
+          Alcotest.test_case "affine in load" `Quick test_delay_affine_in_load;
+          Alcotest.test_case "worst = max pin" `Quick test_worst_delay_is_max_pin;
+          Alcotest.test_case "validation" `Quick test_validation;
+          QCheck_alcotest.to_alcotest prop_all_pins_positive;
+        ] );
+      ( "sta",
+        [
+          Alcotest.test_case "chain monotone" `Quick test_sta_chain_monotone;
+          Alcotest.test_case "inverter exact" `Quick test_sta_inverter_exact;
+          Alcotest.test_case "arrival and path" `Quick test_sta_arrival_and_path;
+          Alcotest.test_case "config affects delay" `Quick
+            test_sta_config_affects_delay;
+          Alcotest.test_case "empty circuit" `Quick test_sta_empty_circuit;
+        ] );
+    ]

@@ -1,0 +1,141 @@
+(* Tests for the export utilities (Graphviz, SPICE) and the E10
+   sensitivity sweep. *)
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  go 0
+
+let count_lines_with s sub =
+  String.split_on_char '\n' s |> List.filter (fun l -> contains l sub)
+  |> List.length
+
+(* --- Network.to_dot --- *)
+
+let test_dot_structure () =
+  let config = Cell.Config.reference (Cell.Gate.of_name "nand2") in
+  let network = Cell.Config.network config in
+  let dot = Sp.Network.to_dot ~name:"nand2" network in
+  Alcotest.(check bool) "graph header" true (contains dot "graph \"nand2\" {");
+  Alcotest.(check bool) "has rails" true
+    (contains dot "vdd [shape=box" && contains dot "vss [shape=box");
+  Alcotest.(check bool) "output node" true (contains dot "y [shape=doublecircle]");
+  (* 4 transistors = 4 edges; PMOS edges dashed. *)
+  Alcotest.(check int) "4 edges" 4 (count_lines_with dot " -- ");
+  Alcotest.(check int) "2 dashed PMOS" 2 (count_lines_with dot "dashed");
+  Alcotest.(check bool) "closes" true (contains dot "}\n")
+
+let test_dot_input_names () =
+  let config = Cell.Config.reference (Cell.Gate.of_name "inv") in
+  let network = Cell.Config.network config in
+  let dot =
+    Sp.Network.to_dot ~input_names:(fun _ -> "enable") network
+  in
+  Alcotest.(check int) "custom labels" 2 (count_lines_with dot "enable")
+
+(* --- Spice --- *)
+
+let test_spice_subckt () =
+  let gate = Cell.Gate.of_name "oai21" in
+  let deck = Cell.Spice.subckt gate ~config:0 in
+  Alcotest.(check bool) "subckt line" true
+    (contains deck ".subckt oai21_cfg0 x0 x1 x2 y vdd vss");
+  Alcotest.(check bool) "ends" true (contains deck ".ends");
+  Alcotest.(check int) "3 PMOS" 3 (count_lines_with deck "pmos");
+  Alcotest.(check int) "3 NMOS" 3 (count_lines_with deck "nmos");
+  (* Bulk of PMOS ties to vdd. *)
+  String.split_on_char '\n' deck
+  |> List.iter (fun l ->
+         if contains l " pmos" then
+           Alcotest.(check bool) "pmos bulk" true (contains l "vdd pmos"))
+
+let test_spice_configs_differ () =
+  let gate = Cell.Gate.of_name "nand2" in
+  let d0 = Cell.Spice.subckt gate ~config:0 in
+  let d1 = Cell.Spice.subckt gate ~config:1 in
+  Alcotest.(check bool) "different decks" true (d0 <> d1)
+
+let test_spice_bad_config () =
+  Alcotest.check_raises "out of range"
+    (Invalid_argument "Spice.subckt: configuration index out of range")
+    (fun () -> ignore (Cell.Spice.subckt (Cell.Gate.of_name "inv") ~config:3))
+
+let test_spice_library_deck () =
+  let deck = Cell.Spice.library_deck () in
+  let total_configs =
+    List.fold_left (fun acc g -> acc + Cell.Gate.config_count g) 0
+      Cell.Gate.library
+  in
+  Alcotest.(check int) "one subckt per configuration" total_configs
+    (count_lines_with deck ".subckt")
+
+(* --- Sensitivity (E10) --- *)
+
+let test_sensitivity_qualitative_robust () =
+  let circuits =
+    List.map (fun n -> (n, Circuits.Suite.find n)) [ "c17"; "rca4"; "mux8" ]
+  in
+  let rows = Experiments.Sensitivity.run ~circuits () in
+  Alcotest.(check int) "all variants" 7 (List.length rows);
+  List.iter
+    (fun (r : Experiments.Sensitivity.row) ->
+      Alcotest.(check bool)
+        (r.Experiments.Sensitivity.label ^ ": optimum flips")
+        true r.Experiments.Sensitivity.table1_flips;
+      Alcotest.(check bool)
+        (r.Experiments.Sensitivity.label ^ ": positive reductions")
+        true
+        (r.Experiments.Sensitivity.table1_case1 > 0.
+        && r.Experiments.Sensitivity.table1_case2 > 0.
+        && r.Experiments.Sensitivity.table3_avg_model > 0.))
+    rows
+
+let test_sensitivity_junction_monotone () =
+  let circuits = [ ("rca4", Circuits.Suite.find "rca4") ] in
+  let pick label rows =
+    List.find
+      (fun (r : Experiments.Sensitivity.row) ->
+        r.Experiments.Sensitivity.label = label)
+      rows
+  in
+  let rows = Experiments.Sensitivity.run ~circuits () in
+  let low = pick "junction x0.5" rows in
+  let base = pick "baseline" rows in
+  let high = pick "junction x2" rows in
+  (* More junction capacitance = more internal-node power = more to
+     gain from reordering. *)
+  Alcotest.(check bool) "monotone in junction cap" true
+    (low.Experiments.Sensitivity.table1_case1
+     < base.Experiments.Sensitivity.table1_case1
+    && base.Experiments.Sensitivity.table1_case1
+       < high.Experiments.Sensitivity.table1_case1)
+
+let test_sensitivity_render () =
+  let circuits = [ ("c17", Circuits.Suite.find "c17") ] in
+  let s = Experiments.Sensitivity.render (Experiments.Sensitivity.run ~circuits ()) in
+  Alcotest.(check bool) "mentions baseline" true (contains s "baseline")
+
+let () =
+  Alcotest.run "export"
+    [
+      ( "dot",
+        [
+          Alcotest.test_case "structure" `Quick test_dot_structure;
+          Alcotest.test_case "input names" `Quick test_dot_input_names;
+        ] );
+      ( "spice",
+        [
+          Alcotest.test_case "subckt" `Quick test_spice_subckt;
+          Alcotest.test_case "configs differ" `Quick test_spice_configs_differ;
+          Alcotest.test_case "bad config" `Quick test_spice_bad_config;
+          Alcotest.test_case "library deck" `Quick test_spice_library_deck;
+        ] );
+      ( "sensitivity",
+        [
+          Alcotest.test_case "qualitative claims robust" `Slow
+            test_sensitivity_qualitative_robust;
+          Alcotest.test_case "junction monotone" `Quick
+            test_sensitivity_junction_monotone;
+          Alcotest.test_case "render" `Quick test_sensitivity_render;
+        ] );
+    ]

@@ -1,0 +1,80 @@
+(* Tests for the E13 exact per-gate validator. *)
+
+let ctx = Experiments.Common.create ()
+
+let test_inverter_exact () =
+  (* One transistor pair, no internal nodes: the model is exact. *)
+  let r = Experiments.Gate_accuracy.row ctx (Cell.Gate.of_name "inv") in
+  Alcotest.(check (float 1e-6)) "zero error" 0.
+    r.Experiments.Gate_accuracy.mean_error_percent
+
+let test_nand2_strong_agreement () =
+  let r = Experiments.Gate_accuracy.row ctx (Cell.Gate.of_name "nand2") in
+  Alcotest.(check bool) "best matches" true
+    r.Experiments.Gate_accuracy.best_matches;
+  Alcotest.(check bool) "small error" true
+    (r.Experiments.Gate_accuracy.mean_error_percent < 10.)
+
+let test_chain_ranking () =
+  let r = Experiments.Gate_accuracy.row ctx (Cell.Gate.of_name "nand3") in
+  Alcotest.(check bool) "near-perfect rank correlation" true
+    (r.Experiments.Gate_accuracy.rank_correlation > 0.95);
+  Alcotest.(check bool) "best matches" true
+    r.Experiments.Gate_accuracy.best_matches
+
+let test_duality_symmetry () =
+  (* A gate and its dual expose the same multiset of per-configuration
+     powers (the P/N networks swap roles; configuration indices map to
+     each other under the duality, not necessarily identically). *)
+  List.iter
+    (fun (a, b) ->
+      let ta, ma = Experiments.Gate_accuracy.powers ctx (Cell.Gate.of_name a) in
+      let tb, mb = Experiments.Gate_accuracy.powers ctx (Cell.Gate.of_name b) in
+      let sorted = List.sort Float.compare in
+      let close xs ys =
+        List.for_all2
+          (fun x y -> Float.abs (x -. y) /. x < 0.02)
+          (sorted xs) (sorted ys)
+      in
+      Alcotest.(check bool) (a ^ "/" ^ b ^ " truth dual") true (close ta tb);
+      Alcotest.(check bool) (a ^ "/" ^ b ^ " model dual") true (close ma mb))
+    [ ("nand3", "nor3"); ("aoi22", "oai22") ]
+
+let test_truth_positive_and_bounded () =
+  let truth, model =
+    Experiments.Gate_accuracy.powers ctx (Cell.Gate.of_name "aoi21")
+  in
+  List.iter
+    (fun t -> Alcotest.(check bool) "positive truth" true (t > 0.))
+    truth;
+  List.iter2
+    (fun t m ->
+      Alcotest.(check bool) "within 2x" true (m /. t < 2. && t /. m < 2.))
+    truth model
+
+let test_render () =
+  let rows =
+    Experiments.Gate_accuracy.run ctx
+      ~gates:[ Cell.Gate.of_name "inv"; Cell.Gate.of_name "nand2" ]
+      ()
+  in
+  let s = Experiments.Gate_accuracy.render rows in
+  Alcotest.(check bool) "mentions nand2" true
+    (let sub = "nand2" in
+     let n = String.length s and m = String.length sub in
+     let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+     go 0)
+
+let () =
+  Alcotest.run "gate_accuracy"
+    [
+      ( "E13",
+        [
+          Alcotest.test_case "inverter exact" `Quick test_inverter_exact;
+          Alcotest.test_case "nand2 agreement" `Quick test_nand2_strong_agreement;
+          Alcotest.test_case "chain ranking" `Quick test_chain_ranking;
+          Alcotest.test_case "duality symmetry" `Quick test_duality_symmetry;
+          Alcotest.test_case "truth sane" `Quick test_truth_positive_and_bounded;
+          Alcotest.test_case "render" `Quick test_render;
+        ] );
+    ]

@@ -1,0 +1,254 @@
+(* Tests for the core optimizer (Fig. 3): improvement, greedy global
+   optimality under the monotonic model, delay-bounded and
+   input-reordering-only variants. *)
+
+module O = Reorder.Optimizer
+module C = Netlist.Circuit
+module B = Netlist.Builder
+module S = Stoch.Signal_stats
+
+let power_table () = Power.Model.table Cell.Process.default
+let delay_table () = Delay.Elmore.table Cell.Process.default
+
+let scenario_inputs seed scenario circuit =
+  Power.Scenario.input_stats ~rng:(Stoch.Rng.create seed) scenario circuit
+
+(* Asymmetric activities make reordering worthwhile. *)
+let asymmetric circuit =
+  let nets = List.length (C.primary_inputs circuit) in
+  let table = Hashtbl.create 16 in
+  List.iteri
+    (fun i net ->
+      let density = 1e3 *. (10. ** (3. *. float_of_int i /. float_of_int nets)) in
+      Hashtbl.add table net (S.make ~prob:0.5 ~density))
+    (C.primary_inputs circuit);
+  fun net -> Hashtbl.find table net
+
+let test_optimize_improves () =
+  let pt = power_table () and dt = delay_table () in
+  List.iter
+    (fun (name, circuit) ->
+      let inputs = asymmetric circuit in
+      let r = O.optimize pt ~delay:dt circuit ~inputs in
+      Alcotest.(check bool)
+        (name ^ ": never worse than the input netlist")
+        true
+        (r.O.power_after <= r.O.power_before +. 1e-18))
+    (Circuits.Suite.small ())
+
+let test_best_leq_worst () =
+  let pt = power_table () and dt = delay_table () in
+  let circuit = Circuits.Suite.find "rca4" in
+  let inputs = scenario_inputs 5 Power.Scenario.A circuit in
+  let best, worst = O.best_and_worst pt ~delay:dt circuit ~inputs in
+  Alcotest.(check bool) "best < worst" true
+    (best.O.power_after < worst.O.power_after);
+  Alcotest.(check bool) "positive reduction" true
+    (O.reduction_percent ~best:best.O.power_after ~worst:worst.O.power_after
+     > 0.)
+
+let test_optimize_idempotent () =
+  let pt = power_table () and dt = delay_table () in
+  let circuit = Circuits.Suite.find "mux8" in
+  let inputs = scenario_inputs 11 Power.Scenario.A circuit in
+  let r1 = O.optimize pt ~delay:dt circuit ~inputs in
+  let r2 = O.optimize pt ~delay:dt r1.O.circuit ~inputs in
+  Alcotest.(check int) "no further change" 0 r2.O.gates_changed;
+  Alcotest.(check (float 1e-18)) "same power" r1.O.power_after r2.O.power_after
+
+(* Under the model, the greedy one-pass result is globally optimal
+   (§4.2): verify by brute force over every configuration combination of
+   a small circuit. *)
+let test_greedy_is_globally_optimal () =
+  let pt = power_table () and dt = delay_table () in
+  let b = B.create ~name:"tiny" in
+  let x0 = B.input b "x0" in
+  let x1 = B.input b "x1" in
+  let x2 = B.input b "x2" in
+  let y = B.gate b "oai21" [ x0; x1; x2 ] in
+  let z = B.gate b "nand3" [ y; x1; x0 ] in
+  B.output b z;
+  let circuit = B.finish b in
+  let inputs = asymmetric circuit in
+  let r = O.optimize pt ~delay:dt circuit ~inputs in
+  let analysis = Power.Analysis.run pt circuit ~inputs in
+  let brute = ref infinity in
+  let count0 = Cell.Gate.config_count (C.gate_at circuit 0).C.cell in
+  let count1 = Cell.Gate.config_count (C.gate_at circuit 1).C.cell in
+  for c0 = 0 to count0 - 1 do
+    for c1 = 0 to count1 - 1 do
+      let candidate = C.with_configs circuit [| c0; c1 |] in
+      brute := Float.min !brute (Power.Estimate.total pt candidate analysis)
+    done
+  done;
+  Alcotest.(check (float 1e-20)) "greedy = exhaustive minimum" !brute
+    r.O.power_after
+
+let test_single_gate_argmin () =
+  let pt = power_table () and dt = delay_table () in
+  let b = B.create ~name:"one" in
+  let x0 = B.input b "a" in
+  let x1 = B.input b "b" in
+  let x2 = B.input b "c" in
+  let x3 = B.input b "d" in
+  let y = B.gate b "nand4" [ x0; x1; x2; x3 ] in
+  B.output b y;
+  let circuit = B.finish b in
+  let inputs = asymmetric circuit in
+  let r = O.optimize pt ~delay:dt circuit ~inputs in
+  let analysis = Power.Analysis.run pt circuit ~inputs in
+  let powers =
+    List.init 24 (fun config ->
+        (Power.Estimate.gate pt circuit analysis 0 ~config).Power.Model.total)
+  in
+  let min_power = List.fold_left Float.min infinity powers in
+  Alcotest.(check (float 1e-22)) "argmin over 24 configurations" min_power
+    (List.nth powers r.O.configs.(0))
+
+let test_delay_bounded_respects_circuit_delay () =
+  let pt = power_table () and dt = delay_table () in
+  List.iter
+    (fun name ->
+      let circuit = Circuits.Suite.find name in
+      let inputs = scenario_inputs 3 Power.Scenario.A circuit in
+      let r =
+        O.optimize pt ~delay:dt ~objective:O.Min_power_delay_bounded circuit
+          ~inputs
+      in
+      let sta c = Delay.Sta.critical_delay (Delay.Sta.run dt c) in
+      Alcotest.(check bool)
+        (name ^ ": critical path not degraded")
+        true
+        (sta r.O.circuit <= sta circuit +. 1e-15);
+      Alcotest.(check bool)
+        (name ^ ": power not degraded")
+        true
+        (r.O.power_after <= r.O.power_before +. 1e-18))
+    [ "rca4"; "mux8"; "alu1"; "c17" ]
+
+let test_delay_bounded_weaker_than_free () =
+  let pt = power_table () and dt = delay_table () in
+  let circuit = Circuits.Suite.find "rca8" in
+  let inputs = scenario_inputs 17 Power.Scenario.A circuit in
+  let free = O.optimize pt ~delay:dt circuit ~inputs in
+  let bounded =
+    O.optimize pt ~delay:dt ~objective:O.Min_power_delay_bounded circuit ~inputs
+  in
+  Alcotest.(check bool) "bounded cannot beat free" true
+    (bounded.O.power_after >= free.O.power_after -. 1e-18)
+
+let test_input_reordering_only_subset () =
+  let pt = power_table () and dt = delay_table () in
+  let circuit = Circuits.Suite.find "alu1" in
+  let inputs = scenario_inputs 29 Power.Scenario.A circuit in
+  let restricted = O.optimize pt ~delay:dt ~input_reordering_only:true circuit ~inputs in
+  let free = O.optimize pt ~delay:dt circuit ~inputs in
+  (* Chosen configurations keep the reference layout shape. *)
+  Array.iteri
+    (fun g config ->
+      let cell = (C.gate_at circuit g).C.cell in
+      let configs = Cell.Config.all cell in
+      Alcotest.(check bool)
+        (Printf.sprintf "gate %d same shape" g)
+        true
+        (Cell.Config.same_shape (List.nth configs config)
+           (Cell.Config.reference cell)))
+    restricted.O.configs;
+  Alcotest.(check bool) "restricted cannot beat free" true
+    (restricted.O.power_after >= free.O.power_after -. 1e-18)
+
+let test_min_delay_objective () =
+  let pt = power_table () and dt = delay_table () in
+  let circuit = Circuits.Suite.find "rca4" in
+  let inputs = scenario_inputs 41 Power.Scenario.B circuit in
+  let r = O.optimize pt ~delay:dt ~objective:O.Min_delay circuit ~inputs in
+  Array.iteri
+    (fun g config ->
+      let cell = (C.gate_at circuit g).C.cell in
+      let load = Power.Estimate.output_load pt circuit g in
+      let chosen = Delay.Elmore.worst_delay dt cell ~config ~load in
+      List.iter
+        (fun other ->
+          Alcotest.(check bool)
+            (Printf.sprintf "gate %d fastest" g)
+            true
+            (chosen
+             <= Delay.Elmore.worst_delay dt cell ~config:other ~load +. 1e-18))
+        (List.init (Cell.Gate.config_count cell) Fun.id))
+    r.O.configs
+
+let test_explored_counts () =
+  let pt = power_table () and dt = delay_table () in
+  let circuit = Circuits.Suite.find "c17" in
+  let inputs = scenario_inputs 1 Power.Scenario.B circuit in
+  let r = O.optimize pt ~delay:dt circuit ~inputs in
+  (* c17 = 6 nand2 gates, 2 configurations each. *)
+  Alcotest.(check int) "12 configurations explored" 12
+    r.O.configurations_explored
+
+let test_reduction_percent () =
+  Alcotest.(check (float 1e-9)) "25%" 25.
+    (O.reduction_percent ~best:7.5 ~worst:10.);
+  Alcotest.(check (float 1e-9)) "degenerate" 0.
+    (O.reduction_percent ~best:0. ~worst:0.)
+
+let test_rewritten_circuit_same_function () =
+  let pt = power_table () and dt = delay_table () in
+  let circuit = Circuits.Suite.find "rca4" in
+  let inputs = scenario_inputs 2 Power.Scenario.A circuit in
+  let r = O.optimize pt ~delay:dt circuit ~inputs in
+  (* Reordering is function-preserving: same outputs on random vectors. *)
+  let rng = Stoch.Rng.create 123 in
+  for _ = 1 to 50 do
+    let vector = Hashtbl.create 16 in
+    List.iter
+      (fun net -> Hashtbl.add vector net (Stoch.Rng.bool rng))
+      (C.primary_inputs circuit);
+    let env net = Hashtbl.find vector net in
+    Alcotest.(check (list bool)) "same outputs"
+      (Netlist.Eval.outputs circuit ~inputs:env)
+      (Netlist.Eval.outputs r.O.circuit ~inputs:env)
+  done
+
+let prop_scenarios_and_circuits_improve =
+  QCheck.Test.make ~name:"best <= reference <= worst on random scenarios"
+    ~count:20
+    QCheck.(pair (int_range 0 10000) QCheck.(int_range 0 9))
+    (fun (seed, pick) ->
+      let pt = power_table () and dt = delay_table () in
+      let name = List.nth (Circuits.Suite.names ()) pick in
+      let circuit = Circuits.Suite.find name in
+      let inputs = scenario_inputs seed Power.Scenario.A circuit in
+      let best, worst = O.best_and_worst pt ~delay:dt circuit ~inputs in
+      best.O.power_after <= best.O.power_before +. 1e-18
+      && worst.O.power_after >= best.O.power_after -. 1e-18)
+
+let () =
+  Alcotest.run "reorder"
+    [
+      ( "optimizer",
+        [
+          Alcotest.test_case "improves all small benchmarks" `Slow
+            test_optimize_improves;
+          Alcotest.test_case "best <= worst" `Quick test_best_leq_worst;
+          Alcotest.test_case "idempotent" `Quick test_optimize_idempotent;
+          Alcotest.test_case "greedy = brute force (monotonicity)" `Quick
+            test_greedy_is_globally_optimal;
+          Alcotest.test_case "single gate argmin" `Quick test_single_gate_argmin;
+          Alcotest.test_case "explored counts" `Quick test_explored_counts;
+          Alcotest.test_case "reduction percent" `Quick test_reduction_percent;
+          Alcotest.test_case "function preserved" `Quick
+            test_rewritten_circuit_same_function;
+          QCheck_alcotest.to_alcotest prop_scenarios_and_circuits_improve;
+        ] );
+      ( "objectives",
+        [
+          Alcotest.test_case "delay-bounded respects circuit delay" `Quick
+            test_delay_bounded_respects_circuit_delay;
+          Alcotest.test_case "delay-bounded weaker than free" `Quick
+            test_delay_bounded_weaker_than_free;
+          Alcotest.test_case "input-reordering-only subset" `Quick
+            test_input_reordering_only_subset;
+          Alcotest.test_case "min-delay objective" `Quick test_min_delay_objective;
+        ] );
+    ]

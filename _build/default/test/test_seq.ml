@@ -1,0 +1,258 @@
+(* Tests for the sequential layer: machine construction, the register
+   fixpoint, the cycle-accurate reference, and datapath optimization.
+   The binary counter provides exact expectations (bit i toggles every
+   2^i cycles), the LFSR validates the fixpoint where its independence
+   approximation is sound. *)
+
+module M = Sequential.Machine
+module C = Netlist.Circuit
+module S = Stoch.Signal_stats
+
+let proc = Cell.Process.default
+let table () = Power.Model.table proc
+let cycle = Power.Scenario.cycle_time
+
+let free_stats _ = S.make ~prob:0.5 ~density:(0.5 /. cycle)
+
+(* --- construction --- *)
+
+let test_create_validation () =
+  let circuit = C.with_name (Circuits.Suite.find "c17") "c17" in
+  let rejects registers fragment =
+    try
+      ignore (M.create circuit ~registers);
+      Alcotest.failf "expected rejection (%s)" fragment
+    with M.Invalid message ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%S mentions %S" message fragment)
+        true
+        (let n = String.length message and m = String.length fragment in
+         let rec go i = i + m <= n && (String.sub message i m = fragment || go (i + 1)) in
+         go 0)
+  in
+  rejects [ ("nosuch", "g1") ] "is not a net";
+  rejects [ ("g10", "g10") ] "must be a primary input";
+  rejects [ ("g10", "g1"); ("g11", "g1") ] "bound to two registers"
+
+let test_machine_partitions_inputs () =
+  let m = Sequential.Machines.accumulator 4 in
+  Alcotest.(check int) "4 registers" 4 (List.length (M.registers m));
+  Alcotest.(check int) "4 free inputs" 4 (List.length (M.free_inputs m));
+  let circuit = M.circuit m in
+  List.iter
+    (fun (d, q) ->
+      Alcotest.(check bool) "q is a PI" true
+        (List.mem q (C.primary_inputs circuit));
+      Alcotest.(check bool) "d is driven" true
+        (match C.driver circuit d with
+        | C.Driven_by _ -> true
+        | C.Primary_input -> false))
+    (M.registers m)
+
+(* --- cycle-accurate counter: exact toggle rates --- *)
+
+let test_counter_simulation_exact_rates () =
+  let m = Sequential.Machines.counter 4 in
+  let trace =
+    M.simulate proc m ~rng:(Stoch.Rng.create 5) ~cycles:1024
+      ~inputs:free_stats ()
+  in
+  (* Bit i toggles every 2^i cycles: density = 2^-i per cycle. *)
+  let circuit = M.circuit m in
+  List.iteri
+    (fun i (q, stats) ->
+      ignore q;
+      let expected = (2. ** float_of_int (-i)) /. cycle in
+      let measured = S.density stats in
+      Alcotest.(check bool)
+        (Printf.sprintf "bit %d (%s): %.4g vs %.4g" i
+           (C.net_name circuit q) expected measured)
+        true
+        (Float.abs (measured -. expected) /. expected < 0.05))
+    trace.M.register_stats
+
+let test_counter_simulation_power_positive () =
+  let m = Sequential.Machines.counter 6 in
+  let trace =
+    M.simulate proc m ~rng:(Stoch.Rng.create 9) ~cycles:256 ~inputs:free_stats ()
+  in
+  Alcotest.(check bool) "positive power" true (trace.M.power > 0.)
+
+(* --- fixpoint --- *)
+
+let test_fixpoint_converges_lfsr () =
+  let m = Sequential.Machines.lfsr 8 in
+  let fp = M.steady_state (table ()) m ~inputs:free_stats () in
+  Alcotest.(check bool) "converged" true fp.M.converged;
+  Alcotest.(check bool) "few iterations" true (fp.M.iterations < 50);
+  (* LFSR state bits are balanced. The feedback bit passes through the
+     four-NAND XOR whose local propagation carries the reconvergence
+     bias (P = 0.609 rather than 0.5 — see E11), so the tolerance
+     reflects the model, not the machine. *)
+  List.iter
+    (fun (_, q) ->
+      let s = Power.Analysis.stats fp.M.analysis q in
+      Alcotest.(check bool) "P near 0.5 (model bias allowed)" true
+        (Float.abs (S.prob s -. 0.5) < 0.15);
+      Alcotest.(check bool) "D near 0.5/cycle" true
+        (Float.abs ((S.density s *. cycle) -. 0.5) < 0.15))
+    (M.registers m)
+
+let test_fixpoint_matches_lfsr_simulation () =
+  (* On a white state process the lag-one approximation is sound: the
+     fixpoint register densities agree with the cycle simulation. *)
+  let m = Sequential.Machines.lfsr 8 in
+  let fp = M.steady_state (table ()) m ~inputs:free_stats () in
+  let trace =
+    M.simulate proc m ~rng:(Stoch.Rng.create 3) ~cycles:4096 ~inputs:free_stats ()
+  in
+  List.iter
+    (fun (q, measured) ->
+      let predicted = Power.Analysis.stats fp.M.analysis q in
+      Alcotest.(check bool)
+        (Printf.sprintf "q net %d: %.3g vs %.3g" q
+           (S.density predicted *. cycle)
+           (S.density measured *. cycle))
+        true
+        (Float.abs (S.density predicted -. S.density measured)
+         /. S.density predicted
+        < 0.3))
+    trace.M.register_stats
+
+let test_fixpoint_counter_known_bias () =
+  (* The counter's temporal correlation breaks the approximation: the
+     fixpoint predicts ~0.5 toggles/cycle for every bit, the truth is
+     2^-i. Assert the bias so the limitation stays documented. *)
+  let m = Sequential.Machines.counter 4 in
+  let fp = M.steady_state (table ()) m ~inputs:free_stats () in
+  let _, q3 = List.nth (M.registers m) 3 in
+  let predicted = S.density (Power.Analysis.stats fp.M.analysis q3) *. cycle in
+  Alcotest.(check bool)
+    (Printf.sprintf "fixpoint says %.2f, truth is 0.125" predicted)
+    true
+    (predicted > 0.3)
+
+let test_fixpoint_frozen_state_limitation () =
+  (* With a = 0 the accumulator never changes: the true register
+     density is 0. The lag-one fixpoint cannot represent frozen state
+     (it treats consecutive samples as independent draws at P), so it
+     reports ~2P(1-P) per cycle instead — the same class of limitation
+     as the counter bias. Assert it so the limitation stays visible. *)
+  let m = Sequential.Machines.accumulator 4 in
+  let quiet net =
+    ignore net;
+    S.constant false
+  in
+  let fp = M.steady_state (table ()) m ~inputs:quiet () in
+  Alcotest.(check bool) "converged" true fp.M.converged;
+  let truth_by_cycle_sim =
+    let trace =
+      M.simulate proc m ~rng:(Stoch.Rng.create 2) ~cycles:512 ~inputs:quiet ()
+    in
+    List.fold_left
+      (fun acc (_, s) -> acc +. S.density s)
+      0. trace.M.register_stats
+  in
+  Alcotest.(check (float 1e-9)) "cycle sim: state truly frozen" 0.
+    truth_by_cycle_sim;
+  let predicted_total =
+    List.fold_left
+      (fun acc (_, q) ->
+        acc +. (S.density (Power.Analysis.stats fp.M.analysis q) *. cycle))
+      0. (M.registers m)
+  in
+  Alcotest.(check bool) "fixpoint overestimates frozen state" true
+    (predicted_total > 0.5)
+
+(* --- optimization --- *)
+
+let test_optimize_accumulator () =
+  let m = Sequential.Machines.accumulator 8 in
+  let report, fp =
+    M.optimize (table ()) ~delay:(Delay.Elmore.table proc) m ~inputs:free_stats
+  in
+  Alcotest.(check bool) "fixpoint converged" true fp.M.converged;
+  Alcotest.(check bool) "power not worse" true
+    (report.Reorder.Optimizer.power_after
+    <= report.Reorder.Optimizer.power_before +. 1e-18);
+  Alcotest.(check bool) "some gates changed" true
+    (report.Reorder.Optimizer.gates_changed > 0)
+
+let test_simulate_rejects_tiny_run () =
+  let m = Sequential.Machines.counter 3 in
+  Alcotest.(check bool) "cycles < 2 rejected" true
+    (try
+       ignore (M.simulate proc m ~rng:(Stoch.Rng.create 1) ~cycles:1 ~inputs:free_stats ());
+       false
+     with Invalid_argument _ -> true)
+
+let test_machines_all () =
+  List.iter
+    (fun (name, m) ->
+      Alcotest.(check bool)
+        (name ^ " has registers")
+        true
+        (List.length (M.registers m) > 0))
+    (Sequential.Machines.all ())
+
+(* Johnson counter: after n cycles the pattern inverts; period 2n.
+   Check the sequence functionally. *)
+let test_johnson_sequence () =
+  let n = 4 in
+  let m = Sequential.Machines.johnson n in
+  let circuit = M.circuit m in
+  (* Start from all zeros and step manually via Eval. *)
+  let state = Hashtbl.create 8 in
+  List.iter (fun (_, q) -> Hashtbl.replace state q false) (M.registers m);
+  let step () =
+    let values = Netlist.Eval.nets circuit ~inputs:(Hashtbl.find state) in
+    List.iter (fun (d, q) -> Hashtbl.replace state q values.(d)) (M.registers m)
+  in
+  let as_int () =
+    List.fold_left
+      (fun acc (i, (_, q)) ->
+        if Hashtbl.find state q then acc lor (1 lsl i) else acc)
+      0
+      (List.mapi (fun i r -> (i, r)) (M.registers m))
+  in
+  let seen = ref [] in
+  for _ = 1 to 2 * n do
+    seen := as_int () :: !seen;
+    step ()
+  done;
+  Alcotest.(check int) "returns to start after 2n steps" 0 (as_int ());
+  Alcotest.(check int) "2n distinct states" (2 * n)
+    (List.length (List.sort_uniq compare !seen))
+
+let () =
+  Alcotest.run "seq"
+    [
+      ( "machine",
+        [
+          Alcotest.test_case "create validation" `Quick test_create_validation;
+          Alcotest.test_case "input partition" `Quick
+            test_machine_partitions_inputs;
+          Alcotest.test_case "all machines" `Quick test_machines_all;
+          Alcotest.test_case "johnson sequence" `Quick test_johnson_sequence;
+        ] );
+      ( "simulation",
+        [
+          Alcotest.test_case "counter exact rates" `Slow
+            test_counter_simulation_exact_rates;
+          Alcotest.test_case "counter power" `Quick
+            test_counter_simulation_power_positive;
+          Alcotest.test_case "rejects tiny run" `Quick test_simulate_rejects_tiny_run;
+        ] );
+      ( "fixpoint",
+        [
+          Alcotest.test_case "lfsr converges" `Quick test_fixpoint_converges_lfsr;
+          Alcotest.test_case "lfsr matches simulation" `Slow
+            test_fixpoint_matches_lfsr_simulation;
+          Alcotest.test_case "counter bias documented" `Quick
+            test_fixpoint_counter_known_bias;
+          Alcotest.test_case "frozen-state limitation" `Quick
+            test_fixpoint_frozen_state_limitation;
+        ] );
+      ( "optimization",
+        [ Alcotest.test_case "accumulator" `Quick test_optimize_accumulator ] );
+    ]
