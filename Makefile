@@ -1,4 +1,4 @@
-.PHONY: all build test bench doc clean examples
+.PHONY: all build test bench doc clean examples check fmt
 
 all: build
 
@@ -7,6 +7,16 @@ build:
 
 test:
 	dune runtest
+
+# The CI gate: full build, tests, and formatting drift in one shot
+# (also available as `dune build @check`).
+check:
+	dune build @all
+	dune runtest
+	dune build @fmt
+
+fmt:
+	dune fmt
 
 bench:
 	dune exec bench/main.exe

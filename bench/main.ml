@@ -12,11 +12,28 @@ let ctx = Experiments.Common.create ()
 
 let section title = Printf.printf "==== %s ====\n%!" title
 
+(* Per-target observability metrics (an Obs snapshot captured right
+   after the target ran), serialized to BENCH_obs.json at exit. *)
+let metrics : (string * float * string) list ref = ref []
+
 let timed name f =
+  Obs.reset ();
   let t0 = Unix.gettimeofday () in
   let r = f () in
-  Printf.printf "[%s: %.1f s]\n\n%!" name (Unix.gettimeofday () -. t0);
+  let seconds = Unix.gettimeofday () -. t0 in
+  Printf.printf "[%s: %.1f s]\n\n%!" name seconds;
+  metrics := (name, seconds, Obs.snapshot_to_json (Obs.snapshot ())) :: !metrics;
   r
+
+let write_metrics path =
+  let oc = open_out path in
+  let target (name, seconds, json) =
+    Printf.sprintf "{\"name\":%S,\"seconds\":%.6f,\"metrics\":%s}" name seconds
+      json
+  in
+  Printf.fprintf oc "{\"targets\":[%s]}\n"
+    (String.concat "," (List.rev_map target !metrics));
+  close_out oc
 
 (* --- reproduction targets --- *)
 
@@ -228,4 +245,5 @@ let () =
           Printf.eprintf "unknown target %S; available: %s\n" name
             (String.concat " " (List.map fst targets));
           exit 1)
-    requested
+    requested;
+  write_metrics "BENCH_obs.json"

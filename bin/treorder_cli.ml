@@ -40,6 +40,84 @@ let scenario_inputs ~seed scenario circuit =
   Power.Scenario.input_stats ~rng:(Stoch.Rng.create seed)
     (parse_scenario scenario) circuit
 
+(* --- observability flags (shared by every pipeline subcommand) --- *)
+
+let obs_term =
+  let stats =
+    Arg.(
+      value & flag
+      & info [ "stats" ]
+          ~doc:"After the run, print the observability counter and span summary.")
+  in
+  let trace =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:
+            "Write NDJSON trace events (span begin/end, counter samples) to \
+             $(docv).")
+  in
+  Term.(const (fun stats trace -> (stats, trace)) $ stats $ trace)
+
+let print_obs_summary () =
+  let snap = Obs.snapshot () in
+  let counters = List.filter (fun (_, v) -> v > 0) snap.Obs.counters in
+  if counters <> [] then begin
+    print_newline ();
+    let table =
+      Report.Table.create
+        ~columns:[ ("counter", Report.Table.Left); ("value", Report.Table.Right) ]
+    in
+    List.iter
+      (fun (name, v) -> Report.Table.add_row table [ name; string_of_int v ])
+      counters;
+    Report.Table.print table
+  end;
+  let spans = List.filter (fun (_, s) -> s.Obs.calls > 0) snap.Obs.spans in
+  if spans <> [] then begin
+    print_newline ();
+    let table =
+      Report.Table.create
+        ~columns:
+          [
+            ("span", Report.Table.Left);
+            ("calls", Report.Table.Right);
+            ("total", Report.Table.Right);
+            ("slowest", Report.Table.Right);
+          ]
+    in
+    List.iter
+      (fun (name, s) ->
+        Report.Table.add_row table
+          [
+            name;
+            string_of_int s.Obs.calls;
+            Report.Table.cell_time s.Obs.total;
+            Report.Table.cell_time s.Obs.slowest;
+          ])
+      spans;
+    Report.Table.print table
+  end
+
+(* Reset the registry so the summary reflects this run only, point the
+   trace at the requested file, and always close (flushing the final
+   counter samples) even when the command raises. *)
+let with_obs (stats, trace) f =
+  Obs.reset ();
+  Option.iter
+    (fun path ->
+      match Obs.file_sink path with
+      | sink -> Obs.set_sink sink
+      | exception Sys_error msg ->
+          Printf.eprintf "error: cannot open trace file: %s\n" msg;
+          exit 1)
+    trace;
+  Fun.protect ~finally:Obs.close_sink (fun () ->
+      let r = f () in
+      if stats then print_obs_summary ();
+      r)
+
 (* --- list --- *)
 
 let list_cmd =
@@ -85,7 +163,8 @@ let gates_cmd =
 (* --- stats --- *)
 
 let stats_cmd =
-  let run spec scenario seed =
+  let run spec scenario seed obs =
+    with_obs obs @@ fun () ->
     let circuit = load_circuit spec in
     let ctx = context () in
     let inputs = scenario_inputs ~seed scenario circuit in
@@ -113,12 +192,13 @@ let stats_cmd =
   Cmd.v
     (Cmd.info "stats"
        ~doc:"Propagate equilibrium probabilities and transition densities.")
-    Term.(const run $ circuit_arg $ scenario_arg $ seed_arg)
+    Term.(const run $ circuit_arg $ scenario_arg $ seed_arg $ obs_term)
 
 (* --- estimate --- *)
 
 let estimate_cmd =
-  let run spec scenario seed =
+  let run spec scenario seed obs =
+    with_obs obs @@ fun () ->
     let circuit = load_circuit spec in
     let ctx = context () in
     let inputs = scenario_inputs ~seed scenario circuit in
@@ -131,7 +211,7 @@ let estimate_cmd =
   in
   Cmd.v
     (Cmd.info "estimate" ~doc:"Estimate circuit power under the extended model.")
-    Term.(const run $ circuit_arg $ scenario_arg $ seed_arg)
+    Term.(const run $ circuit_arg $ scenario_arg $ seed_arg $ obs_term)
 
 (* --- optimize --- *)
 
@@ -148,7 +228,8 @@ let output_arg =
   Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE" ~doc)
 
 let optimize_cmd =
-  let run spec scenario seed objective out =
+  let run spec scenario seed objective out obs =
+    with_obs obs @@ fun () ->
     let circuit = load_circuit spec in
     let ctx = context () in
     let inputs = scenario_inputs ~seed scenario circuit in
@@ -183,7 +264,9 @@ let optimize_cmd =
   in
   Cmd.v
     (Cmd.info "optimize" ~doc:"Reorder transistors for the chosen objective.")
-    Term.(const run $ circuit_arg $ scenario_arg $ seed_arg $ objective_arg $ output_arg)
+    Term.(
+      const run $ circuit_arg $ scenario_arg $ seed_arg $ objective_arg
+      $ output_arg $ obs_term)
 
 (* --- simulate --- *)
 
@@ -192,7 +275,8 @@ let horizon_arg =
   Arg.(value & opt float 2e-3 & info [ "horizon" ] ~docv:"SECONDS" ~doc)
 
 let simulate_cmd =
-  let run spec scenario seed horizon =
+  let run spec scenario seed horizon obs =
+    with_obs obs @@ fun () ->
     let circuit = load_circuit spec in
     let ctx = context () in
     let stats = scenario_inputs ~seed scenario circuit in
@@ -210,12 +294,13 @@ let simulate_cmd =
   in
   Cmd.v
     (Cmd.info "simulate" ~doc:"Measure power with the switch-level simulator.")
-    Term.(const run $ circuit_arg $ scenario_arg $ seed_arg $ horizon_arg)
+    Term.(const run $ circuit_arg $ scenario_arg $ seed_arg $ horizon_arg $ obs_term)
 
 (* --- delay --- *)
 
 let delay_cmd =
-  let run spec =
+  let run spec obs =
+    with_obs obs @@ fun () ->
     let circuit = load_circuit spec in
     let ctx = context () in
     let sta = Delay.Sta.run ctx.Experiments.Common.delay circuit in
@@ -229,7 +314,7 @@ let delay_cmd =
   in
   Cmd.v
     (Cmd.info "delay" ~doc:"Static timing analysis with Elmore gate delays.")
-    Term.(const run $ circuit_arg)
+    Term.(const run $ circuit_arg $ obs_term)
 
 (* --- check --- *)
 
@@ -326,7 +411,8 @@ let map_cmd =
     let doc = "Equation file (see the Logic.Eqn format)." in
     Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE.eqn" ~doc)
   in
-  let run file scenario seed optimize out =
+  let run file scenario seed optimize out obs =
+    with_obs obs @@ fun () ->
     let eqn =
       try Logic.Eqn.load file
       with Logic.Eqn.Parse_error { line; message } ->
@@ -367,7 +453,9 @@ let map_cmd =
   in
   Cmd.v
     (Cmd.info "map" ~doc:"Map a Boolean equation file onto the gate library.")
-    Term.(const run $ file_arg $ scenario_arg $ seed_arg $ optimize_flag $ output_arg)
+    Term.(
+      const run $ file_arg $ scenario_arg $ seed_arg $ optimize_flag
+      $ output_arg $ obs_term)
 
 (* --- profile / glitch / accuracy --- *)
 
@@ -375,7 +463,8 @@ let profile_cmd =
   let bits_arg =
     Arg.(value & opt int 16 & info [ "bits" ] ~docv:"N" ~doc:"Adder width.")
   in
-  let run bits =
+  let run bits obs =
+    with_obs obs @@ fun () ->
     let ctx = context () in
     print_string
       (Experiments.Adder_profile.render
@@ -384,10 +473,11 @@ let profile_cmd =
   Cmd.v
     (Cmd.info "profile"
        ~doc:"Carry-chain activity profile of a ripple-carry adder (E5).")
-    Term.(const run $ bits_arg)
+    Term.(const run $ bits_arg $ obs_term)
 
 let glitch_cmd =
-  let run scenario seed horizon =
+  let run scenario seed horizon obs =
+    with_obs obs @@ fun () ->
     let ctx = context () in
     print_string
       (Experiments.Glitch.render
@@ -398,10 +488,11 @@ let glitch_cmd =
   Cmd.v
     (Cmd.info "glitch"
        ~doc:"Glitch power of the small benchmarks under inertial delays (E9).")
-    Term.(const run $ scenario_arg $ seed_arg $ horizon_arg)
+    Term.(const run $ scenario_arg $ seed_arg $ horizon_arg $ obs_term)
 
 let accuracy_cmd =
-  let run scenario seed horizon =
+  let run scenario seed horizon obs =
+    with_obs obs @@ fun () ->
     let ctx = context () in
     print_string
       (Experiments.Ablations.render_accuracy
@@ -411,12 +502,13 @@ let accuracy_cmd =
   Cmd.v
     (Cmd.info "accuracy"
        ~doc:"Model power vs switch-level power over the suite (E8).")
-    Term.(const run $ scenario_arg $ seed_arg $ horizon_arg)
+    Term.(const run $ scenario_arg $ seed_arg $ horizon_arg $ obs_term)
 
 (* --- table3 --- *)
 
 let table3_cmd =
-  let run scenario seed horizon =
+  let run scenario seed horizon obs =
+    with_obs obs @@ fun () ->
     let ctx = context () in
     let t =
       Experiments.Table3.run ctx ~seed ~sim_horizon:horizon
@@ -427,7 +519,7 @@ let table3_cmd =
   Cmd.v
     (Cmd.info "table3"
        ~doc:"Reproduce Table 3 (best-vs-worst over the benchmark suite).")
-    Term.(const run $ scenario_arg $ seed_arg $ horizon_arg)
+    Term.(const run $ scenario_arg $ seed_arg $ horizon_arg $ obs_term)
 
 let main =
   let doc = "transistor reordering for low-power CMOS (Musoll & Cortadella, DATE 1996)" in

@@ -10,6 +10,11 @@ and manager = {
   m_one : t;
 }
 
+let c_node_alloc = Obs.counter "bdd.node_alloc"
+let c_unique_hit = Obs.counter "bdd.unique_hit"
+let c_memo_hit = Obs.counter "bdd.memo_hit"
+let c_memo_miss = Obs.counter "bdd.memo_miss"
+
 let manager ?(cache_size = 1024) () =
   let rec m =
     {
@@ -37,8 +42,11 @@ let mk m var lo hi =
   else
     let key = (var, lo.tag, hi.tag) in
     match Hashtbl.find_opt m.unique key with
-    | Some n -> n
+    | Some n ->
+        Obs.incr c_unique_hit;
+        n
     | None ->
+        Obs.incr c_node_alloc;
         let n = { tag = m.next_tag; mgr = m; desc = Node { var; lo; hi } } in
         m.next_tag <- m.next_tag + 1;
         Hashtbl.add m.unique key n;
@@ -74,8 +82,11 @@ let rec ite f g h =
       else
         let key = (f.tag, g.tag, h.tag) in
         begin match Hashtbl.find_opt m.ite_cache key with
-        | Some r -> r
+        | Some r ->
+            Obs.incr c_memo_hit;
+            r
         | None ->
+            Obs.incr c_memo_miss;
             let top acc t =
               match top_var t with Some v -> min acc v | None -> acc
             in

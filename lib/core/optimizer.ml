@@ -1,5 +1,11 @@
 module C = Netlist.Circuit
 
+let c_gates_visited = Obs.counter "optimizer.gates_visited"
+let c_configs_explored = Obs.counter "optimizer.configs_explored"
+let c_configs_pruned = Obs.counter "optimizer.configs_pruned"
+let c_sta_checks = Obs.counter "optimizer.sta_checks"
+let c_sta_rejects = Obs.counter "optimizer.sta_rejects"
+
 type objective =
   | Min_power
   | Max_power
@@ -15,10 +21,16 @@ type report = {
   configurations_explored : int;
 }
 
+let reduction_percent ~best ~worst =
+  if worst <= 0. then 0. else 100. *. (worst -. best) /. worst
+
 let pp_report ppf r =
   Format.fprintf ppf
-    "%s: %.4g -> %.4g W (%d/%d gates changed, %d configurations explored)"
-    (C.name r.circuit) r.power_before r.power_after r.gates_changed
+    "%s: %.4g -> %.4g W (%.1f%% reduction, %d/%d gates changed, %d \
+     configurations explored)"
+    (C.name r.circuit) r.power_before r.power_after
+    (reduction_percent ~best:r.power_after ~worst:r.power_before)
+    r.gates_changed
     (Array.length r.configs) r.configurations_explored
 
 (* Static timing of the circuit with an explicit configuration
@@ -101,6 +113,7 @@ let default_external_load = 20e-15
 let optimize power_table ~delay:delay_table
     ?(external_load = default_external_load) ?(objective = Min_power)
     ?(input_reordering_only = false) circuit ~inputs =
+  Obs.span "optimize.run" @@ fun () ->
   let analysis = Power.Analysis.run power_table circuit ~inputs in
   let power_before =
     Power.Estimate.total power_table ~external_load circuit analysis
@@ -136,10 +149,13 @@ let optimize power_table ~delay:delay_table
      statistics; we visit gates in the paper's topological order. *)
   List.iter
     (fun g ->
+      Obs.span "optimize.gate" @@ fun () ->
       let gate = C.gate_at circuit g in
       let input_stats = Power.Analysis.gate_input_stats analysis circuit g in
       let load = Power.Estimate.output_load power_table ~external_load circuit g in
       let candidates = candidates_for gate in
+      Obs.incr c_gates_visited;
+      Obs.add c_configs_explored (List.length candidates);
       explored := !explored + List.length candidates;
       let chosen =
         match objective with
@@ -158,13 +174,18 @@ let optimize power_table ~delay:delay_table
                   let saved = configs.(g) in
                   configs.(g) <- i;
                   let d =
+                    Obs.incr c_sta_checks;
                     critical_delay_with delay_table ~external_load circuit
                       configs
                   in
                   configs.(g) <- saved;
-                  d <= budget)
+                  let ok = d <= budget in
+                  if not ok then Obs.incr c_sta_rejects;
+                  ok)
                 candidates
             in
+            Obs.add c_configs_pruned
+              (List.length candidates - List.length admissible);
             choose_by_power power_table ~maximize:false ~candidates:admissible
               ~load ~input_stats gate
       in
@@ -198,6 +219,3 @@ let best_and_worst power_table ~delay ?external_load circuit ~inputs =
       ~inputs
   in
   (best, worst)
-
-let reduction_percent ~best ~worst =
-  if worst <= 0. then 0. else 100. *. (worst -. best) /. worst

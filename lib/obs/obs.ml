@@ -1,0 +1,249 @@
+type counter = { c_name : string; mutable c_value : int }
+
+type distribution = {
+  d_name : string;
+  mutable d_count : int;
+  mutable d_sum : float;
+  mutable d_min : float;
+  mutable d_max : float;
+}
+
+type span_agg = {
+  s_name : string;
+  mutable s_calls : int;
+  mutable s_total : float;
+  mutable s_slowest : float;
+}
+
+let counters : (string, counter) Hashtbl.t = Hashtbl.create 64
+let distributions : (string, distribution) Hashtbl.t = Hashtbl.create 16
+let spans : (string, span_agg) Hashtbl.t = Hashtbl.create 16
+
+let counter name =
+  match Hashtbl.find_opt counters name with
+  | Some c -> c
+  | None ->
+      let c = { c_name = name; c_value = 0 } in
+      Hashtbl.add counters name c;
+      c
+
+let incr c = c.c_value <- c.c_value + 1
+
+let add c n =
+  if n < 0 then invalid_arg "Obs.add: negative delta";
+  c.c_value <- c.c_value + n
+
+let value c = c.c_value
+
+let distribution name =
+  match Hashtbl.find_opt distributions name with
+  | Some d -> d
+  | None ->
+      let d =
+        { d_name = name; d_count = 0; d_sum = 0.; d_min = 0.; d_max = 0. }
+      in
+      Hashtbl.add distributions name d;
+      d
+
+let observe d x =
+  if d.d_count = 0 then begin
+    d.d_min <- x;
+    d.d_max <- x
+  end
+  else begin
+    if x < d.d_min then d.d_min <- x;
+    if x > d.d_max then d.d_max <- x
+  end;
+  d.d_count <- d.d_count + 1;
+  d.d_sum <- d.d_sum +. x
+
+let span_agg name =
+  match Hashtbl.find_opt spans name with
+  | Some s -> s
+  | None ->
+      let s = { s_name = name; s_calls = 0; s_total = 0.; s_slowest = 0. } in
+      Hashtbl.add spans name s;
+      s
+
+(* --- trace sink --- *)
+
+let now = Unix.gettimeofday
+
+type sink = Null | File of { oc : out_channel; t0 : float }
+
+let current_sink = ref Null
+let null_sink = Null
+let file_sink path = File { oc = open_out path; t0 = now () }
+let tracing () = match !current_sink with Null -> false | File _ -> true
+
+(* JSON string literal with the escapes NDJSON consumers require. *)
+let json_string s =
+  let b = Buffer.create (String.length s + 2) in
+  Buffer.add_char b '"';
+  String.iter
+    (fun ch ->
+      match ch with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.add_char b '"';
+  Buffer.contents b
+
+(* Finite decimal rendering (JSON has no inf/nan). *)
+let json_float x =
+  if Float.is_finite x then Printf.sprintf "%.17g" x else "0"
+
+let emit_span_begin name d =
+  match !current_sink with
+  | Null -> ()
+  | File { oc; t0 } ->
+      Printf.fprintf oc "{\"ev\":\"span_begin\",\"name\":%s,\"t\":%s,\"depth\":%d}\n"
+        (json_string name)
+        (json_float (now () -. t0))
+        d
+
+let emit_span_end name d dt =
+  match !current_sink with
+  | Null -> ()
+  | File { oc; t0 } ->
+      Printf.fprintf oc
+        "{\"ev\":\"span_end\",\"name\":%s,\"t\":%s,\"depth\":%d,\"dt\":%s}\n"
+        (json_string name)
+        (json_float (now () -. t0))
+        d (json_float dt)
+
+let emit_counter c =
+  match !current_sink with
+  | Null -> ()
+  | File { oc; t0 } ->
+      Printf.fprintf oc "{\"ev\":\"counter\",\"name\":%s,\"t\":%s,\"value\":%d}\n"
+        (json_string c.c_name)
+        (json_float (now () -. t0))
+        c.c_value
+
+let sample c = emit_counter c
+
+let set_sink s =
+  (match !current_sink with
+  | File { oc; _ } -> close_out oc
+  | Null -> ());
+  current_sink := s
+
+let sorted_names tbl =
+  List.sort compare (Hashtbl.fold (fun name _ acc -> name :: acc) tbl [])
+
+let close_sink () =
+  match !current_sink with
+  | Null -> ()
+  | File { oc; _ } ->
+      List.iter
+        (fun name -> emit_counter (Hashtbl.find counters name))
+        (sorted_names counters);
+      current_sink := Null;
+      close_out oc
+
+(* --- spans --- *)
+
+let depth_ref = ref 0
+let depth () = !depth_ref
+
+let span name f =
+  let s = span_agg name in
+  let d = !depth_ref in
+  emit_span_begin name d;
+  depth_ref := d + 1;
+  let t_start = now () in
+  Fun.protect
+    ~finally:(fun () ->
+      let dt = now () -. t_start in
+      depth_ref := d;
+      s.s_calls <- s.s_calls + 1;
+      s.s_total <- s.s_total +. dt;
+      if dt > s.s_slowest then s.s_slowest <- dt;
+      emit_span_end name d dt)
+    f
+
+(* --- snapshots --- *)
+
+type dist_stats = { count : int; sum : float; min : float; max : float }
+type span_stats = { calls : int; total : float; slowest : float }
+
+type snapshot = {
+  counters : (string * int) list;
+  distributions : (string * dist_stats) list;
+  spans : (string * span_stats) list;
+}
+
+let snapshot () =
+  {
+    counters =
+      List.map
+        (fun name -> (name, (Hashtbl.find counters name).c_value))
+        (sorted_names counters);
+    distributions =
+      List.map
+        (fun name ->
+          let d = Hashtbl.find distributions name in
+          (name, { count = d.d_count; sum = d.d_sum; min = d.d_min; max = d.d_max }))
+        (sorted_names distributions);
+    spans =
+      List.map
+        (fun name ->
+          let s = Hashtbl.find spans name in
+          (name, { calls = s.s_calls; total = s.s_total; slowest = s.s_slowest }))
+        (sorted_names spans);
+  }
+
+let reset () =
+  Hashtbl.iter (fun _ c -> c.c_value <- 0) counters;
+  Hashtbl.iter
+    (fun _ d ->
+      d.d_count <- 0;
+      d.d_sum <- 0.;
+      d.d_min <- 0.;
+      d.d_max <- 0.)
+    distributions;
+  Hashtbl.iter
+    (fun _ s ->
+      s.s_calls <- 0;
+      s.s_total <- 0.;
+      s.s_slowest <- 0.)
+    spans;
+  depth_ref := 0
+
+let counter_value snap name =
+  match List.assoc_opt name snap.counters with Some v -> v | None -> 0
+
+let snapshot_to_json snap =
+  let b = Buffer.create 1024 in
+  let obj fields render =
+    Buffer.add_char b '{';
+    List.iteri
+      (fun i (name, v) ->
+        if i > 0 then Buffer.add_char b ',';
+        Buffer.add_string b (json_string name);
+        Buffer.add_char b ':';
+        render v)
+      fields;
+    Buffer.add_char b '}'
+  in
+  Buffer.add_string b "{\"counters\":";
+  obj snap.counters (fun v -> Buffer.add_string b (string_of_int v));
+  Buffer.add_string b ",\"distributions\":";
+  obj snap.distributions (fun (d : dist_stats) ->
+      Buffer.add_string b
+        (Printf.sprintf "{\"count\":%d,\"sum\":%s,\"min\":%s,\"max\":%s}" d.count
+           (json_float d.sum) (json_float d.min) (json_float d.max)));
+  Buffer.add_string b ",\"spans\":";
+  obj snap.spans (fun (s : span_stats) ->
+      Buffer.add_string b
+        (Printf.sprintf "{\"calls\":%d,\"total_s\":%s,\"slowest_s\":%s}" s.calls
+           (json_float s.total) (json_float s.slowest)));
+  Buffer.add_char b '}';
+  Buffer.contents b

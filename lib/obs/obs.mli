@@ -1,0 +1,128 @@
+(** Lightweight observability for the optimizer pipeline.
+
+    Three instruments, one global-but-resettable registry:
+
+    - {e counters} — named monotonic integers ([bdd.memo_hit],
+      [optimizer.configs_explored], ...). Incrementing is a single field
+      update; safe in the hottest loops.
+    - {e distributions} — named value accumulators (count / sum / min /
+      max) for quantities that are sampled rather than counted.
+    - {e spans} — nestable timed regions aggregated per name
+      (call count, total and worst wall-clock time).
+
+    Instruments are created once (typically at module initialization)
+    and live for the whole process; {!reset} zeroes every value but
+    keeps the handles valid, so tests can assert on the work performed
+    by a single operation via {!reset} + {!snapshot}.
+
+    Counter names follow the [subsystem.verb_noun] scheme, where
+    [subsystem] is the library that increments it (e.g. [bdd.node_alloc],
+    [switchsim.event_pop]).
+
+    An optional {e trace sink} turns span begin/end transitions and
+    counter samples into NDJSON — one self-contained JSON object per
+    line — for offline analysis. With the default {!null_sink}
+    installed, no event is materialized: the emit paths test one branch
+    and return. *)
+
+(** {1 Counters} *)
+
+type counter
+
+val counter : string -> counter
+(** [counter name] registers (or retrieves — counters are keyed by
+    name) a monotonic counter. *)
+
+val incr : counter -> unit
+
+val add : counter -> int -> unit
+(** [add c n] bumps by [n] ([n >= 0]; negative deltas are a programming
+    error and raise). *)
+
+val value : counter -> int
+
+(** {1 Distributions} *)
+
+type distribution
+
+val distribution : string -> distribution
+(** Registers (or retrieves) a value distribution. *)
+
+val observe : distribution -> float -> unit
+
+(** {1 Spans} *)
+
+val span : string -> (unit -> 'a) -> 'a
+(** [span name f] runs [f ()] inside the named timed region. Spans
+    nest; the per-name aggregate accumulates call count and wall-clock
+    time, and the trace sink (if any) sees begin/end events. The
+    nesting depth is restored even when [f] raises. *)
+
+val depth : unit -> int
+(** Current span nesting depth (0 outside any span). *)
+
+(** {1 Snapshots} *)
+
+type dist_stats = {
+  count : int;
+  sum : float;
+  min : float;  (** 0 when [count = 0] *)
+  max : float;  (** 0 when [count = 0] *)
+}
+
+type span_stats = {
+  calls : int;
+  total : float;  (** seconds, summed over calls *)
+  slowest : float;  (** seconds, worst single call *)
+}
+
+type snapshot = {
+  counters : (string * int) list;  (** sorted by name *)
+  distributions : (string * dist_stats) list;  (** sorted by name *)
+  spans : (string * span_stats) list;  (** sorted by name *)
+}
+
+val snapshot : unit -> snapshot
+(** Consistent copy of every registered instrument's current value. *)
+
+val reset : unit -> unit
+(** Zero every registered instrument (handles stay valid) and reset the
+    span depth. Does not touch the trace sink. *)
+
+val counter_value : snapshot -> string -> int
+(** Convenience lookup; 0 when the name is not in the snapshot. *)
+
+val snapshot_to_json : snapshot -> string
+(** The snapshot as one JSON object:
+    [{"counters":{...},"distributions":{...},"spans":{...}}]. *)
+
+(** {1 NDJSON trace sink} *)
+
+type sink
+
+val null_sink : sink
+(** The default: every emit is a no-op. *)
+
+val file_sink : string -> sink
+(** [file_sink path] opens [path] for writing; each event becomes one
+    JSON object on its own line. Timestamps ([t], seconds) are relative
+    to the moment the sink was created and are monotonically
+    non-decreasing. Events are
+    [{"ev":"span_begin","name":n,"t":s,"depth":d}],
+    [{"ev":"span_end","name":n,"t":s,"depth":d,"dt":s}] and
+    [{"ev":"counter","name":n,"t":s,"value":v}]. *)
+
+val set_sink : sink -> unit
+(** Install a sink (closing the previously installed one, if any). *)
+
+val tracing : unit -> bool
+(** [true] iff a non-null sink is installed. *)
+
+val sample : counter -> unit
+(** Emit a [counter] trace event with the counter's current value.
+    No-op when {!tracing} is false. *)
+
+val close_sink : unit -> unit
+(** Emit one final [counter] sample per registered counter, then flush
+    and close the current sink and reinstall {!null_sink}. No-op when
+    no file sink is installed. *)

@@ -1,11 +1,16 @@
 module C = Netlist.Circuit
 
+(* §4.2: statistics are configuration-independent, so one propagation
+   per net suffices — this counter makes that invariant testable. *)
+let c_densities_propagated = Obs.counter "power.densities_propagated"
+
 type t = { per_net : Stoch.Signal_stats.t array }
 
 let gate_input_stats_of per_net (gate : C.gate) =
   Array.map (fun net -> per_net.(net)) gate.C.fanins
 
 let run table circuit ~inputs =
+  Obs.span "power.analysis" @@ fun () ->
   let per_net =
     Array.make (C.net_count circuit) (Stoch.Signal_stats.constant false)
   in
@@ -17,6 +22,7 @@ let run table circuit ~inputs =
       let gate = C.gate_at circuit g in
       let input_stats = gate_input_stats_of per_net gate in
       let groups = Model.groups_of_nets gate.C.fanins in
+      Obs.incr c_densities_propagated;
       per_net.(gate.C.output) <-
         Model.output_stats table gate.C.cell ~input_stats ~groups ())
     (C.topological_order circuit);

@@ -30,6 +30,7 @@ let gate table ?external_load circuit analysis g ~config =
   Model.gate_power table gate.C.cell ~config ~input_stats ~groups ~load ()
 
 let circuit table ?external_load circuit_ analysis =
+  Obs.span "power.estimate" @@ fun () ->
   let n = C.gate_count circuit_ in
   let per_gate = Array.make n 0. in
   let internal = ref 0. and output = ref 0. in

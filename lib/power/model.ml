@@ -1,5 +1,10 @@
 module Stats = Stoch.Signal_stats
 
+let c_model_hit = Obs.counter "power.model_hit"
+let c_model_build = Obs.counter "power.model_build"
+let c_node_evals = Obs.counter "power.node_evals"
+let c_gate_powers = Obs.counter "power.gate_powers"
+
 type node_symbolic = {
   sym_node : Sp.Network.node;
   sym_cap : float;  (* junction + wire, excluding fan-out load *)
@@ -122,8 +127,11 @@ let build_config_model t cell config_index groups =
 let get t cell config groups =
   let key = cache_key cell config groups in
   match Hashtbl.find_opt t.cache key with
-  | Some m -> m
+  | Some m ->
+      Obs.incr c_model_hit;
+      m
   | None ->
+      Obs.incr c_model_build;
       let m = build_config_model t cell config groups in
       Hashtbl.add t.cache key m;
       m
@@ -147,6 +155,7 @@ let node_probability ~p_h ~p_g =
   if denom <= 0. then 0. else p_h /. denom
 
 let node_power_of t input_stats ~extra_cap ns =
+  Obs.incr c_node_evals;
   let p = prob_fn input_stats in
   let p_h = Bdd.probability ns.h p and p_g = Bdd.probability ns.g p in
   let p_node = node_probability ~p_h ~p_g in
@@ -173,6 +182,7 @@ let node_power_of t input_stats ~extra_cap ns =
   }
 
 let gate_power t cell ~config ~input_stats ?groups ~load () =
+  Obs.incr c_gate_powers;
   check_stats cell input_stats;
   if load < 0. then invalid_arg "Power.Model.gate_power: negative load";
   let groups = resolve_groups cell groups in

@@ -1,6 +1,9 @@
 type t = { prob : float; density : float }
 
+let c_stats_made = Obs.counter "stoch.stats_made"
+
 let make ~prob ~density =
+  Obs.incr c_stats_made;
   let finite x = Float.is_finite x in
   if not (finite prob && finite density) then
     invalid_arg "Signal_stats.make: non-finite value";

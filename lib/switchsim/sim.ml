@@ -1,6 +1,11 @@
 module C = Netlist.Circuit
 module W = Stoch.Waveform
 
+let c_events_popped = Obs.counter "switchsim.events_popped"
+let c_gate_evals = Obs.counter "switchsim.gate_evals"
+let c_net_toggles = Obs.counter "switchsim.net_toggles"
+let c_glitches_absorbed = Obs.counter "switchsim.glitches_absorbed"
+
 type value = V0 | V1 | VX
 
 (* Local node numbering inside one gate: 0 = vdd, 1 = vss, 2 = output,
@@ -196,7 +201,9 @@ let set_net st ~now ~accounting net v =
     accrue_high st ~now net;
     if accounting then begin
       match (old, v) with
-      | (V0, V1) | (V1, V0) -> st.net_toggles.(net) <- st.net_toggles.(net) + 1
+      | (V0, V1) | (V1, V0) ->
+          Obs.incr c_net_toggles;
+          st.net_toggles.(net) <- st.net_toggles.(net) + 1
       | (V0 | V1 | VX), (V0 | V1 | VX) -> ()
     end;
     st.net_values.(net) <- v;
@@ -245,6 +252,7 @@ let commit_node st ~accounting g node next =
 (* Zero-delay evaluation: commit every powered node immediately and
    return the new output value. *)
 let evaluate_gate st ~accounting g =
+  Obs.incr c_gate_evals;
   let next = solve st g in
   let gate = st.sim.gates.(g) in
   for node = out_node to gate.n_nodes - 1 do
@@ -265,6 +273,7 @@ let settle st ~now ~accounting =
     st.sim.topo
 
 let run t ?(warmup = 0.) ~inputs () =
+  Obs.span "switchsim.run" @@ fun () ->
   let pis = C.primary_inputs t.circ in
   let horizon =
     match pis with
@@ -301,6 +310,7 @@ let run t ?(warmup = 0.) ~inputs () =
      before settling, otherwise phantom glitches appear between the
      partial input updates. *)
   let flip ~now ~accounting net =
+    Obs.incr c_events_popped;
     let flipped =
       match st.net_values.(net) with V1 -> V0 | V0 -> V1 | VX -> V1
     in
@@ -356,6 +366,7 @@ type timed_event =
   | Commit of int * int  (* gate, serial; stale when the serial moved on *)
 
 let run_timed t ?(warmup = 0.) ~gate_delay ~inputs () =
+  Obs.span "switchsim.run_timed" @@ fun () ->
   let pis = C.primary_inputs t.circ in
   let horizon =
     match pis with
@@ -409,6 +420,9 @@ let run_timed t ?(warmup = 0.) ~gate_delay ~inputs () =
     Event_heap.push heap ~time:(now +. delays.(g)) (Commit (g, serial.(g)))
   in
   let cancel g =
+    (* A scheduled output pulse narrower than the gate's inertial delay
+       is swallowed before it ever reaches the net: a filtered glitch. *)
+    Obs.incr c_glitches_absorbed;
     serial.(g) <- serial.(g) + 1;
     has_pending.(g) <- false
   in
@@ -417,6 +431,7 @@ let run_timed t ?(warmup = 0.) ~gate_delay ~inputs () =
      scheduled after the inertial delay — or absorbed if the inputs
      moved back first. *)
   let react now ~accounting g =
+    Obs.incr c_gate_evals;
     let next = solve st g in
     let gate = t.gates.(g) in
     for node = out_node + 1 to gate.n_nodes - 1 do
@@ -435,6 +450,7 @@ let run_timed t ?(warmup = 0.) ~gate_delay ~inputs () =
     match Event_heap.pop heap with
     | None -> ()
     | Some (now, event) ->
+        Obs.incr c_events_popped;
         let accounting = now >= warmup in
         begin match event with
         | Input_toggle net ->

@@ -190,7 +190,39 @@ let test_reduction_percent () =
   Alcotest.(check (float 1e-9)) "25%" 25.
     (O.reduction_percent ~best:7.5 ~worst:10.);
   Alcotest.(check (float 1e-9)) "degenerate" 0.
-    (O.reduction_percent ~best:0. ~worst:0.)
+    (O.reduction_percent ~best:0. ~worst:0.);
+  (* worst = 0 must not divide by zero, whatever best is. *)
+  Alcotest.(check (float 1e-9)) "worst = 0, best > 0" 0.
+    (O.reduction_percent ~best:5. ~worst:0.);
+  Alcotest.(check (float 1e-9)) "worst < 0" 0.
+    (O.reduction_percent ~best:(-1.) ~worst:(-2.));
+  (* pp_report surfaces the percentage so CLI users need not compute it. *)
+  let b = B.create ~name:"pp" in
+  let a = B.input b "a" in
+  let c = B.input b "c" in
+  B.output b (B.nand2 b a c);
+  let circuit = B.finish b in
+  let r =
+    {
+      O.circuit;
+      configs = [| 0 |];
+      power_before = 10.;
+      power_after = 7.5;
+      gates_changed = 0;
+      configurations_explored = 2;
+    }
+  in
+  let rendered = Format.asprintf "%a" O.pp_report r in
+  let contains needle haystack =
+    let ln = String.length needle in
+    let rec at i =
+      i + ln <= String.length haystack
+      && (String.sub haystack i ln = needle || at (i + 1))
+    in
+    at 0
+  in
+  Alcotest.(check bool) "pp_report prints the reduction" true
+    (contains "25.0% reduction" rendered)
 
 let test_rewritten_circuit_same_function () =
   let pt = power_table () and dt = delay_table () in
