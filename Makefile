@@ -1,4 +1,4 @@
-.PHONY: all build test bench doc clean examples check fmt
+.PHONY: all build test bench doc clean examples check fmt fuzz
 
 all: build
 
@@ -18,13 +18,23 @@ check:
 fmt:
 	dune fmt
 
+# Long-running property-based differential fuzzing (kept out of
+# `make check` / @runtest; the deterministic 200-case smoke tier runs
+# there instead). Tune with FUZZ_COUNT / FUZZ_SEED / FUZZ_MAX_GATES.
+FUZZ_COUNT ?= 2000
+FUZZ_SEED ?= 42
+FUZZ_MAX_GATES ?= 12
+fuzz:
+	dune exec bin/treorder_cli.exe -- fuzz --seed $(FUZZ_SEED) \
+	  --count $(FUZZ_COUNT) --max-gates $(FUZZ_MAX_GATES) --stats
+
 bench:
 	dune exec bench/main.exe
 
 # Individual reproduction targets, e.g. `make table3`
 table1 table2 figure5 table3_a table3_b adder_profile ablation_delay \
 ablation_inputreorder model_accuracy glitch sensitivity exactness \
-sequential gate_accuracy perf:
+sequential gate_accuracy proptest perf:
 	dune exec bench/main.exe -- $@
 
 examples:

@@ -210,6 +210,27 @@ let perf () =
     (List.sort compare rows);
   Report.Table.print table
 
+(* Generator + oracle throughput of the property-based testing
+   subsystem. The [proptest.cases_run] counter lands in BENCH_obs.json
+   next to this target's [seconds], so cases-per-second is trackable
+   across commits. *)
+let proptest () =
+  section "proptest / generator + oracle throughput";
+  let count = 300 in
+  let t0 = Unix.gettimeofday () in
+  let results =
+    List.map
+      (Proptest.Runner.run ~seed:42 ~count ~size:12)
+      (Proptest.Oracles.all ())
+  in
+  let dt = Unix.gettimeofday () -. t0 in
+  List.iter (fun r -> Format.printf "%a@." Proptest.Runner.pp_result r) results;
+  let cases =
+    List.fold_left (fun acc r -> acc + r.Proptest.Runner.cases_run) 0 results
+  in
+  Printf.printf "throughput: %d cases in %.2f s = %.0f cases/s\n" cases dt
+    (float_of_int cases /. dt)
+
 (* --- driver --- *)
 
 let targets =
@@ -228,6 +249,7 @@ let targets =
     ("exactness", exactness);
     ("sequential", sequential);
     ("gate_accuracy", gate_accuracy);
+    ("proptest", proptest);
     ("perf", perf);
   ]
 

@@ -504,6 +504,61 @@ let accuracy_cmd =
        ~doc:"Model power vs switch-level power over the suite (E8).")
     Term.(const run $ scenario_arg $ seed_arg $ horizon_arg $ obs_term)
 
+(* --- fuzz --- *)
+
+let fuzz_cmd =
+  let count_arg =
+    Arg.(
+      value & opt int 200
+      & info [ "count" ] ~docv:"N" ~doc:"Random cases per property.")
+  in
+  let property_arg =
+    let doc =
+      "Run only this property (repeatable). One of: exactness, sim-power, \
+       function, optimizer, io-roundtrip, densities, sp-orderings."
+    in
+    Arg.(value & opt_all string [] & info [ "property"; "p" ] ~docv:"NAME" ~doc)
+  in
+  let max_gates_arg =
+    Arg.(
+      value & opt int 12
+      & info [ "max-gates" ] ~docv:"N"
+          ~doc:"Size bound handed to the generators (maximum gate count).")
+  in
+  let run seed count properties max_gates obs =
+    with_obs obs @@ fun () ->
+    let selected =
+      match properties with
+      | [] -> Proptest.Oracles.all ()
+      | names ->
+          List.map
+            (fun name ->
+              match Proptest.Oracles.find name with
+              | Some p -> p
+              | None ->
+                  Printf.eprintf "error: unknown property %S (known: %s)\n" name
+                    (String.concat ", " (Proptest.Oracles.names ()));
+                  exit 1)
+            names
+    in
+    let failed = ref false in
+    List.iter
+      (fun p ->
+        let r = Proptest.Runner.run ~seed ~count ~size:max_gates p in
+        Format.printf "%a@." Proptest.Runner.pp_result r;
+        if r.Proptest.Runner.counterexample <> None then failed := true)
+      selected;
+    if !failed then exit 1
+  in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:
+         "Property-based differential testing: random circuits checked \
+          against the cross-model oracle suite, with counterexample \
+          shrinking.")
+    Term.(
+      const run $ seed_arg $ count_arg $ property_arg $ max_gates_arg $ obs_term)
+
 (* --- table3 --- *)
 
 let table3_cmd =
@@ -538,6 +593,7 @@ let main =
       dot_cmd;
       spice_cmd;
       map_cmd;
+      fuzz_cmd;
       profile_cmd;
       glitch_cmd;
       accuracy_cmd;

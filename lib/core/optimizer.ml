@@ -22,7 +22,8 @@ type report = {
 }
 
 let reduction_percent ~best ~worst =
-  if worst <= 0. then 0. else 100. *. (worst -. best) /. worst
+  if worst <= 0. then 0.
+  else Float.min 100. (Float.max 0. (100. *. (worst -. best) /. worst))
 
 let pp_report ppf r =
   Format.fprintf ppf

@@ -57,4 +57,8 @@ val best_and_worst :
     reduction percentages are computed from. *)
 
 val reduction_percent : best:float -> worst:float -> float
-(** [100·(worst-best)/worst]; 0 when [worst] is 0. *)
+(** [100·(worst-best)/worst], clamped to [\[0, 100\]] so a degenerate
+    pair (e.g. [best > worst] from comparing mismatched scenarios, or a
+    negative [best]) never yields a nonsensical percentage; 0 when
+    [worst <= 0]. For [0 < best <= worst] the result is in [\[0, 100\]]
+    without clamping. *)

@@ -49,7 +49,7 @@ type pending_gate = {
 
 let of_string text =
   let name = ref "circuit" in
-  let inputs = ref [] (* names, reversed *) in
+  let inputs = ref [] (* (line, name), reversed *) in
   let outputs = ref [] in
   let pending = ref [] in
   let parse_gate line = function
@@ -71,6 +71,10 @@ let of_string text =
             end
           | _ -> (rest, 0)
         in
+        let arity = Cell.Gate.arity cell in
+        if List.length in_names <> arity then
+          parse_error line "%s %s: %d fanins, but %s has arity %d" cell_name
+            out_name (List.length in_names) cell_name arity;
         pending := { line; cell; out_name; in_names; config } :: !pending
     | _ -> parse_error line "expected: gate <cell> <out> = <in...> [k]"
   in
@@ -80,7 +84,7 @@ let of_string text =
       | "circuit" :: [ n ] -> name := n
       | "circuit" :: _ -> parse_error line "expected: circuit <name>"
       | "input" :: names when names <> [] ->
-          List.iter (fun n -> inputs := n :: !inputs) names
+          List.iter (fun n -> inputs := (line, n) :: !inputs) names
       | "output" :: names when names <> [] ->
           List.iter (fun n -> outputs := n :: !outputs) names
       | "gate" :: rest -> parse_gate line rest
@@ -98,7 +102,7 @@ let of_string text =
     names := n :: !names;
     incr next
   in
-  List.iter (fun n -> declare 0 "input" n) (List.rev !inputs);
+  List.iter (fun (line, n) -> declare line "input" n) (List.rev !inputs);
   let pending = List.rev !pending in
   List.iter (fun pg -> declare pg.line "gate output" pg.out_name) pending;
   let resolve line n =
@@ -119,7 +123,7 @@ let of_string text =
   in
   Circuit.create ~name:!name
     ~net_names:(Array.of_list (List.rev !names))
-    ~primary_inputs:(List.map (resolve 0) (List.rev !inputs))
+    ~primary_inputs:(List.map (fun (line, n) -> resolve line n) (List.rev !inputs))
     ~primary_outputs:(List.map (resolve 0) (List.rev !outputs))
     ~gates
 

@@ -23,8 +23,13 @@ exception Parse_error of { line : int; message : string }
 
 val to_string : Circuit.t -> string
 val of_string : string -> Circuit.t
-(** @raise Parse_error on malformed input;
-    @raise Circuit.Invalid on structural violations. *)
+(** Hazards caught at parse time — duplicate net declarations (an
+    [input] or gate output reusing a name) and fanin lists that do not
+    match the cell's arity — raise {!Parse_error} carrying the 1-based
+    source line.
+    @raise Parse_error on malformed input;
+    @raise Circuit.Invalid on structural violations the parser cannot
+    see (cycles, config index out of range, ...). *)
 
 val of_blif : string -> Circuit.t
 (** @raise Parse_error / @raise Circuit.Invalid as {!of_string}. *)

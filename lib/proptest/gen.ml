@@ -1,0 +1,147 @@
+module C = Netlist.Circuit
+module B = Netlist.Builder
+module Rng = Stoch.Rng
+
+let cells = Array.of_list Cell.Gate.library
+
+(* Deterministic stream for a (seed, string) pair: fold the name into
+   the seed with a odd multiplier, then let SplitMix64's finalizer
+   decorrelate neighbouring seeds. *)
+let keyed_rng seed name =
+  let h = ref seed in
+  String.iter (fun ch -> h := (!h * 0x01000193) + Char.code ch) name;
+  Rng.create !h
+
+let input_stats ~seed ?(max_density = 2.0) c net =
+  let rng = keyed_rng seed ("stats:" ^ C.net_name c net) in
+  let prob = Rng.float_range rng 0.05 0.95 in
+  let density = Rng.float_range rng (0.05 *. max_density) max_density in
+  Stoch.Signal_stats.make ~prob ~density
+
+let vector ~seed k c net =
+  Rng.bool (keyed_rng seed (Printf.sprintf "vec%d:%s" k (C.net_name c net)))
+
+(* --- random DAG circuits --- *)
+
+let random_config rng cell = Rng.int rng (Cell.Gate.config_count cell)
+
+let circuit rng ~size =
+  let n_inputs = 1 + Rng.int rng 7 in
+  let n_gates = 1 + Rng.int rng (max 1 size) in
+  let b = B.create ~name:"fuzz" in
+  let nets = ref [] in
+  let read = Hashtbl.create 16 in
+  for i = 0 to n_inputs - 1 do
+    nets := B.input b (Printf.sprintf "pi%d" i) :: !nets
+  done;
+  let gate_outputs = ref [] in
+  for g = 0 to n_gates - 1 do
+    let cell = cells.(Rng.int rng (Array.length cells)) in
+    let pool = Array.of_list !nets in
+    (* Locality bias: half of the draws come from the newest few nets,
+       so depth grows with the gate count instead of saturating at 2. *)
+    let draw () =
+      let n = Array.length pool in
+      let net =
+        if Rng.bool rng then pool.(Rng.int rng (min n 6))
+        else pool.(Rng.int rng n)
+      in
+      Hashtbl.replace read net ();
+      net
+    in
+    let fanins = List.init (Cell.Gate.arity cell) (fun _ -> draw ()) in
+    let out =
+      B.gate b
+        ~name:(Printf.sprintf "g%d" g)
+        ~config:(random_config rng cell)
+        (Cell.Gate.name cell) fanins
+    in
+    nets := out :: !nets;
+    gate_outputs := out :: !gate_outputs
+  done;
+  (* Every unread gate output is a primary output; always at least the
+     last gate's, so the circuit has an output even when fully chained. *)
+  let unread = List.filter (fun n -> not (Hashtbl.mem read n)) !gate_outputs in
+  (match (unread, !gate_outputs) with
+  | [], last :: _ -> B.output b last
+  | outs, _ -> List.iter (B.output b) (List.rev outs));
+  B.finish b
+
+(* --- read-once circuits --- *)
+
+let tree_circuit rng ~size =
+  let n_gates = 1 + Rng.int rng (max 1 size) in
+  let b = B.create ~name:"fuzztree" in
+  let next_input = ref 0 in
+  let fresh_input () =
+    let n = B.input b (Printf.sprintf "pi%d" !next_input) in
+    incr next_input;
+    n
+  in
+  (* [pool] holds the nets not yet consumed by any pin; drawing removes
+     the net, so fanout never exceeds 1 and fanins stay distinct. *)
+  let pool = ref [ fresh_input (); fresh_input () ] in
+  let draw () =
+    match !pool with
+    | [] -> fresh_input ()
+    | l ->
+        let a = Array.of_list l in
+        let i = Rng.int rng (Array.length a) in
+        pool := List.filteri (fun j _ -> j <> i) l;
+        a.(i)
+  in
+  let last = ref (List.hd !pool) in
+  for g = 0 to n_gates - 1 do
+    let cell = cells.(Rng.int rng (Array.length cells)) in
+    let fanins = List.init (Cell.Gate.arity cell) (fun _ -> draw ()) in
+    let out =
+      B.gate b
+        ~name:(Printf.sprintf "g%d" g)
+        ~config:(random_config rng cell)
+        (Cell.Gate.name cell) fanins
+    in
+    pool := out :: !pool;
+    last := out
+  done;
+  B.output b !last;
+  (* The other unconsumed gate outputs are outputs too (inputs left in
+     the pool stay plain unused inputs). *)
+  let c0 = B.finish b in
+  List.iter
+    (fun n ->
+      match C.driver c0 n with
+      | C.Driven_by _ when n <> !last -> B.output b n
+      | C.Driven_by _ | C.Primary_input -> ())
+    !pool;
+  B.finish b
+
+(* --- series-parallel networks --- *)
+
+let sp_network rng ~size =
+  let leaves = 2 + Rng.int rng (max 1 (min size 6 - 1)) in
+  let labels = Array.init leaves Fun.id in
+  Rng.shuffle rng labels;
+  let rec build kind labels =
+    match labels with
+    | [| x |] -> Sp.Sp_tree.leaf x
+    | _ ->
+        let n = Array.length labels in
+        (* Random split point keeps group sizes irregular. *)
+        let cut = 1 + Rng.int rng (n - 1) in
+        let left = Array.sub labels 0 cut in
+        let right = Array.sub labels cut (n - cut) in
+        let sub = if Rng.bool rng then kind else not kind in
+        let children = [ build sub left; build sub right ] in
+        if kind then Sp.Sp_tree.series children
+        else Sp.Sp_tree.parallel children
+  in
+  let t = build (Rng.bool rng) labels in
+  (* Scramble with the paper's pivoting step so the generated ordering
+     is not always the canonical left-to-right one. *)
+  let t = ref t in
+  let pivots = Rng.int rng 4 in
+  for _ = 1 to pivots do
+    let k = Sp.Sp_tree.internal_node_count !t in
+    if k > 0 then t := Sp.Sp_tree.pivot !t (Rng.int rng k)
+  done;
+  !t

@@ -1,0 +1,46 @@
+(** Seed-reproducible random inputs for the differential test suite.
+
+    Everything here is driven by {!Stoch.Rng} (SplitMix64), so a case is
+    reproduced exactly by re-running with the same integer seed. Input
+    statistics and test vectors are keyed by {e net name} rather than by
+    net id: a shrunk circuit (which preserves the names of the nets it
+    keeps) sees exactly the statistics the original failing circuit saw,
+    so shrinking never changes the stimulus out from under a property. *)
+
+val circuit : Stoch.Rng.t -> size:int -> Netlist.Circuit.t
+(** Random multilevel DAG over the whole Table-2 library: 1-7 primary
+    inputs, 1-[size] gates with locality-biased fanins (so depth grows
+    with gate count), uniformly random configurations, every unread gate
+    output a primary output. The result always passes
+    {!Netlist.Circuit.create} validation. *)
+
+val tree_circuit : Stoch.Rng.t -> size:int -> Netlist.Circuit.t
+(** Random {e read-once} circuit: every net (input or gate output) fans
+    out to at most one pin, and the fanins of each gate are pairwise
+    distinct. On such circuits the paper's gate-local density
+    propagation is free of its spatial-independence bias, so it must
+    agree with the exact global-BDD computation — the [exactness]
+    oracle's input family. *)
+
+val sp_network : Stoch.Rng.t -> size:int -> Sp.Sp_tree.t
+(** Random series-parallel network over at most [size] (capped at 6)
+    distinct inputs: recursive random partition into series / parallel
+    groups, then scrambled by a random walk of the paper's Fig. 4
+    pivoting steps, so generated networks are spread over the whole
+    reordering class rather than pinned to a canonical shape. *)
+
+val input_stats :
+  seed:int ->
+  ?max_density:float ->
+  Netlist.Circuit.t ->
+  Netlist.Circuit.net ->
+  Stoch.Signal_stats.t
+(** Deterministic per-net input statistics: probability uniform in
+    [\[0.05, 0.95\]], density uniform in [\[0.05, max_density\]]
+    (default 2 transitions per time unit), drawn from a stream keyed by
+    [(seed, net name)]. Stable under shrinking. *)
+
+val vector :
+  seed:int -> int -> Netlist.Circuit.t -> Netlist.Circuit.net -> bool
+(** [vector ~seed k c net]: the [k]-th deterministic input vector for
+    [c], again keyed by [(seed, k, net name)]. *)

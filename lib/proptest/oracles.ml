@@ -1,0 +1,325 @@
+module C = Netlist.Circuit
+open Runner
+
+(* One shared model context (same defaults as Experiments.Common, which
+   this library deliberately does not depend on). *)
+let proc = Cell.Process.default
+let power_table = lazy (Power.Model.table proc)
+let delay_table = lazy (Delay.Elmore.table proc)
+let power () = Lazy.force power_table
+let delay () = Lazy.force delay_table
+
+let fail fmt = Printf.ksprintf (fun s -> Fail s) fmt
+
+(* Chain checks, stopping at the first failure. *)
+let ( let* ) r f = match r with Pass -> f () | Fail _ -> r
+
+let rec all_nets c ~f net =
+  if net >= C.net_count c then Pass
+  else
+    let* () = f net in
+    all_nets c ~f (net + 1)
+
+(* --- 1. exactness: local propagation vs global BDDs (read-once) --- *)
+
+let close ?(rtol = 1e-6) a b = Float.abs (a -. b) <= 1e-9 +. (rtol *. Float.abs b)
+
+let check_exactness ~seed c =
+  let inputs = Gen.input_stats ~seed c in
+  let analysis = Power.Analysis.run (power ()) c ~inputs in
+  match Power.Exact.run c ~inputs with
+  | exception Power.Exact.Blowup _ -> Pass (* no reference to compare to *)
+  | exact ->
+      all_nets c 0 ~f:(fun net ->
+          let local = Power.Analysis.stats analysis net in
+          let global = Power.Exact.stats exact net in
+          let module S = Stoch.Signal_stats in
+          if not (close (S.prob local) (S.prob global)) then
+            fail "net %s: local P=%.12g, exact P=%.12g (read-once circuit)"
+              (C.net_name c net) (S.prob local) (S.prob global)
+          else if not (close (S.density local) (S.density global)) then
+            fail "net %s: local D=%.12g, exact D=%.12g (read-once circuit)"
+              (C.net_name c net) (S.density local) (S.density global)
+          else Pass)
+
+(* --- 2. model power vs switch-level power --- *)
+
+(* Run on read-once trees: under reconvergent fanout the gate-local
+   model legitimately diverges from the simulator by large factors
+   (correlation), which would force a vacuous tolerance. On trees the
+   gap is only glitching + sampling noise. *)
+let sim_horizon = 500.
+let sim_tolerance_factor = 3.0
+
+let check_sim_power ~seed c =
+  let inputs = Gen.input_stats ~seed c in
+  let analysis = Power.Analysis.run (power ()) c ~inputs in
+  let model = Power.Estimate.total (power ()) c analysis in
+  let sim = Switchsim.Sim.build proc c in
+  let r =
+    Switchsim.Sim.run_stats sim
+      ~rng:(Stoch.Rng.create (seed + 0x517c05))
+      ~stats:inputs ~horizon:sim_horizon ~warmup:(0.1 *. sim_horizon) ()
+  in
+  let simulated = r.Switchsim.Sim.power in
+  let lo = Float.min model simulated and hi = Float.max model simulated in
+  if hi -. lo <= 3e-15 then Pass (* both below the noise floor *)
+  else if lo > 0. && hi /. lo <= sim_tolerance_factor then Pass
+  else
+    fail "model %.4g W vs simulated %.4g W (factor %.2f > %.1f)" model
+      simulated
+      (if lo > 0. then hi /. lo else Float.infinity)
+      sim_tolerance_factor
+
+(* --- 3. reordering preserves logical function --- *)
+
+let function_vectors = 5
+let max_configs_checked = 24
+
+let check_function ~seed c =
+  (* (a) the simulator, which honours each gate's configured transistor
+     network, must settle to the functional evaluation. *)
+  let sim = Switchsim.Sim.build proc c in
+  let rec vectors k =
+    if k >= function_vectors then Pass
+    else
+      let bit net = Gen.vector ~seed k c net in
+      let r =
+        Switchsim.Sim.run sim
+          ~inputs:(fun net -> Stoch.Waveform.constant (bit net) ~horizon:1.0)
+          ()
+      in
+      let expected = Netlist.Eval.nets c ~inputs:bit in
+      let mismatch =
+        List.find_opt
+          (fun net ->
+            let settled = r.Switchsim.Sim.net_high_time.(net) > 0.5 in
+            settled <> expected.(net))
+          (C.primary_outputs c)
+      in
+      match mismatch with
+      | Some net ->
+          fail "vector %d: simulator settles %s to %b, eval says %b" k
+            (C.net_name c net)
+            (r.Switchsim.Sim.net_high_time.(net) > 0.5)
+            expected.(net)
+      | None -> vectors (k + 1)
+  in
+  let* () = vectors 0 in
+  (* (b) every (sampled) configuration of every cell used by the circuit
+     computes the cell's function. *)
+  let m = Bdd.manager () in
+  let seen = Hashtbl.create 8 in
+  let rec gates g =
+    if g >= C.gate_count c then Pass
+    else
+      let cell = (C.gate_at c g).C.cell in
+      let name = Cell.Gate.name cell in
+      if Hashtbl.mem seen name then gates (g + 1)
+      else begin
+        Hashtbl.add seen name ();
+        let reference = Cell.Gate.function_bdd m cell in
+        let configs = Cell.Config.all cell in
+        let n = List.length configs in
+        let stride = if n <= max_configs_checked then 1 else n / max_configs_checked in
+        let rec check i = function
+          | [] -> gates (g + 1)
+          | cfg :: rest ->
+              if i mod stride <> 0 then check (i + 1) rest
+              else
+                let f =
+                  Sp.Network.output_function m (Cell.Config.network cfg)
+                in
+                if not (Bdd.equal f reference) then
+                  fail "%s configuration %d computes a different function"
+                    name i
+                else check (i + 1) rest
+        in
+        check 0 configs
+      end
+  in
+  gates 0
+
+(* --- 4. optimizer monotonicity and report consistency --- *)
+
+let check_optimizer ~seed c =
+  let inputs = Gen.input_stats ~seed c in
+  let best, worst =
+    Reorder.Optimizer.best_and_worst (power ()) ~delay:(delay ()) c ~inputs
+  in
+  let le a b = a <= b +. (1e-9 *. (Float.abs a +. Float.abs b)) +. 1e-21 in
+  let* () =
+    if le best.Reorder.Optimizer.power_after best.Reorder.Optimizer.power_before
+    then Pass
+    else
+      fail "Min_power increased power: %.12g -> %.12g W"
+        best.Reorder.Optimizer.power_before best.Reorder.Optimizer.power_after
+  in
+  let* () =
+    if le worst.Reorder.Optimizer.power_before worst.Reorder.Optimizer.power_after
+    then Pass
+    else
+      fail "Max_power decreased power: %.12g -> %.12g W"
+        worst.Reorder.Optimizer.power_before worst.Reorder.Optimizer.power_after
+  in
+  let* () =
+    if le best.Reorder.Optimizer.power_after worst.Reorder.Optimizer.power_after
+    then Pass
+    else
+      fail "best %.12g W above worst %.12g W"
+        best.Reorder.Optimizer.power_after worst.Reorder.Optimizer.power_after
+  in
+  (* The chosen configuration must re-evaluate to the reported power. *)
+  let rewritten = best.Reorder.Optimizer.circuit in
+  let* () =
+    let mismatch = ref None in
+    Array.iteri
+      (fun g chosen ->
+        if (C.gate_at rewritten g).C.config <> chosen then mismatch := Some g)
+      best.Reorder.Optimizer.configs;
+    match !mismatch with
+    | Some g -> fail "gate %d: rewritten config differs from report" g
+    | None -> Pass
+  in
+  let* () =
+    let analysis = Power.Analysis.run (power ()) rewritten ~inputs in
+    let again = Power.Estimate.total (power ()) rewritten analysis in
+    if close ~rtol:1e-9 again best.Reorder.Optimizer.power_after then Pass
+    else
+      fail "re-evaluated power %.12g W, report says %.12g W" again
+        best.Reorder.Optimizer.power_after
+  in
+  let r =
+    Reorder.Optimizer.reduction_percent
+      ~best:best.Reorder.Optimizer.power_after
+      ~worst:worst.Reorder.Optimizer.power_after
+  in
+  if r >= 0. && r <= 100. then Pass
+  else fail "reduction_percent %.6g outside [0, 100]" r
+
+(* --- 5. Netlist.Io round-trip --- *)
+
+let check_roundtrip ~seed:_ c =
+  let text = Netlist.Io.to_string c in
+  match Netlist.Io.of_string text with
+  | exception Netlist.Io.Parse_error { line; message } ->
+      fail "printed netlist does not parse (line %d: %s)" line message
+  | exception C.Invalid message ->
+      fail "printed netlist does not validate: %s" message
+  | c2 ->
+      let* () =
+        if Netlist.Io.to_string c2 = text then Pass
+        else fail "print ∘ parse ∘ print is not a fixpoint"
+      in
+      let* () =
+        if C.gate_count c2 = C.gate_count c && C.net_count c2 = C.net_count c
+        then Pass
+        else fail "gate/net counts changed across the round-trip"
+      in
+      let names c = List.init (C.net_count c) (C.net_name c) in
+      let* () =
+        if names c2 = names c then Pass
+        else fail "net names changed across the round-trip"
+      in
+      let configs c =
+        Array.to_list (Array.map (fun (g : C.gate) -> g.C.config) (C.gates c))
+      in
+      let* () =
+        if configs c2 = configs c then Pass
+        else fail "configurations changed across the round-trip"
+      in
+      let by_name c l = List.map (C.net_name c) l in
+      if
+        by_name c2 (C.primary_inputs c2) = by_name c (C.primary_inputs c)
+        && by_name c2 (C.primary_outputs c2) = by_name c (C.primary_outputs c)
+      then Pass
+      else fail "primary input/output lists changed across the round-trip"
+
+(* --- 6. density-propagation invariants --- *)
+
+let c_densities = Obs.counter "power.densities_propagated"
+
+let check_densities ~seed c =
+  let before = Obs.value c_densities in
+  let analysis = Power.Analysis.run (power ()) c ~inputs:(Gen.input_stats ~seed c) in
+  let propagated = Obs.value c_densities - before in
+  let* () =
+    if propagated = C.gate_count c then Pass
+    else
+      fail "densities propagated %d times for %d gates (must be once per net)"
+        propagated (C.gate_count c)
+  in
+  all_nets c 0 ~f:(fun net ->
+      let s = Power.Analysis.stats analysis net in
+      let module S = Stoch.Signal_stats in
+      let p = S.prob s and d = S.density s in
+      if not (Float.is_finite p && p >= 0. && p <= 1.) then
+        fail "net %s: probability %.12g outside [0, 1]" (C.net_name c net) p
+      else if not (Float.is_finite d && d >= 0.) then
+        fail "net %s: negative or non-finite density %.12g" (C.net_name c net) d
+      else Pass)
+
+(* --- 7. series-parallel reordering equivalence --- *)
+
+let check_sp_orderings ~seed:_ t =
+  let orderings = Sp.Sp_tree.orderings t in
+  let* () =
+    let counted = Sp.Sp_tree.count_orderings t in
+    if counted = List.length orderings then Pass
+    else
+      fail "count_orderings says %d, enumeration finds %d" counted
+        (List.length orderings)
+  in
+  let m = Bdd.manager () in
+  let reference = Sp.Sp_tree.conduction m Sp.Sp_tree.Nmos t in
+  let* () =
+    let rec check i = function
+      | [] -> Pass
+      | o :: rest ->
+          if Bdd.equal (Sp.Sp_tree.conduction m Sp.Sp_tree.Nmos o) reference
+          then check (i + 1) rest
+          else fail "ordering %d conducts differently" i
+    in
+    check 0 orderings
+  in
+  let canon l =
+    List.sort Sp.Sp_tree.compare (List.map Sp.Sp_tree.canonical l)
+  in
+  let pivoted = Sp.Sp_tree.pivot_orderings t in
+  if canon pivoted = canon orderings then Pass
+  else
+    fail "pivot exploration visits %d configurations, enumeration %d"
+      (List.length pivoted) (List.length orderings)
+
+(* --- registry --- *)
+
+let circuit_prop name generate check =
+  Prop
+    {
+      name;
+      generate;
+      shrink = Shrink.circuit;
+      print = Netlist.Io.to_string;
+      check;
+    }
+
+let all () =
+  [
+    circuit_prop "exactness" Gen.tree_circuit check_exactness;
+    circuit_prop "sim-power" Gen.tree_circuit check_sim_power;
+    circuit_prop "function" Gen.circuit check_function;
+    circuit_prop "optimizer" Gen.circuit check_optimizer;
+    circuit_prop "io-roundtrip" Gen.circuit check_roundtrip;
+    circuit_prop "densities" Gen.circuit check_densities;
+    Prop
+      {
+        name = "sp-orderings";
+        generate = Gen.sp_network;
+        shrink = Shrink.sp;
+        print = (fun t -> Sp.Sp_tree.to_string t);
+        check = check_sp_orderings;
+      };
+  ]
+
+let names () = List.map Runner.name (all ())
+let find name = List.find_opt (fun p -> Runner.name p = name) (all ())

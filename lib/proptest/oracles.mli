@@ -1,0 +1,43 @@
+(** The differential oracle suite: every independently implemented view
+    of the same physics, checked against the others on random circuits.
+
+    - [exactness] — gate-local probability/density propagation
+      ({!Power.Analysis}) vs the exact global-BDD computation
+      ({!Power.Exact}) on read-once circuits, where the paper's
+      spatial-independence assumption holds and the two must agree to
+      float precision.
+    - [sim-power] — analytic model power ({!Power.Estimate}) vs average
+      switch-level simulated power ({!Switchsim.Sim}) within a bounded
+      factor on read-once circuits (reconvergent fanout makes the
+      gate-local model diverge legitimately, which would force a
+      vacuous tolerance).
+    - [function] — reordering preserves logical function: the simulator
+      over the configured transistor networks settles to
+      {!Netlist.Eval} on random vectors, and every sampled
+      configuration's flattened network computes the cell's function
+      BDD.
+    - [optimizer] — monotonicity and report consistency of
+      {!Reorder.Optimizer}: [power_after <= power_before] for
+      [Min_power], best [<=] worst, the chosen configuration matches
+      re-evaluation, and the reduction percentage is in [\[0, 100\]].
+    - [io-roundtrip] — {!Netlist.Io} parse ∘ print is the identity on
+      generated circuits (text fixpoint and structural equality).
+    - [densities] — Najm propagation invariants: every net's
+      probability in [\[0, 1\]], density finite and non-negative, and
+      the [power.densities_propagated] counter advances exactly once
+      per gate (the §4.2 once-per-net property).
+    - [sp-orderings] — on random series-parallel networks, every
+      electrically distinct reordering conducts identically, the
+      closed-form ordering count matches the enumeration, and the
+      pivot-based exploration (Fig. 4) visits the same set.
+
+    All properties share one power-model / delay table pair built from
+    {!Cell.Process.default} (module state, built lazily). *)
+
+val all : unit -> Runner.t list
+(** Every oracle, in the order listed above. *)
+
+val find : string -> Runner.t option
+(** Look up one oracle by name. *)
+
+val names : unit -> string list

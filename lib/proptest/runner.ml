@@ -1,0 +1,109 @@
+let c_cases_run = Obs.counter "proptest.cases_run"
+let c_shrink_steps = Obs.counter "proptest.shrink_steps"
+let c_counterexamples = Obs.counter "proptest.counterexamples"
+
+type outcome = Pass | Fail of string
+
+type 'a property = {
+  name : string;
+  generate : Stoch.Rng.t -> size:int -> 'a;
+  shrink : 'a -> 'a list;
+  print : 'a -> string;
+  check : seed:int -> 'a -> outcome;
+}
+
+type t = Prop : 'a property -> t
+
+let name (Prop p) = p.name
+
+type counterexample = {
+  case_seed : int;
+  case_index : int;
+  message : string;
+  shrink_steps : int;
+  printed : string;
+}
+
+type result = {
+  property : string;
+  cases_run : int;
+  counterexample : counterexample option;
+}
+
+(* A property must never escape with an exception: an unexpected raise
+   is itself a counterexample (and remains one while shrinking). *)
+let checked p ~seed case =
+  match p.check ~seed case with
+  | outcome -> outcome
+  | exception e ->
+      Fail (Printf.sprintf "unexpected exception: %s" (Printexc.to_string e))
+
+let max_shrink_steps = 1000
+
+let minimize p ~seed case message =
+  let steps = ref 0 in
+  let rec go case message =
+    if !steps >= max_shrink_steps then (case, message)
+    else
+      let failing =
+        List.find_map
+          (fun candidate ->
+            match checked p ~seed candidate with
+            | Fail m -> Some (candidate, m)
+            | Pass -> None)
+          (p.shrink case)
+      in
+      match failing with
+      | Some (candidate, m) ->
+          incr steps;
+          Obs.incr c_shrink_steps;
+          go candidate m
+      | None -> (case, message)
+  in
+  let case, message = go case message in
+  (case, message, !steps)
+
+let run ?(seed = 42) ?(count = 200) ?(size = 12) (Prop p) =
+  Obs.span "proptest.run" @@ fun () ->
+  let rec cases i =
+    if i >= count then { property = p.name; cases_run = count; counterexample = None }
+    else begin
+      let case_seed = seed + i in
+      let case = p.generate (Stoch.Rng.create case_seed) ~size in
+      Obs.incr c_cases_run;
+      match checked p ~seed:case_seed case with
+      | Pass -> cases (i + 1)
+      | Fail message ->
+          Obs.incr c_counterexamples;
+          let case, message, shrink_steps =
+            minimize p ~seed:case_seed case message
+          in
+          {
+            property = p.name;
+            cases_run = i + 1;
+            counterexample =
+              Some
+                {
+                  case_seed;
+                  case_index = i;
+                  message;
+                  shrink_steps;
+                  printed = p.print case;
+                };
+          }
+    end
+  in
+  cases 0
+
+let pp_result ppf r =
+  match r.counterexample with
+  | None ->
+      Format.fprintf ppf "%-20s ok (%d cases)" r.property r.cases_run
+  | Some cex ->
+      Format.fprintf ppf
+        "%-20s FAILED at case %d after %d cases@\n\
+        \  %s@\n\
+        \  shrunk %d steps; reproduce with --seed %d --count 1@\n\
+         %s"
+        r.property cex.case_index r.cases_run cex.message cex.shrink_steps
+        cex.case_seed cex.printed

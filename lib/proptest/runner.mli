@@ -1,0 +1,58 @@
+(** The property runner: seed-reproducible case generation, checking,
+    and greedy counterexample shrinking.
+
+    Case [i] of a run with base seed [s] is generated from the derived
+    seed [s + i] (SplitMix64 decorrelates consecutive seeds), and that
+    same derived seed parameterizes the property's stimulus
+    ({!Gen.input_stats}, {!Gen.vector}). A failure report therefore
+    carries a single integer: re-running the property with
+    [~seed:case_seed ~count:1] regenerates the failing case exactly.
+
+    Instrumented with three {!Obs} counters: [proptest.cases_run] (one
+    per generated case), [proptest.shrink_steps] (accepted shrinking
+    steps) and [proptest.counterexamples]. *)
+
+type outcome = Pass | Fail of string
+
+type 'a property = {
+  name : string;
+  generate : Stoch.Rng.t -> size:int -> 'a;
+  shrink : 'a -> 'a list;
+  print : 'a -> string;
+      (** Parseable rendering of a case — {!Netlist.Io.to_string} for
+          circuit properties, so a reported counterexample can be fed
+          back through the CLI. *)
+  check : seed:int -> 'a -> outcome;
+      (** Must be deterministic in [(seed, case)]. Exceptions escaping
+          [check] are converted into failures by the runner. *)
+}
+
+type t = Prop : 'a property -> t  (** existential wrapper *)
+
+val name : t -> string
+
+type counterexample = {
+  case_seed : int;  (** reproduces the case: [run ~seed:case_seed ~count:1] *)
+  case_index : int;  (** index within the failing run *)
+  message : string;  (** of the shrunk case *)
+  shrink_steps : int;
+  printed : string;  (** the shrunk case, via [print] *)
+}
+
+type result = {
+  property : string;
+  cases_run : int;
+  counterexample : counterexample option;
+}
+
+val run : ?seed:int -> ?count:int -> ?size:int -> t -> result
+(** [run ~seed ~count ~size p] checks [count] freshly generated cases
+    (default [seed] 42, [count] 200, [size] 12 — the size bound the
+    generator receives, e.g. the maximum gate count). Stops at the first
+    failure and shrinks it to a local minimum: at each step the first
+    still-failing candidate from [shrink] is adopted; the loop ends when
+    no candidate fails (or after 1000 steps). *)
+
+val pp_result : Format.formatter -> result -> unit
+(** One [ok] line, or a multi-line failure report with the reproducing
+    seed and the shrunk printed case. *)

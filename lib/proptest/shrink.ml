@@ -1,0 +1,110 @@
+module C = Netlist.Circuit
+
+(* Trim logic not feeding any primary output, keeping the original
+   name (Circuit.cone appends "_cone", which would grow unboundedly
+   over repeated shrink steps). *)
+let trimmed c =
+  C.with_name (C.cone c (C.primary_outputs c)) (C.name c)
+
+(* Remove gate [g], rewiring every reader of its output (and the output
+   list) to the gate's first fanin, then trim dead logic. *)
+let bypass_gate c g =
+  let victim = C.gate_at c g in
+  let out = victim.C.output in
+  let sub n = if n = out then victim.C.fanins.(0) else n in
+  (* Renumber nets: [out] disappears. *)
+  let remap = Array.make (C.net_count c) (-1) in
+  let names = ref [] in
+  let next = ref 0 in
+  for n = 0 to C.net_count c - 1 do
+    if n <> out then begin
+      remap.(n) <- !next;
+      names := C.net_name c n :: !names;
+      incr next
+    end
+  done;
+  let map n = remap.(sub n) in
+  let gates =
+    List.filter_map
+      (fun g' ->
+        if g' = g then None
+        else
+          let gate = C.gate_at c g' in
+          Some
+            {
+              gate with
+              C.fanins = Array.map map gate.C.fanins;
+              output = map gate.C.output;
+            })
+      (List.init (C.gate_count c) Fun.id)
+  in
+  let dedupe l =
+    List.rev
+      (List.fold_left (fun acc n -> if List.mem n acc then acc else n :: acc) [] l)
+  in
+  trimmed
+    (C.create ~name:(C.name c)
+       ~net_names:(Array.of_list (List.rev !names))
+       ~primary_inputs:(List.map map (C.primary_inputs c))
+       ~primary_outputs:(dedupe (List.map map (C.primary_outputs c)))
+       ~gates)
+
+let halve_outputs c =
+  match C.primary_outputs c with
+  | [] | [ _ ] -> []
+  | outs ->
+      let n = List.length outs in
+      let first = List.filteri (fun i _ -> i < n / 2) outs in
+      let second = List.filteri (fun i _ -> i >= n / 2) outs in
+      [ C.with_name (C.cone c first) (C.name c);
+        C.with_name (C.cone c second) (C.name c) ]
+
+let reset_configs c =
+  List.filter_map
+    (fun g ->
+      let gate = C.gate_at c g in
+      if gate.C.config = 0 then None
+      else
+        let configs =
+          Array.init (C.gate_count c) (fun g' ->
+              if g' = g then 0 else (C.gate_at c g').C.config)
+        in
+        Some (C.with_configs c configs))
+    (List.init (C.gate_count c) Fun.id)
+
+let circuit c =
+  let attempt f = try Some (f ()) with C.Invalid _ -> None in
+  let bypasses =
+    List.filter_map
+      (fun g -> attempt (fun () -> bypass_gate c g))
+      (List.init (C.gate_count c) Fun.id)
+  in
+  halve_outputs c @ bypasses @ reset_configs c
+
+(* --- series-parallel networks --- *)
+
+let rec sp t =
+  match (t : Sp.Sp_tree.t) with
+  | Sp.Sp_tree.Leaf _ -> []
+  | Sp.Sp_tree.Series children | Sp.Sp_tree.Parallel children ->
+      let rebuild =
+        match t with
+        | Sp.Sp_tree.Series _ -> Sp.Sp_tree.series
+        | _ -> Sp.Sp_tree.parallel
+      in
+      let n = List.length children in
+      (* Promote each child to the root. *)
+      children
+      (* Drop one child (series/parallel of one child collapses to it). *)
+      @ List.init n (fun i ->
+            rebuild (List.filteri (fun j _ -> j <> i) children))
+      (* Shrink one child in place. *)
+      @ List.concat
+          (List.mapi
+             (fun i child ->
+               List.map
+                 (fun child' ->
+                   rebuild
+                     (List.mapi (fun j c -> if j = i then child' else c) children))
+                 (sp child))
+             children)

@@ -1,0 +1,26 @@
+(** Counterexample shrinking.
+
+    Each function returns candidate simplifications of a failing case,
+    ordered most-aggressive first; every candidate is strictly smaller
+    than its parent under a well-founded size measure (gate count, then
+    net count, then output count, then the sum of configuration
+    indices — leaf count for SP networks), so the greedy
+    first-failing-candidate loop in {!Runner} always terminates. *)
+
+val circuit : Netlist.Circuit.t -> Netlist.Circuit.t list
+(** Candidates, in order:
+    - the fan-in cone of each half of the primary outputs (when the
+      circuit has more than one),
+    - the circuit with one gate {e bypassed} — its readers rewired to
+      the gate's first fanin and dead logic trimmed — for every gate,
+    - the circuit with one gate's configuration reset to the reference
+      ordering, for every gate with a non-zero configuration.
+
+    Net names are preserved, so name-keyed stimuli ({!Gen.input_stats},
+    {!Gen.vector}) are stable across shrinking. Candidates that fail
+    {!Netlist.Circuit.create} validation are dropped. *)
+
+val sp : Sp.Sp_tree.t -> Sp.Sp_tree.t list
+(** Collapse series-parallel subtrees: replace the root by each child,
+    drop one child of the root (the smart constructors re-normalize),
+    and recursively shrink each child in place. *)

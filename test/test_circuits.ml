@@ -359,6 +359,61 @@ let test_generators_validate () =
   Alcotest.(check bool) "dec5" true (rejects (fun () -> G.decoder 5));
   Alcotest.(check bool) "maj4" true (rejects (fun () -> G.majority 4))
 
+(* Every generator, across its legal size range: the circuit builds
+   (Circuit.create validates), evaluates without raising, and
+   round-trips through the Io text format to the same rendering. *)
+let sized_generators =
+  [
+    ("ripple_carry_adder", G.ripple_carry_adder, [ 1; 2; 3; 4; 5; 6; 7; 8 ]);
+    ("carry_select_adder", G.carry_select_adder, [ 1; 2; 3; 4; 5; 6; 7; 8 ]);
+    ("incrementer", G.incrementer, [ 1; 2; 3; 4; 5; 6; 7; 8 ]);
+    ("array_multiplier", G.array_multiplier, [ 2; 3; 4; 5; 6; 7; 8 ]);
+    ("parity", G.parity, [ 2; 3; 4; 5; 6; 7; 8 ]);
+    ("mux_tree", G.mux_tree, [ 2; 4; 8 ]);
+    ("decoder", G.decoder, [ 2; 3; 4 ]);
+    ("equality_comparator", G.equality_comparator, [ 2; 3; 4; 5; 6; 7; 8 ]);
+    ("magnitude_comparator", G.magnitude_comparator, [ 2; 3; 4; 5; 6; 7; 8 ]);
+    ("majority", G.majority, [ 3; 5 ]);
+    ("priority_encoder", G.priority_encoder, [ 2; 3; 4; 5; 6; 7; 8 ]);
+    ("and_or_tree", G.and_or_tree, [ 4; 5; 6; 7; 8 ]);
+    ("alu_slice", G.alu_slice, [ 1; 2; 3; 4; 5; 6; 7; 8 ]);
+    ("kogge_stone_adder", G.kogge_stone_adder, [ 2; 3; 4; 5; 6; 7; 8 ]);
+    ("wallace_multiplier", G.wallace_multiplier, [ 2; 3; 4; 5; 6; 7; 8 ]);
+    (* lookahead terms grow quadratically; keep the range modest *)
+    ("carry_lookahead_adder", G.carry_lookahead_adder, [ 2; 3; 4 ]);
+    ("gray_to_binary", G.gray_to_binary, [ 2; 3; 4; 5; 6; 7; 8 ]);
+    ("c17", (fun _ -> G.c17 ()), [ 1 ]);
+    ("bcd_to_7seg", (fun _ -> G.bcd_to_7seg ()), [ 1 ]);
+  ]
+
+let test_generators_build_eval_roundtrip () =
+  List.iter
+    (fun (name, gen, sizes) ->
+      List.iter
+        (fun n ->
+          let label = Printf.sprintf "%s %d" name n in
+          let c = gen n in
+          Alcotest.(check bool)
+            (label ^ ": at least one gate and one output")
+            true
+            (C.gate_count c >= 1 && C.primary_outputs c <> []);
+          (* evaluates without raising, on an alternating bit pattern *)
+          let outs = Netlist.Eval.outputs c ~inputs:(fun net -> net mod 2 = 0) in
+          Alcotest.(check int)
+            (label ^ ": one value per primary output")
+            (List.length (C.primary_outputs c))
+            (List.length outs);
+          let text = Netlist.Io.to_string c in
+          let c2 = Netlist.Io.of_string text in
+          Alcotest.(check string)
+            (label ^ ": Io round-trip fixpoint")
+            text (Netlist.Io.to_string c2);
+          Alcotest.(check int)
+            (label ^ ": gate count preserved")
+            (C.gate_count c) (C.gate_count c2))
+        sizes)
+    sized_generators
+
 (* Property: random_logic always yields valid circuits with at least one
    primary output, for arbitrary parameters. *)
 let prop_random_logic_valid =
@@ -408,6 +463,8 @@ let () =
           Alcotest.test_case "find unknown" `Quick test_suite_find_unknown;
           Alcotest.test_case "generator validation" `Quick
             test_generators_validate;
+          Alcotest.test_case "all generators build/eval/round-trip (sizes 1-8)"
+            `Quick test_generators_build_eval_roundtrip;
           QCheck_alcotest.to_alcotest prop_random_logic_valid;
         ] );
     ]

@@ -292,6 +292,40 @@ let test_io_errors () =
   expect_error "circuit c\nfoo bar\n" "unknown directive";
   expect_error "circuit c\ninput a\ngate inv a = a\n" "declared twice"
 
+(* Hazards the parser must catch itself (with the offending source
+   line) rather than leaving them to Circuit.create. *)
+let test_io_parse_hazards () =
+  let expect_line text expected_line fragment =
+    try
+      ignore (Io.of_string text);
+      Alcotest.failf "expected parse error (%s)" fragment
+    with Io.Parse_error { line; message } ->
+      Alcotest.(check int)
+        (Printf.sprintf "%s reported on line %d" fragment expected_line)
+        expected_line line;
+      Alcotest.(check bool)
+        (Printf.sprintf "message %S mentions %s" message fragment)
+        true
+        (let contains s sub =
+           let n = String.length s and m = String.length sub in
+           let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+           go 0
+         in
+         contains message fragment)
+  in
+  (* Duplicate input declaration: the second `input` line is at fault. *)
+  expect_line "circuit c\ninput a\ninput a\ngate inv y = a\noutput y\n" 3
+    "declared twice";
+  (* Gate output clashing with an input: the gate line is at fault. *)
+  expect_line "circuit c\ninput a b\ngate inv a = b\noutput a\n" 3
+    "declared twice";
+  (* Two gates driving the same name. *)
+  expect_line "circuit c\ninput a\ngate inv y = a\ngate inv y = a\noutput y\n" 4
+    "declared twice";
+  (* Fanin-count/arity mismatches are parse errors, not Circuit.Invalid. *)
+  expect_line "circuit c\ninput a\ngate nand2 y = a\noutput y\n" 3 "arity";
+  expect_line "circuit c\ninput a b c\ngate inv y = a b c\noutput y\n" 3 "arity"
+
 (* --- Io BLIF subset --- *)
 
 let test_blif_basic () =
@@ -478,6 +512,8 @@ let () =
           Alcotest.test_case "comments and blanks" `Quick
             test_io_comments_and_blanks;
           Alcotest.test_case "errors" `Quick test_io_errors;
+          Alcotest.test_case "parse hazards with line numbers" `Quick
+            test_io_parse_hazards;
           Alcotest.test_case "blif basic" `Quick test_blif_basic;
           Alcotest.test_case "blif continuation" `Quick test_blif_continuation;
           Alcotest.test_case "blif rejects .names" `Quick test_blif_rejects_names;

@@ -196,6 +196,12 @@ let test_reduction_percent () =
     (O.reduction_percent ~best:5. ~worst:0.);
   Alcotest.(check (float 1e-9)) "worst < 0" 0.
     (O.reduction_percent ~best:(-1.) ~worst:(-2.));
+  (* best > worst (mismatched scenarios) clamps to 0, not negative. *)
+  Alcotest.(check (float 1e-9)) "best > worst clamps to 0" 0.
+    (O.reduction_percent ~best:12. ~worst:10.);
+  (* best < 0 with worst > 0 clamps to 100, not beyond. *)
+  Alcotest.(check (float 1e-9)) "negative best clamps to 100" 100.
+    (O.reduction_percent ~best:(-5.) ~worst:10.);
   (* pp_report surfaces the percentage so CLI users need not compute it. *)
   let b = B.create ~name:"pp" in
   let a = B.input b "a" in
@@ -255,6 +261,15 @@ let prop_scenarios_and_circuits_improve =
       best.O.power_after <= best.O.power_before +. 1e-18
       && worst.O.power_after >= best.O.power_after -. 1e-18)
 
+let prop_reduction_percent_bounded =
+  QCheck.Test.make ~name:"reduction_percent in [0,100] for 0 < best <= worst"
+    ~count:500
+    QCheck.(pair (float_range 1e-15 1e3) (float_range 1e-15 1e3))
+    (fun (a, b) ->
+      let best = Float.min a b and worst = Float.max a b in
+      let r = O.reduction_percent ~best ~worst in
+      r >= 0. && r <= 100.)
+
 let () =
   Alcotest.run "reorder"
     [
@@ -272,6 +287,7 @@ let () =
           Alcotest.test_case "function preserved" `Quick
             test_rewritten_circuit_same_function;
           QCheck_alcotest.to_alcotest prop_scenarios_and_circuits_improve;
+          QCheck_alcotest.to_alcotest prop_reduction_percent_bounded;
         ] );
       ( "objectives",
         [
