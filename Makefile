@@ -1,4 +1,4 @@
-.PHONY: all build test bench doc clean examples check fmt fuzz
+.PHONY: all build test bench bench-check doc clean examples check fmt fuzz
 
 all: build
 
@@ -30,6 +30,16 @@ fuzz:
 
 bench:
 	dune exec bench/main.exe
+
+# Regression gate: rerun the fast deterministic targets and compare
+# their Obs counters against the committed fixture. Counters only
+# (--no-time), so the gate is stable across machines. Refresh the
+# fixture after an intentional behaviour change with:
+#   dune exec bench/main.exe -- --out bench/baseline_check.json table1 table2
+BENCH_BASELINE ?= bench/baseline_check.json
+bench-check:
+	dune exec bench/main.exe -- --baseline $(BENCH_BASELINE) \
+	  --check --no-time --out /tmp/bench_check_obs.json table1 table2
 
 # Individual reproduction targets, e.g. `make table3`
 table1 table2 figure5 table3_a table3_b adder_profile ablation_delay \

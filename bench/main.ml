@@ -6,7 +6,14 @@
      dune exec bench/main.exe                 # everything
      dune exec bench/main.exe -- table3_a perf
    Targets: table1 table2 figure5 table3_a table3_b adder_profile
-            ablation_delay ablation_inputreorder model_accuracy perf *)
+            ablation_delay ablation_inputreorder model_accuracy perf *
+
+   Regression gating against a stored BENCH_obs.json:
+     dune exec bench/main.exe -- --baseline OLD.json --check table2 perf
+   compares counters (two-sided, deterministic for fixed seeds) and
+   wall-clock (one-sided, generous tolerance) per target and exits 1
+   on any violation. --no-time restricts the gate to counters, which
+   is what the committed CI fixture uses (see bench/dune). *)
 
 let ctx = Experiments.Common.create ()
 
@@ -253,11 +260,58 @@ let targets =
     ("perf", perf);
   ]
 
+let usage () =
+  Printf.eprintf
+    "usage: main.exe [options] [target ...]\n\
+     options:\n\
+    \  --out FILE        write metrics to FILE (default BENCH_obs.json)\n\
+    \  --baseline FILE   compare this run against a stored metrics FILE\n\
+    \  --check           exit 1 if the comparison finds regressions\n\
+    \  --no-time         gate counters only, ignore wall-clock times\n\
+    \  --tol-counters R  relative counter tolerance (default %g)\n\
+    \  --tol-time R      relative time tolerance (default %g)\n\
+     targets: %s\n"
+    Regress.default_tolerance.Regress.counter_rtol
+    Regress.default_tolerance.Regress.time_rtol
+    (String.concat " " (List.map fst targets));
+  exit 2
+
 let () =
+  let out = ref "BENCH_obs.json" in
+  let baseline = ref None in
+  let check = ref false in
+  let tol = ref Regress.default_tolerance in
+  let names = ref [] in
+  let rec parse = function
+    | [] -> ()
+    | "--out" :: path :: rest ->
+        out := path;
+        parse rest
+    | "--baseline" :: path :: rest ->
+        baseline := Some path;
+        parse rest
+    | "--check" :: rest ->
+        check := true;
+        parse rest
+    | "--no-time" :: rest ->
+        tol := { !tol with Regress.check_time = false };
+        parse rest
+    | "--tol-counters" :: r :: rest ->
+        tol := { !tol with Regress.counter_rtol = float_of_string r };
+        parse rest
+    | "--tol-time" :: r :: rest ->
+        tol := { !tol with Regress.time_rtol = float_of_string r };
+        parse rest
+    | arg :: _ when String.length arg > 1 && arg.[0] = '-' ->
+        Printf.eprintf "unknown option %S\n" arg;
+        usage ()
+    | name :: rest ->
+        names := name :: !names;
+        parse rest
+  in
+  (match Array.to_list Sys.argv with _ :: args -> parse args | [] -> ());
   let requested =
-    match Array.to_list Sys.argv with
-    | _ :: (_ :: _ as names) -> names
-    | _ -> List.map fst targets
+    match List.rev !names with [] -> List.map fst targets | names -> names
   in
   List.iter
     (fun name ->
@@ -268,4 +322,24 @@ let () =
             (String.concat " " (List.map fst targets));
           exit 1)
     requested;
-  write_metrics "BENCH_obs.json"
+  write_metrics !out;
+  match !baseline with
+  | None -> ()
+  | Some path -> (
+      match (Regress.load path, Regress.load !out) with
+      | Error e, _ | _, Error e ->
+          Printf.eprintf "regression gate: %s\n" e;
+          exit 1
+      | Ok base, Ok cur ->
+          let violations = Regress.compare !tol ~baseline:base ~current:cur in
+          let compared = Regress.compared_targets ~baseline:base ~current:cur in
+          Printf.printf "regression gate: %d target(s) compared against %s\n"
+            (List.length compared) path;
+          if violations = [] then
+            Printf.printf "regression gate: OK, no regressions\n"
+          else begin
+            print_string (Regress.render violations);
+            Printf.printf "regression gate: %d violation(s)\n"
+              (List.length violations);
+            if !check then exit 1
+          end)

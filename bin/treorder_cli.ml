@@ -74,6 +74,42 @@ let print_obs_summary () =
       counters;
     Report.Table.print table
   end;
+  let dists =
+    List.filter (fun (_, d) -> d.Obs.count > 0) snap.Obs.distributions
+  in
+  if dists <> [] then begin
+    print_newline ();
+    let table =
+      Report.Table.create
+        ~columns:
+          [
+            ("distribution", Report.Table.Left);
+            ("count", Report.Table.Right);
+            ("mean", Report.Table.Right);
+            ("min", Report.Table.Right);
+            ("p50", Report.Table.Right);
+            ("p90", Report.Table.Right);
+            ("p99", Report.Table.Right);
+            ("max", Report.Table.Right);
+          ]
+    in
+    List.iter
+      (fun (name, d) ->
+        let cell x = Printf.sprintf "%.4g" x in
+        Report.Table.add_row table
+          [
+            name;
+            string_of_int d.Obs.count;
+            cell (d.Obs.sum /. float_of_int d.Obs.count);
+            cell d.Obs.min;
+            cell d.Obs.p50;
+            cell d.Obs.p90;
+            cell d.Obs.p99;
+            cell d.Obs.max;
+          ])
+      dists;
+    Report.Table.print table
+  end;
   let spans = List.filter (fun (_, s) -> s.Obs.calls > 0) snap.Obs.spans in
   if spans <> [] then begin
     print_newline ();
@@ -227,8 +263,29 @@ let output_arg =
   let doc = "Write the rewritten netlist to this file (native format)." in
   Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE" ~doc)
 
+let explain_flag =
+  Arg.(
+    value & flag
+    & info [ "explain" ]
+        ~doc:
+          "Print the power-attribution ledger: ranked top consumers, why \
+           each changed ordering won, and per-node breakdowns.")
+
+let explain_json_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "explain-json" ] ~docv:"FILE"
+        ~doc:"Write the attribution ledger as JSON to $(docv).")
+
+let top_arg =
+  Arg.(
+    value & opt int 5
+    & info [ "top" ] ~docv:"N"
+        ~doc:"Gates shown in the ranked --explain tables.")
+
 let optimize_cmd =
-  let run spec scenario seed objective out obs =
+  let run spec scenario seed objective out explain explain_json top obs =
     with_obs obs @@ fun () ->
     let circuit = load_circuit spec in
     let ctx = context () in
@@ -256,6 +313,23 @@ let optimize_cmd =
     Printf.printf "critical delay: %s -> %s\n"
       (Report.Table.cell_time (sta circuit))
       (Report.Table.cell_time (sta r.Reorder.Optimizer.circuit));
+    if explain || explain_json <> None then begin
+      let ledger =
+        Attrib.of_report ctx.Experiments.Common.power ~before:circuit ~inputs r
+      in
+      if explain then begin
+        print_newline ();
+        print_string (Attrib.render_explain ~top ledger)
+      end;
+      Option.iter
+        (fun path ->
+          let oc = open_out path in
+          output_string oc (Attrib.to_json ledger);
+          output_char oc '\n';
+          close_out oc;
+          Printf.printf "wrote %s\n" path)
+        explain_json
+    end;
     Option.iter
       (fun path ->
         Netlist.Io.save r.Reorder.Optimizer.circuit path;
@@ -266,7 +340,7 @@ let optimize_cmd =
     (Cmd.info "optimize" ~doc:"Reorder transistors for the chosen objective.")
     Term.(
       const run $ circuit_arg $ scenario_arg $ seed_arg $ objective_arg
-      $ output_arg $ obs_term)
+      $ output_arg $ explain_flag $ explain_json_arg $ top_arg $ obs_term)
 
 (* --- simulate --- *)
 
@@ -515,7 +589,8 @@ let fuzz_cmd =
   let property_arg =
     let doc =
       "Run only this property (repeatable). One of: exactness, sim-power, \
-       function, optimizer, io-roundtrip, densities, sp-orderings."
+       function, optimizer, io-roundtrip, densities, attribution, \
+       sp-orderings."
     in
     Arg.(value & opt_all string [] & info [ "property"; "p" ] ~docv:"NAME" ~doc)
   in
@@ -559,6 +634,91 @@ let fuzz_cmd =
     Term.(
       const run $ seed_arg $ count_arg $ property_arg $ max_gates_arg $ obs_term)
 
+(* --- trace: offline analysis of --trace NDJSON files --- *)
+
+let trace_file_arg =
+  let doc = "NDJSON trace file written by --trace." in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"TRACE" ~doc)
+
+let load_trace path =
+  if not (Sys.file_exists path) then begin
+    Printf.eprintf "error: no such trace file %S\n" path;
+    exit 1
+  end;
+  match Trace.load path with
+  | Ok events -> events
+  | Error msg ->
+      Printf.eprintf "error: %s: %s\n" path msg;
+      exit 1
+
+let trace_report_cmd =
+  let top_counters_arg =
+    Arg.(
+      value & opt int 10
+      & info [ "top" ] ~docv:"N" ~doc:"Counters shown (by final value).")
+  in
+  let run path top =
+    let events = load_trace path in
+    let tree = Trace.span_tree events in
+    print_string (Trace.render_tree tree);
+    let counters = Trace.final_counters events in
+    if counters <> [] then begin
+      print_newline ();
+      let ranked =
+        List.sort (fun (_, a) (_, b) -> compare b a) counters
+        |> List.filteri (fun i _ -> i < top)
+      in
+      let table =
+        Report.Table.create
+          ~columns:
+            [ ("counter", Report.Table.Left); ("final", Report.Table.Right) ]
+      in
+      List.iter
+        (fun (name, v) -> Report.Table.add_row table [ name; string_of_int v ])
+        ranked;
+      Report.Table.print table
+    end
+  in
+  Cmd.v
+    (Cmd.info "report"
+       ~doc:
+         "Span tree (total/self wall-clock per path) and top counters of a \
+          trace.")
+    Term.(const run $ trace_file_arg $ top_counters_arg)
+
+let trace_chrome_cmd =
+  let out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE"
+          ~doc:"Write the Chrome trace JSON here (default: stdout).")
+  in
+  let run path out =
+    let events = load_trace path in
+    let json = Trace.to_chrome events in
+    match out with
+    | None -> print_endline json
+    | Some target ->
+        let oc = open_out target in
+        output_string oc json;
+        output_char oc '\n';
+        close_out oc;
+        Printf.printf "wrote %s\n" target
+  in
+  Cmd.v
+    (Cmd.info "chrome"
+       ~doc:
+         "Convert a trace to Chrome trace-event JSON (chrome://tracing, \
+          Perfetto).")
+    Term.(const run $ trace_file_arg $ out_arg)
+
+let trace_cmd =
+  Cmd.group
+    (Cmd.info "trace"
+       ~doc:"Analyze NDJSON traces produced by the --trace flag.")
+    [ trace_report_cmd; trace_chrome_cmd ]
+
 (* --- table3 --- *)
 
 let table3_cmd =
@@ -593,6 +753,7 @@ let main =
       dot_cmd;
       spice_cmd;
       map_cmd;
+      trace_cmd;
       fuzz_cmd;
       profile_cmd;
       glitch_cmd;

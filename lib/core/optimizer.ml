@@ -5,6 +5,8 @@ let c_configs_explored = Obs.counter "optimizer.configs_explored"
 let c_configs_pruned = Obs.counter "optimizer.configs_pruned"
 let c_sta_checks = Obs.counter "optimizer.sta_checks"
 let c_sta_rejects = Obs.counter "optimizer.sta_rejects"
+let d_configs_per_gate = Obs.distribution "optimizer.configs_per_gate"
+let d_gate_reduction = Obs.distribution "optimizer.gate_reduction_percent"
 
 type objective =
   | Min_power
@@ -77,26 +79,28 @@ let critical_delay_with delay_table ~external_load circuit assignment =
 
 (* Candidate selection for one gate under the power objectives
    (FIND_BEST_REORDERING): power of each configuration with the gate's
-   actual fan-out load and propagated input statistics. *)
+   actual fan-out load and propagated input statistics. Returns the
+   chosen index plus the chosen and incumbent configuration powers, so
+   the caller can attribute the per-gate improvement. *)
 let choose_by_power power_table ~maximize ~candidates ~load ~input_stats
     (gate : C.gate) =
   let cell = gate.C.cell in
   let groups = Power.Model.groups_of_nets gate.C.fanins in
-  let score config =
-    let p =
-      (Power.Model.gate_power power_table cell ~config ~input_stats ~groups
-         ~load ())
-        .Power.Model.total
-    in
-    if maximize then -.p else p
+  let power_of config =
+    (Power.Model.gate_power power_table cell ~config ~input_stats ~groups
+       ~load ())
+      .Power.Model.total
   in
-  List.fold_left
-    (fun (best_i, best_s) i ->
-      let s = score i in
-      if s < best_s then (i, s) else (best_i, best_s))
-    (gate.C.config, score gate.C.config)
-    candidates
-  |> fst
+  let current = power_of gate.C.config in
+  let score p = if maximize then -.p else p in
+  let best_i, best_p =
+    List.fold_left
+      (fun (best_i, best_p) i ->
+        let p = power_of i in
+        if score p < score best_p then (i, p) else (best_i, best_p))
+      (gate.C.config, current) candidates
+  in
+  (best_i, best_p, current)
 
 let choose_by_delay delay_table ~candidates ~load (gate : C.gate) =
   List.fold_left
@@ -157,15 +161,29 @@ let optimize power_table ~delay:delay_table
       let candidates = candidates_for gate in
       Obs.incr c_gates_visited;
       Obs.add c_configs_explored (List.length candidates);
+      Obs.observe d_configs_per_gate (float_of_int (List.length candidates));
       explored := !explored + List.length candidates;
+      (* Per-gate improvement of the chosen configuration over the
+         incumbent one, as a percentage (the distribution behind the
+         BENCH_obs.json [optimizer.gate_reduction_percent] metric). *)
+      let observe_reduction ~best ~current =
+        Obs.observe d_gate_reduction (reduction_percent ~best ~worst:current)
+      in
       let chosen =
         match objective with
         | Min_power ->
-            choose_by_power power_table ~maximize:false ~candidates ~load
-              ~input_stats gate
+            let chosen, best, current =
+              choose_by_power power_table ~maximize:false ~candidates ~load
+                ~input_stats gate
+            in
+            observe_reduction ~best ~current;
+            chosen
         | Max_power ->
-            choose_by_power power_table ~maximize:true ~candidates ~load
-              ~input_stats gate
+            let chosen, _, _ =
+              choose_by_power power_table ~maximize:true ~candidates ~load
+                ~input_stats gate
+            in
+            chosen
         | Min_delay -> choose_by_delay delay_table ~candidates ~load gate
         | Min_power_delay_bounded ->
             let budget = Option.get delay_budget in
@@ -187,8 +205,12 @@ let optimize power_table ~delay:delay_table
             in
             Obs.add c_configs_pruned
               (List.length candidates - List.length admissible);
-            choose_by_power power_table ~maximize:false ~candidates:admissible
-              ~load ~input_stats gate
+            let chosen, best, current =
+              choose_by_power power_table ~maximize:false
+                ~candidates:admissible ~load ~input_stats gate
+            in
+            observe_reduction ~best ~current;
+            chosen
       in
       configs.(g) <- chosen)
     (C.topological_order circuit);

@@ -6,6 +6,11 @@ type distribution = {
   mutable d_sum : float;
   mutable d_min : float;
   mutable d_max : float;
+  (* Every observed value, kept so snapshots can report true quantiles.
+     Distributions are sampled at per-gate granularity (not in the
+     per-transistor hot loops), so the buffer stays small. *)
+  mutable d_samples : float array;
+  mutable d_len : int;
 }
 
 type span_agg = {
@@ -40,7 +45,15 @@ let distribution name =
   | Some d -> d
   | None ->
       let d =
-        { d_name = name; d_count = 0; d_sum = 0.; d_min = 0.; d_max = 0. }
+        {
+          d_name = name;
+          d_count = 0;
+          d_sum = 0.;
+          d_min = 0.;
+          d_max = 0.;
+          d_samples = [||];
+          d_len = 0;
+        }
       in
       Hashtbl.add distributions name d;
       d
@@ -55,7 +68,24 @@ let observe d x =
     if x > d.d_max then d.d_max <- x
   end;
   d.d_count <- d.d_count + 1;
-  d.d_sum <- d.d_sum +. x
+  d.d_sum <- d.d_sum +. x;
+  let cap = Array.length d.d_samples in
+  if d.d_len = cap then begin
+    let grown = Array.make (if cap = 0 then 16 else 2 * cap) 0. in
+    Array.blit d.d_samples 0 grown 0 cap;
+    d.d_samples <- grown
+  end;
+  d.d_samples.(d.d_len) <- x;
+  d.d_len <- d.d_len + 1
+
+(* Nearest-rank quantile over the recorded samples: the smallest value
+   such that at least [q·count] samples are <= it. *)
+let quantile_of_sorted sorted q =
+  let n = Array.length sorted in
+  if n = 0 then 0.
+  else
+    let rank = int_of_float (Float.ceil (q *. float_of_int n)) in
+    sorted.(Stdlib.min (n - 1) (Stdlib.max 0 (rank - 1)))
 
 let span_agg name =
   match Hashtbl.find_opt spans name with
@@ -171,16 +201,40 @@ let span name f =
 
 (* --- snapshots --- *)
 
-type dist_stats = { count : int; sum : float; min : float; max : float }
+type dist_stats = {
+  count : int;
+  sum : float;
+  min : float;
+  max : float;
+  p50 : float;
+  p90 : float;
+  p99 : float;
+}
+
 type span_stats = { calls : int; total : float; slowest : float }
+type gc_stats = { minor_words : float; major_words : float }
+
+(* GC words are reported relative to the last [reset], so a snapshot
+   describes the allocation of one measured operation, matching the
+   counter/span semantics. *)
+let gc_base = ref (0., 0.)
+
+let gc_words () =
+  let s = Gc.quick_stat () in
+  (s.Gc.minor_words, s.Gc.major_words)
+
+let () = gc_base := gc_words ()
 
 type snapshot = {
   counters : (string * int) list;
   distributions : (string * dist_stats) list;
   spans : (string * span_stats) list;
+  gc : gc_stats;
 }
 
 let snapshot () =
+  let minor_now, major_now = gc_words () in
+  let minor_base, major_base = !gc_base in
   {
     counters =
       List.map
@@ -190,7 +244,18 @@ let snapshot () =
       List.map
         (fun name ->
           let d = Hashtbl.find distributions name in
-          (name, { count = d.d_count; sum = d.d_sum; min = d.d_min; max = d.d_max }))
+          let sorted = Array.sub d.d_samples 0 d.d_len in
+          Array.sort compare sorted;
+          ( name,
+            {
+              count = d.d_count;
+              sum = d.d_sum;
+              min = d.d_min;
+              max = d.d_max;
+              p50 = quantile_of_sorted sorted 0.50;
+              p90 = quantile_of_sorted sorted 0.90;
+              p99 = quantile_of_sorted sorted 0.99;
+            } ))
         (sorted_names distributions);
     spans =
       List.map
@@ -198,6 +263,11 @@ let snapshot () =
           let s = Hashtbl.find spans name in
           (name, { calls = s.s_calls; total = s.s_total; slowest = s.s_slowest }))
         (sorted_names spans);
+    gc =
+      {
+        minor_words = minor_now -. minor_base;
+        major_words = major_now -. major_base;
+      };
   }
 
 let reset () =
@@ -207,7 +277,9 @@ let reset () =
       d.d_count <- 0;
       d.d_sum <- 0.;
       d.d_min <- 0.;
-      d.d_max <- 0.)
+      d.d_max <- 0.;
+      d.d_samples <- [||];
+      d.d_len <- 0)
     distributions;
   Hashtbl.iter
     (fun _ s ->
@@ -215,7 +287,8 @@ let reset () =
       s.s_total <- 0.;
       s.s_slowest <- 0.)
     spans;
-  depth_ref := 0
+  depth_ref := 0;
+  gc_base := gc_words ()
 
 let counter_value snap name =
   match List.assoc_opt name snap.counters with Some v -> v | None -> 0
@@ -238,12 +311,18 @@ let snapshot_to_json snap =
   Buffer.add_string b ",\"distributions\":";
   obj snap.distributions (fun (d : dist_stats) ->
       Buffer.add_string b
-        (Printf.sprintf "{\"count\":%d,\"sum\":%s,\"min\":%s,\"max\":%s}" d.count
-           (json_float d.sum) (json_float d.min) (json_float d.max)));
+        (Printf.sprintf
+           "{\"count\":%d,\"sum\":%s,\"min\":%s,\"max\":%s,\"p50\":%s,\"p90\":%s,\"p99\":%s}"
+           d.count (json_float d.sum) (json_float d.min) (json_float d.max)
+           (json_float d.p50) (json_float d.p90) (json_float d.p99)));
   Buffer.add_string b ",\"spans\":";
   obj snap.spans (fun (s : span_stats) ->
       Buffer.add_string b
         (Printf.sprintf "{\"calls\":%d,\"total_s\":%s,\"slowest_s\":%s}" s.calls
            (json_float s.total) (json_float s.slowest)));
+  Buffer.add_string b
+    (Printf.sprintf ",\"gc\":{\"minor_words\":%s,\"major_words\":%s}"
+       (json_float snap.gc.minor_words)
+       (json_float snap.gc.major_words));
   Buffer.add_char b '}';
   Buffer.contents b

@@ -46,7 +46,10 @@ val value : counter -> int
 type distribution
 
 val distribution : string -> distribution
-(** Registers (or retrieves) a value distribution. *)
+(** Registers (or retrieves) a value distribution. Distributions keep
+    every observed value (buffer doubling, cleared by {!reset}) so
+    snapshots report exact nearest-rank quantiles; observe at sampled
+    (e.g. per-gate) granularity, not in per-transistor hot loops. *)
 
 val observe : distribution -> float -> unit
 
@@ -68,6 +71,9 @@ type dist_stats = {
   sum : float;
   min : float;  (** 0 when [count = 0] *)
   max : float;  (** 0 when [count = 0] *)
+  p50 : float;  (** nearest-rank quantiles; 0 when [count = 0] *)
+  p90 : float;
+  p99 : float;
 }
 
 type span_stats = {
@@ -76,25 +82,36 @@ type span_stats = {
   slowest : float;  (** seconds, worst single call *)
 }
 
+type gc_stats = {
+  minor_words : float;  (** words allocated in the minor heap *)
+  major_words : float;  (** words allocated in the major heap *)
+}
+
 type snapshot = {
   counters : (string * int) list;  (** sorted by name *)
   distributions : (string * dist_stats) list;  (** sorted by name *)
   spans : (string * span_stats) list;  (** sorted by name *)
+  gc : gc_stats;  (** allocation since the last {!reset} *)
 }
 
 val snapshot : unit -> snapshot
-(** Consistent copy of every registered instrument's current value. *)
+(** Consistent copy of every registered instrument's current value.
+    Every list is sorted by instrument name, so rendered snapshots are
+    diffable across runs. *)
 
 val reset : unit -> unit
-(** Zero every registered instrument (handles stay valid) and reset the
-    span depth. Does not touch the trace sink. *)
+(** Zero every registered instrument (handles stay valid), reset the
+    span depth and re-baseline the GC statistics. Does not touch the
+    trace sink. *)
 
 val counter_value : snapshot -> string -> int
 (** Convenience lookup; 0 when the name is not in the snapshot. *)
 
 val snapshot_to_json : snapshot -> string
 (** The snapshot as one JSON object:
-    [{"counters":{...},"distributions":{...},"spans":{...}}]. *)
+    [{"counters":{...},"distributions":{...},"spans":{...},"gc":{...}}].
+    Distribution objects carry [count]/[sum]/[min]/[max] plus the
+    [p50]/[p90]/[p99] quantiles. *)
 
 (** {1 NDJSON trace sink} *)
 

@@ -1,0 +1,160 @@
+(* Baseline comparison for BENCH_obs.json documents. *)
+
+module Json = Trace.Json
+
+type target = {
+  name : string;
+  seconds : float;
+  counters : (string * float) list;
+  spans : (string * float) list;
+}
+
+let sorted l = List.sort (fun (a, _) (b, _) -> compare a b) l
+
+let target_of_json json =
+  let str key = Option.bind (Json.member key json) Json.to_string in
+  let num key = Option.bind (Json.member key json) Json.to_float in
+  match (str "name", num "seconds", Json.member "metrics" json) with
+  | Some name, Some seconds, Some metrics ->
+      let counters =
+        match Json.member "counters" metrics with
+        | Some (Json.Obj fields) ->
+            List.filter_map
+              (fun (k, v) -> Option.map (fun x -> (k, x)) (Json.to_float v))
+              fields
+        | _ -> []
+      in
+      let spans =
+        match Json.member "spans" metrics with
+        | Some (Json.Obj fields) ->
+            List.filter_map
+              (fun (k, v) ->
+                Option.map
+                  (fun x -> (k, x))
+                  (Option.bind (Json.member "total_s" v) Json.to_float))
+              fields
+        | _ -> []
+      in
+      Ok { name; seconds; counters = sorted counters; spans = sorted spans }
+  | _ -> Error "target without name/seconds/metrics"
+
+let targets_of_json json =
+  match Json.member "targets" json with
+  | Some (Json.Arr targets) ->
+      let rec go acc = function
+        | [] -> Ok (List.rev acc)
+        | t :: rest -> (
+            match target_of_json t with
+            | Ok target -> go (target :: acc) rest
+            | Error _ as e -> e)
+      in
+      go [] targets
+  | _ -> Error "document has no \"targets\" array"
+
+let load path =
+  match
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  with
+  | exception Sys_error msg -> Error msg
+  | text -> (
+      match Json.parse text with
+      | Error msg -> Error msg
+      | Ok json -> targets_of_json json)
+
+type tolerance = {
+  counter_rtol : float;
+  counter_slack : float;
+  time_rtol : float;
+  time_slack : float;
+  check_time : bool;
+}
+
+let default_tolerance =
+  {
+    counter_rtol = 0.1;
+    counter_slack = 8.;
+    time_rtol = 0.5;
+    time_slack = 0.02;
+    check_time = true;
+  }
+
+type violation = {
+  target : string;
+  metric : string;
+  baseline : float;
+  current : float;
+  allowed : float;
+}
+
+(* Inner join of two name-sorted assoc lists. *)
+let join a b =
+  let rec go acc a b =
+    match (a, b) with
+    | [], _ | _, [] -> List.rev acc
+    | (ka, va) :: ra, (kb, vb) :: rb ->
+        let c = compare ka kb in
+        if c = 0 then go ((ka, va, vb) :: acc) ra rb
+        else if c < 0 then go acc ra b
+        else go acc a rb
+  in
+  go [] a b
+
+let check_counter tol ~target ~metric ~baseline ~current acc =
+  let slack = Float.max (tol.counter_rtol *. Float.abs baseline) tol.counter_slack in
+  if Float.abs (current -. baseline) > slack then
+    { target; metric; baseline; current; allowed = slack } :: acc
+  else acc
+
+let check_slower tol ~target ~metric ~baseline ~current acc =
+  let limit = (baseline *. (1. +. tol.time_rtol)) +. tol.time_slack in
+  if current > limit then
+    { target; metric; baseline; current; allowed = limit } :: acc
+  else acc
+
+let compare_target tol (name, base, cur) acc =
+  let acc =
+    List.fold_left
+      (fun acc (counter, baseline, current) ->
+        check_counter tol ~target:name
+          ~metric:("counter " ^ counter)
+          ~baseline ~current acc)
+      acc
+      (join base.counters cur.counters)
+  in
+  if not tol.check_time then acc
+  else
+    let acc =
+      check_slower tol ~target:name ~metric:"seconds" ~baseline:base.seconds
+        ~current:cur.seconds acc
+    in
+    List.fold_left
+      (fun acc (span, baseline, current) ->
+        check_slower tol ~target:name
+          ~metric:("span " ^ span)
+          ~baseline ~current acc)
+      acc
+      (join base.spans cur.spans)
+
+let by_name targets =
+  sorted (List.map (fun t -> (t.name, t)) targets)
+
+let compare tol ~baseline ~current =
+  let joined = join (by_name baseline) (by_name current) in
+  let violations = List.fold_left (fun acc t -> compare_target tol t acc) [] joined in
+  List.sort
+    (fun a b -> Stdlib.compare (a.target, a.metric) (b.target, b.metric))
+    violations
+
+let compared_targets ~baseline ~current =
+  List.map (fun (name, _, _) -> name) (join (by_name baseline) (by_name current))
+
+let render violations =
+  String.concat ""
+    (List.map
+       (fun v ->
+         Printf.sprintf "REGRESSION %s / %s: baseline %.6g, now %.6g (allowed %.6g)\n"
+           v.target v.metric v.baseline v.current v.allowed)
+       violations)

@@ -1,0 +1,88 @@
+(** Offline analysis of the NDJSON traces written by {!Obs.file_sink}.
+
+    The consumer side of [--trace FILE]: parse the event stream back,
+    rebuild the span nesting as a tree with self/total wall-clock time
+    per path, recover the final counter values, and export Chrome
+    trace-event JSON for [chrome://tracing] / Perfetto.
+
+    Parsing is strict about JSON well-formedness but tolerant about
+    stream truncation: a trace cut off mid-run (the process died inside
+    a span) still yields the tree of the spans that did complete. *)
+
+(** {1 JSON values}
+
+    A minimal self-contained JSON reader — also used by {!Regress} to
+    parse [BENCH_obs.json] documents — plus the escaping helper shared
+    by the writers. *)
+
+module Json : sig
+  type t =
+    | Null
+    | Bool of bool
+    | Num of float
+    | Str of string
+    | Arr of t list
+    | Obj of (string * t) list
+
+  val parse : string -> (t, string) result
+  (** Whole-string parse; the error carries a character offset. *)
+
+  val member : string -> t -> t option
+  (** Field lookup on [Obj]; [None] on other constructors. *)
+
+  val to_float : t -> float option
+  val to_string : t -> string option
+
+  val escape : string -> string
+  (** [escape s] is the JSON string literal for [s], quotes included. *)
+end
+
+(** {1 Events} *)
+
+type event =
+  | Span_begin of { name : string; t : float; depth : int }
+  | Span_end of { name : string; t : float; depth : int; dt : float }
+  | Counter of { name : string; t : float; value : int }
+
+val event_of_line : string -> (event, string) result
+
+val events_of_string : string -> (event list, string) result
+(** Parse an NDJSON document (blank lines skipped). The error names the
+    offending 1-based line. *)
+
+val load : string -> (event list, string) result
+(** [events_of_string] over a file's contents; [Error] on I/O failure. *)
+
+(** {1 Span tree} *)
+
+type tree = {
+  name : string;
+  calls : int;  (** completed spans at this path *)
+  total : float;  (** seconds, summed over calls *)
+  self : float;  (** [total] minus the children's [total] *)
+  children : tree list;  (** sorted by name *)
+}
+
+val span_tree : event list -> tree
+(** Aggregate spans by {e path} (the stack of enclosing span names), so
+    [optimize.gate] under [optimize.run] is distinct from a top-level
+    [optimize.gate]. The root is synthetic: [name = ""], [calls = 0],
+    [total] = sum of the top-level spans. Unmatched [Span_end]s and
+    spans left open by a truncated trace are dropped. *)
+
+val render_tree : tree -> string
+(** Plain-text rendering, one line per path: total, self, calls, and
+    the name indented two spaces per nesting level. Deterministic
+    (children sorted by name). *)
+
+val final_counters : event list -> (string * int) list
+(** Last sampled value per counter name, sorted by name. *)
+
+(** {1 Chrome trace-event export} *)
+
+val to_chrome : event list -> string
+(** The events as a Chrome trace-event JSON document
+    ([{"traceEvents":[...]}]): spans become [ph:"B"]/[ph:"E"] duration
+    events and counter samples become [ph:"C"] counter events, all on
+    [pid 1 / tid 1], timestamps in microseconds. Loadable by
+    [chrome://tracing] and Perfetto. *)

@@ -7,6 +7,8 @@ type breakdown = {
   total : float;
 }
 
+let d_gate_power = Obs.distribution "power.gate_power_uw"
+
 let default_external_load = 20e-15
 
 let output_load table ?(external_load = default_external_load) circuit g =
@@ -40,6 +42,7 @@ let circuit table ?external_load circuit_ analysis =
         ~config:(C.gate_at circuit_ g).C.config
     in
     per_gate.(g) <- power.Model.total;
+    Obs.observe d_gate_power (power.Model.total *. 1e6);
     internal := !internal +. power.Model.internal;
     output := !output +. power.Model.output
   done;

@@ -31,6 +31,7 @@ type node_power = {
   node : Sp.Network.node;
   probability : float;
   transitions : float;
+  by_input : float array;
   capacitance : float;
   power : float;
 }
@@ -159,6 +160,7 @@ let node_power_of t input_stats ~extra_cap ns =
   let p = prob_fn input_stats in
   let p_h = Bdd.probability ns.h p and p_g = Bdd.probability ns.g p in
   let p_node = node_probability ~p_h ~p_g in
+  let by_input = Array.make (Array.length ns.dh) 0. in
   let transitions = ref 0. in
   Array.iteri
     (fun i dh_i ->
@@ -166,9 +168,9 @@ let node_power_of t input_stats ~extra_cap ns =
       if d_i > 0. then begin
         let toggle_h = Bdd.probability dh_i p in
         let toggle_g = Bdd.probability ns.dg.(i) p in
-        transitions :=
-          !transitions
-          +. (d_i *. (((1. -. p_node) *. toggle_h) +. (p_node *. toggle_g)))
+        let t_i = d_i *. (((1. -. p_node) *. toggle_h) +. (p_node *. toggle_g)) in
+        by_input.(i) <- t_i;
+        transitions := !transitions +. t_i
       end)
     ns.dh;
   let capacitance = ns.sym_cap +. extra_cap in
@@ -177,6 +179,7 @@ let node_power_of t input_stats ~extra_cap ns =
     node = ns.sym_node;
     probability = p_node;
     transitions = !transitions;
+    by_input;
     capacitance;
     power = 0.5 *. capacitance *. vdd *. vdd *. !transitions;
   }

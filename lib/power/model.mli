@@ -27,6 +27,12 @@ type node_power = {
   node : Sp.Network.node;
   probability : float;  (** equilibrium probability of the node *)
   transitions : float;  (** Σᵢ T(node|xᵢ), transitions per time unit *)
+  by_input : float array;
+      (** [T(node|xᵢ)] per input pin (length = arity):
+          [transitions = Σᵢ by_input.(i)] with identical float
+          summation order, so the per-input attribution is conservative
+          by construction. Tied pins carry their joint contribution on
+          the representative pin and 0 elsewhere. *)
   capacitance : float;  (** node capacitance used, F *)
   power : float;  (** ½·C·Vdd²·transitions, W *)
 }

@@ -291,6 +291,61 @@ let check_sp_orderings ~seed:_ t =
     fail "pivot exploration visits %d configurations, enumeration %d"
       (List.length pivoted) (List.length orderings)
 
+(* --- 8. attribution-ledger conservation --- *)
+
+let check_attribution ~seed c =
+  let inputs = Gen.input_stats ~seed c in
+  let report = Reorder.Optimizer.optimize (power ()) ~delay:(delay ()) c ~inputs in
+  let ledger =
+    Attrib.of_report (power ()) ~candidates:false ~before:c ~inputs report
+  in
+  let rec gates = function
+    | [] ->
+        let* () =
+          if close ~rtol:1e-9 ledger.Attrib.total_after
+               report.Reorder.Optimizer.power_after
+          then Pass
+          else
+            fail "ledger after-total %.12g W, report says %.12g W"
+              ledger.Attrib.total_after report.Reorder.Optimizer.power_after
+        in
+        let* () =
+          if close ~rtol:1e-9 ledger.Attrib.total_before
+               report.Reorder.Optimizer.power_before
+          then Pass
+          else
+            fail "ledger before-total %.12g W, report says %.12g W"
+              ledger.Attrib.total_before report.Reorder.Optimizer.power_before
+        in
+        let e = Attrib.conservation_error ledger in
+        if e <= 1e-9 then Pass
+        else fail "worst per-gate conservation error %.3g > 1e-9" e
+    | (g : Attrib.gate_entry) :: rest -> (
+        let* () =
+          if close ~rtol:1e-9 (Attrib.node_sum g) g.Attrib.after_total then Pass
+          else
+            fail "gate %d (%s): node powers sum to %.12g W, gate total %.12g W"
+              g.Attrib.index g.Attrib.out_net (Attrib.node_sum g)
+              g.Attrib.after_total
+        in
+        let input_sum (n : Attrib.node_share) =
+          Array.fold_left (fun acc (_, w) -> acc +. w) 0. n.Attrib.per_input
+        in
+        match
+          List.find_opt
+            (fun (n : Attrib.node_share) ->
+              not (close ~rtol:1e-9 (input_sum n) n.Attrib.power))
+            g.Attrib.nodes
+        with
+        | Some n ->
+            fail
+              "gate %d (%s): per-input contributions sum to %.12g W, node \
+               power %.12g W"
+              g.Attrib.index g.Attrib.out_net (input_sum n) n.Attrib.power
+        | None -> gates rest)
+  in
+  gates (Array.to_list ledger.Attrib.gates)
+
 (* --- registry --- *)
 
 let circuit_prop name generate check =
@@ -311,6 +366,7 @@ let all () =
     circuit_prop "optimizer" Gen.circuit check_optimizer;
     circuit_prop "io-roundtrip" Gen.circuit check_roundtrip;
     circuit_prop "densities" Gen.circuit check_densities;
+    circuit_prop "attribution" Gen.circuit check_attribution;
     Prop
       {
         name = "sp-orderings";

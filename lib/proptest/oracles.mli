@@ -26,6 +26,10 @@
       probability in [\[0, 1\]], density finite and non-negative, and
       the [power.densities_propagated] counter advances exactly once
       per gate (the §4.2 once-per-net property).
+    - [attribution] — the {!Attrib} ledger conserves power on optimizer
+      runs: per-gate node shares sum to the gate total, per-node
+      per-input contributions sum to the node power, and the ledger
+      totals match the optimizer report.
     - [sp-orderings] — on random series-parallel networks, every
       electrically distinct reordering conducts identically, the
       closed-form ordering count matches the enumeration, and the
