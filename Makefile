@@ -1,4 +1,4 @@
-.PHONY: all build test bench bench-check doc clean examples check fmt fuzz
+.PHONY: all build test bench bench-check audit doc clean examples check fmt fuzz
 
 all: build
 
@@ -35,16 +35,25 @@ bench:
 # their Obs counters against the committed fixture. Counters only
 # (--no-time), so the gate is stable across machines. Refresh the
 # fixture after an intentional behaviour change with:
-#   dune exec bench/main.exe -- --out bench/baseline_check.json table1 table2
+#   dune exec bench/main.exe -- --out bench/baseline_check.json \
+#     table1 table2 probe_overhead
 BENCH_BASELINE ?= bench/baseline_check.json
 bench-check:
 	dune exec bench/main.exe -- --baseline $(BENCH_BASELINE) \
-	  --check --no-time --out /tmp/bench_check_obs.json table1 table2
+	  --check --no-time --out /tmp/bench_check_obs.json \
+	  table1 table2 probe_overhead
+
+# Per-net calibration audit of the analytical model against the
+# switch-level simulator, with the same deterministic bound the @check
+# alias enforces (see the root dune file).
+audit:
+	dune exec bin/treorder_cli.exe -- audit tree16 --seed 42 \
+	  --horizon 2e-3 --fail-above 10 --stats
 
 # Individual reproduction targets, e.g. `make table3`
 table1 table2 figure5 table3_a table3_b adder_profile ablation_delay \
 ablation_inputreorder model_accuracy glitch sensitivity exactness \
-sequential gate_accuracy proptest perf:
+sequential gate_accuracy proptest probe_overhead perf:
 	dune exec bench/main.exe -- $@
 
 examples:

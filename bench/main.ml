@@ -6,7 +6,8 @@
      dune exec bench/main.exe                 # everything
      dune exec bench/main.exe -- table3_a perf
    Targets: table1 table2 figure5 table3_a table3_b adder_profile
-            ablation_delay ablation_inputreorder model_accuracy perf *
+            ablation_delay ablation_inputreorder model_accuracy
+            probe_overhead perf *
 
    Regression gating against a stored BENCH_obs.json:
      dune exec bench/main.exe -- --baseline OLD.json --check table2 perf
@@ -238,6 +239,45 @@ let proptest () =
   Printf.printf "throughput: %d cases in %.2f s = %.0f cases/s\n" cases dt
     (float_of_int cases /. dt)
 
+(* Probe overhead: the same deterministic simulation with and without
+   an observer attached. The wall-clock ratio quantifies the cost of
+   signal-level observability; the [switchsim.probe_events] counter
+   (observer run only) lands in BENCH_obs.json, deterministic for the
+   fixed seed, so the event volume itself is regression-gated. *)
+let probe_overhead () =
+  section "probe overhead / observer on vs off";
+  let circuit = Circuits.Suite.find "c17" in
+  let sim = Switchsim.Sim.build ctx.Experiments.Common.proc circuit in
+  let stats _ = Stoch.Signal_stats.make ~prob:0.5 ~density:1e5 in
+  let horizon = 2e-2 in
+  let run ?observer () =
+    let t0 = Unix.gettimeofday () in
+    let r =
+      Switchsim.Sim.run_stats sim ~rng:(Stoch.Rng.create 3) ~stats ~horizon
+        ?observer ()
+    in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  let bare, t_off = run () in
+  let seen = ref 0 in
+  let observer =
+    {
+      Switchsim.Sim.on_net =
+        (fun ~time:_ ~net:_ ~before:_ ~after:_ ~in_window:_ -> incr seen);
+      on_internal =
+        Some (fun ~time:_ ~gate:_ ~node:_ ~before:_ ~after:_ ~in_window:_ ->
+            incr seen);
+      on_energy = Some (fun ~time:_ ~gate:_ ~node:_ ~energy:_ -> incr seen);
+    }
+  in
+  let observed, t_on = run ~observer () in
+  assert (observed.Switchsim.Sim.energy = bare.Switchsim.Sim.energy);
+  Printf.printf "events:   %d input transitions, %d probe callbacks\n"
+    bare.Switchsim.Sim.events !seen;
+  Printf.printf "observer off: %.3f s\nobserver on:  %.3f s\n" t_off t_on;
+  if t_off > 0. then
+    Printf.printf "overhead: %+.1f%%\n" (100. *. ((t_on /. t_off) -. 1.))
+
 (* --- driver --- *)
 
 let targets =
@@ -257,6 +297,7 @@ let targets =
     ("sequential", sequential);
     ("gate_accuracy", gate_accuracy);
     ("proptest", proptest);
+    ("probe_overhead", probe_overhead);
     ("perf", perf);
   ]
 

@@ -348,27 +348,177 @@ let horizon_arg =
   let doc = "Simulation horizon in seconds." in
   Arg.(value & opt float 2e-3 & info [ "horizon" ] ~docv:"SECONDS" ~doc)
 
+let warmup_arg =
+  let doc =
+    "Warm-up time in seconds: the simulation runs from 0 but energy and \
+     statistics are only collected from $(docv) to the horizon."
+  in
+  Arg.(value & opt float 0. & info [ "warmup" ] ~docv:"SECONDS" ~doc)
+
+let vcd_arg =
+  let doc = "Dump every net value change to $(docv) (VCD, viewable in GTKWave)." in
+  Arg.(value & opt (some string) None & info [ "vcd" ] ~docv:"FILE" ~doc)
+
+let probe_internals_arg =
+  let doc = "Also dump internal transistor-graph nodes to the VCD file." in
+  Arg.(value & flag & info [ "probe-internals" ] ~doc)
+
+(* Attach a VCD dump to a simulation run: returns the observer to pass
+   and a completion function to call with the absolute horizon. *)
+let with_vcd sim vcd probe_internals =
+  match vcd with
+  | None -> (None, fun ~time:_ -> ())
+  | Some file ->
+      let oc = open_out file in
+      let observer, finish =
+        Switchsim.Vcd_dump.make sim ~probe_internals
+          ~emit:(output_string oc) ()
+      in
+      ( Some observer,
+        fun ~time ->
+          finish ~time;
+          close_out oc )
+
+let per_net_table circuit (r : Switchsim.Sim.result) top =
+  let table =
+    Report.Table.create
+      ~columns:
+        [
+          ("net", Report.Table.Left);
+          ("driver", Report.Table.Left);
+          ("toggles", Report.Table.Right);
+          ("D (1/s)", Report.Table.Right);
+          ("high", Report.Table.Right);
+          ("energy (J)", Report.Table.Right);
+        ]
+  in
+  let nets =
+    List.init (Netlist.Circuit.net_count circuit) Fun.id
+    |> List.sort (fun a b ->
+           compare r.Switchsim.Sim.net_toggles.(b) r.Switchsim.Sim.net_toggles.(a))
+  in
+  let rec toprows n = function
+    | [] -> []
+    | _ when n = 0 -> []
+    | x :: rest -> x :: toprows (n - 1) rest
+  in
+  List.iter
+    (fun net ->
+      let driver =
+        match Netlist.Circuit.driver circuit net with
+        | Netlist.Circuit.Primary_input -> "PI"
+        | Netlist.Circuit.Driven_by g ->
+            Printf.sprintf "g%d %s" g
+              (Cell.Gate.name (Netlist.Circuit.gate_at circuit g).Netlist.Circuit.cell)
+      in
+      Report.Table.add_row table
+        [
+          Netlist.Circuit.net_name circuit net;
+          driver;
+          string_of_int r.Switchsim.Sim.net_toggles.(net);
+          Printf.sprintf "%.3g"
+            (float_of_int r.Switchsim.Sim.net_toggles.(net)
+            /. r.Switchsim.Sim.horizon);
+          Report.Table.cell_float ~decimals:3
+            (r.Switchsim.Sim.net_high_time.(net) /. r.Switchsim.Sim.horizon);
+          Printf.sprintf "%.3g" r.Switchsim.Sim.per_net_energy.(net);
+        ])
+    (toprows top nets);
+  table
+
 let simulate_cmd =
-  let run spec scenario seed horizon obs =
+  let top_arg =
+    let doc = "Print the $(docv) most active nets (toggles, density, energy)." in
+    Arg.(value & opt int 0 & info [ "top" ] ~docv:"N" ~doc)
+  in
+  let run spec scenario seed horizon warmup vcd probe_internals top obs =
     with_obs obs @@ fun () ->
     let circuit = load_circuit spec in
     let ctx = context () in
     let stats = scenario_inputs ~seed scenario circuit in
     let sim = Switchsim.Sim.build ctx.Experiments.Common.proc circuit in
+    let observer, finish_vcd = with_vcd sim vcd probe_internals in
     let r =
       Switchsim.Sim.run_stats sim ~rng:(Stoch.Rng.create (seed + 1)) ~stats
-        ~horizon ()
+        ~horizon ~warmup ?observer ()
     in
+    finish_vcd ~time:horizon;
     Printf.printf "%s\n" (Format.asprintf "%a" Netlist.Circuit.pp_summary circuit);
     Printf.printf "events:          %d input transitions over %s\n"
       r.Switchsim.Sim.events
       (Report.Table.cell_time r.Switchsim.Sim.horizon);
     Printf.printf "energy:          %.4g J\n" r.Switchsim.Sim.energy;
-    Printf.printf "simulated power: %s\n" (Report.Table.cell_power r.Switchsim.Sim.power)
+    Printf.printf "simulated power: %s\n" (Report.Table.cell_power r.Switchsim.Sim.power);
+    (match vcd with
+    | Some file -> Printf.printf "vcd:             %s\n" file
+    | None -> ());
+    if top > 0 then begin
+      print_newline ();
+      Report.Table.print (per_net_table circuit r top)
+    end
   in
   Cmd.v
     (Cmd.info "simulate" ~doc:"Measure power with the switch-level simulator.")
-    Term.(const run $ circuit_arg $ scenario_arg $ seed_arg $ horizon_arg $ obs_term)
+    Term.(
+      const run $ circuit_arg $ scenario_arg $ seed_arg $ horizon_arg
+      $ warmup_arg $ vcd_arg $ probe_internals_arg $ top_arg $ obs_term)
+
+(* --- audit --- *)
+
+let audit_cmd =
+  let top_arg =
+    let doc = "Rows per table in the report." in
+    Arg.(value & opt int 10 & info [ "top" ] ~docv:"N" ~doc)
+  in
+  let json_arg =
+    let doc = "Emit the full audit as one JSON object." in
+    Arg.(value & flag & info [ "json" ] ~doc)
+  in
+  let ndjson_arg =
+    let doc = "Emit the audit as NDJSON (one line per net/gate row)." in
+    Arg.(value & flag & info [ "ndjson" ] ~doc)
+  in
+  let fail_above_arg =
+    let doc =
+      "Exit with status 1 if the mean absolute per-net density error over \
+       active nets exceeds $(docv) percent."
+    in
+    Arg.(value & opt (some float) None & info [ "fail-above" ] ~docv:"PCT" ~doc)
+  in
+  let run spec scenario seed horizon warmup vcd probe_internals top json ndjson
+      fail_above obs =
+    with_obs obs @@ fun () ->
+    let circuit = load_circuit spec in
+    let ctx = context () in
+    let inputs = scenario_inputs ~seed scenario circuit in
+    let sim = Switchsim.Sim.build ctx.Experiments.Common.proc circuit in
+    let observer, finish_vcd = with_vcd sim vcd probe_internals in
+    let a =
+      Audit.run ctx.Experiments.Common.power ~sim ?observer ~warmup
+        ~rng:(Stoch.Rng.create (seed + 1))
+        ~inputs ~horizon circuit
+    in
+    finish_vcd ~time:horizon;
+    if json then print_string (Audit.to_json a)
+    else if ndjson then print_string (Audit.to_ndjson a)
+    else print_string (Audit.render ~top a);
+    match fail_above with
+    | Some bound when a.Audit.summary.Audit.mean_density_err_pct > bound ->
+        Printf.eprintf
+          "audit: mean density error %.1f%% exceeds the %.1f%% bound\n"
+          a.Audit.summary.Audit.mean_density_err_pct bound;
+        exit 1
+    | _ -> ()
+  in
+  Cmd.v
+    (Cmd.info "audit"
+       ~doc:
+         "Audit the analytical power model against the switch-level simulator \
+          net by net.")
+    Term.(
+      const run $ circuit_arg $ scenario_arg $ seed_arg $ horizon_arg
+      $ warmup_arg $ vcd_arg $ probe_internals_arg $ top_arg $ json_arg
+      $ ndjson_arg $ fail_above_arg $ obs_term)
 
 (* --- delay --- *)
 
@@ -589,8 +739,8 @@ let fuzz_cmd =
   let property_arg =
     let doc =
       "Run only this property (repeatable). One of: exactness, sim-power, \
-       function, optimizer, io-roundtrip, densities, attribution, \
-       sp-orderings."
+       vcd-roundtrip, function, optimizer, io-roundtrip, densities, \
+       attribution, sp-orderings."
     in
     Arg.(value & opt_all string [] & info [ "property"; "p" ] ~docv:"NAME" ~doc)
   in
@@ -747,6 +897,7 @@ let main =
       estimate_cmd;
       optimize_cmd;
       simulate_cmd;
+      audit_cmd;
       delay_cmd;
       check_cmd;
       show_cmd;

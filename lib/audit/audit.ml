@@ -1,0 +1,301 @@
+module C = Netlist.Circuit
+module Sim = Switchsim.Sim
+
+let d_density_err = Obs.distribution "audit.net_density_error_percent"
+let d_prob_err = Obs.distribution "audit.net_prob_error_abs"
+
+type net_row = {
+  net : C.net;
+  name : string;
+  driver_gate : int option;
+  driver : string;
+  fanout : int;
+  depth : int;
+  pred_prob : float;
+  meas_prob : float;
+  prob_err : float;
+  pred_density : float;
+  meas_density : float;
+  density_err_pct : float;
+  toggles : int;
+  sim_energy : float;
+}
+
+type gate_row = {
+  gate : int;
+  cell : string;
+  output_name : string;
+  model_power : float;
+  sim_power : float;
+  power_err_pct : float;
+}
+
+type summary = {
+  nets : int;
+  active_nets : int;
+  mean_density_err_pct : float;
+  max_density_err_pct : float;
+  mean_prob_err : float;
+  max_prob_err : float;
+  model_total : float;
+  sim_total : float;
+  total_err_pct : float;
+}
+
+type t = {
+  circuit : string;
+  window : float;
+  net_rows : net_row array;
+  gate_rows : gate_row array;
+  summary : summary;
+  result : Sim.result;
+}
+
+let signed_pct ~floor pred meas =
+  100. *. (pred -. meas) /. Float.max (Float.abs meas) floor
+
+let run table ?external_load ?sim ?observer ?(warmup = 0.) ?(min_toggles = 8)
+    ~rng ~inputs ~horizon circuit =
+  Obs.span "audit.run" @@ fun () ->
+  let proc = Power.Model.process table in
+  let analysis = Power.Analysis.run table circuit ~inputs in
+  let breakdown = Power.Estimate.circuit table ?external_load circuit analysis in
+  let sim =
+    match sim with
+    | Some s -> s
+    | None -> Sim.build proc ?external_load circuit
+  in
+  let r = Sim.run_stats sim ~rng ~stats:inputs ~horizon ~warmup ?observer () in
+  let window = r.Sim.horizon in
+  let levels = C.levels circuit in
+  let net_rows =
+    Array.init (C.net_count circuit) (fun net ->
+        let pred = Power.Analysis.stats analysis net in
+        let meas = Sim.measured_stats r net in
+        let pred_prob = Stoch.Signal_stats.prob pred in
+        let meas_prob = Stoch.Signal_stats.prob meas in
+        let pred_density = Stoch.Signal_stats.density pred in
+        let meas_density = Stoch.Signal_stats.density meas in
+        let driver_gate, driver, depth =
+          match C.driver circuit net with
+          | C.Primary_input -> (None, "PI", 0)
+          | C.Driven_by g ->
+              ( Some g,
+                Cell.Gate.name (C.gate_at circuit g).C.cell,
+                levels.(g) )
+        in
+        let toggles = r.Sim.net_toggles.(net) in
+        let prob_err = Float.abs (pred_prob -. meas_prob) in
+        let density_err_pct =
+          signed_pct ~floor:(1. /. window) pred_density meas_density
+        in
+        Obs.observe d_prob_err prob_err;
+        if toggles >= min_toggles then
+          Obs.observe d_density_err (Float.abs density_err_pct);
+        {
+          net;
+          name = C.net_name circuit net;
+          driver_gate;
+          driver;
+          fanout = C.fanout circuit net;
+          depth;
+          pred_prob;
+          meas_prob;
+          prob_err;
+          pred_density;
+          meas_density;
+          density_err_pct;
+          toggles;
+          sim_energy = r.Sim.per_net_energy.(net);
+        })
+  in
+  let gate_rows =
+    Array.init (C.gate_count circuit) (fun g ->
+        let gate = C.gate_at circuit g in
+        let model_power = breakdown.Power.Estimate.per_gate.(g) in
+        let sim_power = r.Sim.per_gate_energy.(g) /. window in
+        {
+          gate = g;
+          cell = Cell.Gate.name gate.C.cell;
+          output_name = C.net_name circuit gate.C.output;
+          model_power;
+          sim_power;
+          power_err_pct = signed_pct ~floor:1e-12 model_power sim_power;
+        })
+  in
+  let active = Array.to_list net_rows |> List.filter (fun n -> n.toggles >= min_toggles) in
+  let mean f = function
+    | [] -> 0.
+    | l -> List.fold_left (fun a x -> a +. f x) 0. l /. float_of_int (List.length l)
+  in
+  let maxi f l = List.fold_left (fun a x -> Float.max a (f x)) 0. l in
+  let all = Array.to_list net_rows in
+  let model_total = breakdown.Power.Estimate.total in
+  let sim_total = r.Sim.power in
+  let summary =
+    {
+      nets = Array.length net_rows;
+      active_nets = List.length active;
+      mean_density_err_pct = mean (fun n -> Float.abs n.density_err_pct) active;
+      max_density_err_pct = maxi (fun n -> Float.abs n.density_err_pct) active;
+      mean_prob_err = mean (fun n -> n.prob_err) all;
+      max_prob_err = maxi (fun n -> n.prob_err) all;
+      model_total;
+      sim_total;
+      total_err_pct = signed_pct ~floor:1e-12 model_total sim_total;
+    }
+  in
+  { circuit = C.name circuit; window; net_rows; gate_rows; summary; result = r }
+
+let take top l =
+  let rec go n = function
+    | [] -> []
+    | _ when n = 0 -> []
+    | x :: rest -> x :: go (n - 1) rest
+  in
+  match top with None -> l | Some n -> go n l
+
+let worst_nets ?top t =
+  let active, idle =
+    Array.to_list t.net_rows
+    |> List.partition (fun n -> Float.abs n.sim_energy > 0. || n.toggles > 0)
+  in
+  let by_err l =
+    List.stable_sort
+      (fun a b ->
+        compare (Float.abs b.density_err_pct) (Float.abs a.density_err_pct))
+      l
+  in
+  take top (by_err active @ by_err idle)
+
+let worst_gates ?top t =
+  Array.to_list t.gate_rows
+  |> List.stable_sort (fun a b ->
+         compare (Float.abs b.power_err_pct) (Float.abs a.power_err_pct))
+  |> take top
+
+let render ?(top = 10) t =
+  let b = Buffer.create 2048 in
+  let s = t.summary in
+  Buffer.add_string b
+    (Printf.sprintf "audit: %s over %s (%d nets, %d active)\n" t.circuit
+       (Report.Table.cell_time t.window) s.nets s.active_nets);
+  Buffer.add_string b
+    (Printf.sprintf "  density error: mean %.1f%%  max %.1f%%  (active nets)\n"
+       s.mean_density_err_pct s.max_density_err_pct);
+  Buffer.add_string b
+    (Printf.sprintf "  prob error:    mean %.3f  max %.3f\n" s.mean_prob_err
+       s.max_prob_err);
+  Buffer.add_string b
+    (Printf.sprintf "  power:         model %s  sim %s  (%s%%)\n"
+       (Report.Table.cell_power s.model_total)
+       (Report.Table.cell_power s.sim_total)
+       (Report.Table.cell_signed_percent s.total_err_pct));
+  Buffer.add_string b (Printf.sprintf "\nworst-calibrated nets (top %d):\n" top);
+  let nets =
+    Report.Table.create
+      ~columns:
+        [
+          ("net", Report.Table.Left);
+          ("driver", Report.Table.Left);
+          ("fo", Report.Table.Right);
+          ("lvl", Report.Table.Right);
+          ("P model", Report.Table.Right);
+          ("P sim", Report.Table.Right);
+          ("D model", Report.Table.Right);
+          ("D sim", Report.Table.Right);
+          ("D err %", Report.Table.Right);
+          ("toggles", Report.Table.Right);
+        ]
+  in
+  List.iter
+    (fun n ->
+      Report.Table.add_row nets
+        [
+          n.name;
+          n.driver;
+          string_of_int n.fanout;
+          string_of_int n.depth;
+          Report.Table.cell_float ~decimals:3 n.pred_prob;
+          Report.Table.cell_float ~decimals:3 n.meas_prob;
+          Printf.sprintf "%.3g" n.pred_density;
+          Printf.sprintf "%.3g" n.meas_density;
+          Report.Table.cell_signed_percent n.density_err_pct;
+          string_of_int n.toggles;
+        ])
+    (worst_nets ~top t);
+  Buffer.add_string b (Report.Table.render nets);
+  Buffer.add_string b (Printf.sprintf "\nworst-calibrated gates (top %d):\n" top);
+  let gates =
+    Report.Table.create
+      ~columns:
+        [
+          ("gate", Report.Table.Left);
+          ("output", Report.Table.Left);
+          ("P model", Report.Table.Right);
+          ("P sim", Report.Table.Right);
+          ("err %", Report.Table.Right);
+        ]
+  in
+  List.iter
+    (fun g ->
+      Report.Table.add_row gates
+        [
+          Printf.sprintf "g%d %s" g.gate g.cell;
+          g.output_name;
+          Report.Table.cell_power g.model_power;
+          Report.Table.cell_power g.sim_power;
+          Report.Table.cell_signed_percent g.power_err_pct;
+        ])
+    (worst_gates ~top t);
+  Buffer.add_string b (Report.Table.render gates);
+  Buffer.contents b
+
+(* --- JSON --- *)
+
+let json_float x = if Float.is_finite x then Printf.sprintf "%.17g" x else "0"
+let str = Trace.Json.escape
+
+let net_row_json n =
+  Printf.sprintf
+    "{\"net\":%d,\"name\":%s,\"driver\":%s,\"driver_gate\":%s,\"fanout\":%d,\"depth\":%d,\"pred_prob\":%s,\"meas_prob\":%s,\"prob_err\":%s,\"pred_density\":%s,\"meas_density\":%s,\"density_err_pct\":%s,\"toggles\":%d,\"sim_energy\":%s}"
+    n.net (str n.name) (str n.driver)
+    (match n.driver_gate with None -> "null" | Some g -> string_of_int g)
+    n.fanout n.depth (json_float n.pred_prob) (json_float n.meas_prob)
+    (json_float n.prob_err) (json_float n.pred_density)
+    (json_float n.meas_density) (json_float n.density_err_pct) n.toggles
+    (json_float n.sim_energy)
+
+let gate_row_json g =
+  Printf.sprintf
+    "{\"gate\":%d,\"cell\":%s,\"output\":%s,\"model_power\":%s,\"sim_power\":%s,\"power_err_pct\":%s}"
+    g.gate (str g.cell) (str g.output_name) (json_float g.model_power)
+    (json_float g.sim_power) (json_float g.power_err_pct)
+
+let summary_json t =
+  let s = t.summary in
+  Printf.sprintf
+    "{\"circuit\":%s,\"window\":%s,\"nets\":%d,\"active_nets\":%d,\"mean_density_err_pct\":%s,\"max_density_err_pct\":%s,\"mean_prob_err\":%s,\"max_prob_err\":%s,\"model_total\":%s,\"sim_total\":%s,\"total_err_pct\":%s}"
+    (str t.circuit) (json_float t.window) s.nets s.active_nets
+    (json_float s.mean_density_err_pct)
+    (json_float s.max_density_err_pct)
+    (json_float s.mean_prob_err) (json_float s.max_prob_err)
+    (json_float s.model_total) (json_float s.sim_total)
+    (json_float s.total_err_pct)
+
+let to_json t =
+  let join f arr = Array.to_list arr |> List.map f |> String.concat "," in
+  Printf.sprintf "{\"summary\":%s,\"nets\":[%s],\"gates\":[%s]}" (summary_json t)
+    (join net_row_json t.net_rows)
+    (join gate_row_json t.gate_rows)
+
+let to_ndjson t =
+  let b = Buffer.create 4096 in
+  let tag kind json =
+    Buffer.add_string b (Printf.sprintf "{\"kind\":\"%s\",%s\n" kind json)
+  in
+  let body json = String.sub json 1 (String.length json - 1) in
+  Array.iter (fun n -> tag "net" (body (net_row_json n))) t.net_rows;
+  Array.iter (fun g -> tag "gate" (body (gate_row_json g))) t.gate_rows;
+  tag "summary" (body (summary_json t));
+  Buffer.contents b

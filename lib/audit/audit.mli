@@ -1,0 +1,109 @@
+(** Per-net calibration audit: the analytical model against the
+    switch-level simulator, net by net.
+
+    The paper validates its probabilistic power model (§3–§4) against a
+    switch-level simulation only at whole-circuit granularity (Table 3,
+    columns E vs S). This audit performs the same comparison {e per
+    net}: one analytical propagation ({!Power.Analysis.run}) and one
+    simulation of the same circuit under the same input statistics, then
+    an inner join on net id of predicted vs measured equilibrium
+    probability and transition density, plus model vs simulated power
+    per gate. Every net appears in both sides by construction — the
+    measured side is {!Switchsim.Sim.measured_stats} over the very
+    result whose [net_toggles] define measured density
+    ([toggles / window], exactly).
+
+    Error distributions are published through {!Obs} under
+    [audit.net_density_error_percent] (absolute percent error, active
+    nets only) and [audit.net_prob_error_abs] (absolute probability
+    error, all nets), so audits feed the same snapshot/trace/regression
+    machinery as the rest of the pipeline. *)
+
+type net_row = {
+  net : Netlist.Circuit.net;
+  name : string;
+  driver_gate : int option;  (** [None] for primary inputs *)
+  driver : string;  (** cell name of the driver, or ["PI"] *)
+  fanout : int;
+  depth : int;  (** logic level of the driving gate, 0 for inputs *)
+  pred_prob : float;
+  meas_prob : float;
+  prob_err : float;  (** [abs (pred - meas)] *)
+  pred_density : float;  (** 1/s *)
+  meas_density : float;  (** [toggles /. window], 1/s *)
+  density_err_pct : float;
+      (** signed, [100 (pred - meas) / max meas (1 / window)] *)
+  toggles : int;
+  sim_energy : float;  (** J deposited against this net *)
+}
+
+type gate_row = {
+  gate : int;
+  cell : string;
+  output_name : string;
+  model_power : float;  (** W, {!Power.Estimate.breakdown}[.per_gate] *)
+  sim_power : float;  (** W, simulated energy over the window *)
+  power_err_pct : float;  (** signed *)
+}
+
+type summary = {
+  nets : int;
+  active_nets : int;  (** nets with at least [min_toggles] toggles *)
+  mean_density_err_pct : float;  (** mean absolute, active nets *)
+  max_density_err_pct : float;  (** max absolute, active nets *)
+  mean_prob_err : float;  (** mean absolute, all nets *)
+  max_prob_err : float;
+  model_total : float;  (** W *)
+  sim_total : float;  (** W *)
+  total_err_pct : float;  (** signed *)
+}
+
+type t = {
+  circuit : string;
+  window : float;  (** measurement window, s *)
+  net_rows : net_row array;  (** by net id — no net missing *)
+  gate_rows : gate_row array;  (** by gate index *)
+  summary : summary;
+  result : Switchsim.Sim.result;  (** the simulation audited against *)
+}
+
+val run :
+  Power.Model.table ->
+  ?external_load:float ->
+  ?sim:Switchsim.Sim.t ->
+  ?observer:Switchsim.Sim.observer ->
+  ?warmup:float ->
+  ?min_toggles:int ->
+  rng:Stoch.Rng.t ->
+  inputs:(Netlist.Circuit.net -> Stoch.Signal_stats.t) ->
+  horizon:float ->
+  Netlist.Circuit.t ->
+  t
+(** Runs both sides and joins them. [sim] reuses an already-built
+    simulation structure (it must be for this circuit); [observer] is
+    forwarded to the run, so a VCD dump can be recorded from the exact
+    simulation being audited. [min_toggles] (default 8) sets the
+    activity threshold below which a net's density error is reported
+    but excluded from the summary and the Obs distribution (relative
+    error on a handful of toggles is noise, not calibration signal).
+    Wrapped in the [audit.run] span. *)
+
+val worst_nets : ?top:int -> t -> net_row list
+(** Active nets ranked by absolute density error (worst first), then
+    inactive ones, [top] (default all) in total. *)
+
+val worst_gates : ?top:int -> t -> gate_row list
+(** Gates ranked by absolute power error (worst first). *)
+
+val render : ?top:int -> t -> string
+(** Human-readable report: summary block, worst-calibrated nets table
+    (driver, fan-out, depth, predicted vs measured P and D) and worst
+    gates table. [top] (default 10) limits each table. *)
+
+val to_json : t -> string
+(** One JSON object: summary plus full per-net and per-gate arrays. *)
+
+val to_ndjson : t -> string
+(** One NDJSON line per net row (["kind":"net"]) and per gate row
+    (["kind":"gate"]), then one ["kind":"summary"] line — greppable and
+    [jq]-friendly. *)

@@ -1,0 +1,276 @@
+type value = V0 | V1 | VX
+
+let value_char = function V0 -> '0' | V1 -> '1' | VX -> 'x'
+
+(* --- writing --- *)
+
+type var = { vcode : string; vname : string; vscope : string list }
+
+type writer = {
+  emit : string -> unit;
+  mutable defs_open : bool;
+  mutable next_id : int;
+  mutable open_scopes : string list;  (* innermost first *)
+  mutable last_time : int;
+  mutable stamped : bool;  (* some #time already emitted *)
+}
+
+(* Short identifier codes over the printable range '!'..'~' (94
+   symbols), in the usual bijective-base encoding: 0 -> "!", 93 -> "~",
+   94 -> "!!". *)
+let id_code n =
+  let rec go n acc =
+    let acc = String.make 1 (Char.chr (33 + (n mod 94))) ^ acc in
+    if n < 94 then acc else go ((n / 94) - 1) acc
+  in
+  go n ""
+
+let create ?(date = "") ?(timescale = "1 ps") ~emit () =
+  if date <> "" then emit (Printf.sprintf "$date %s $end\n" date);
+  emit "$version treorder $end\n";
+  emit (Printf.sprintf "$timescale %s $end\n" timescale);
+  {
+    emit;
+    defs_open = true;
+    next_id = 0;
+    open_scopes = [];
+    last_time = min_int;
+    stamped = false;
+  }
+
+let in_defs w fn =
+  if not w.defs_open then
+    invalid_arg (Printf.sprintf "Vcd.%s: definitions are closed" fn)
+
+let open_scope w name =
+  in_defs w "open_scope";
+  w.open_scopes <- name :: w.open_scopes;
+  w.emit (Printf.sprintf "$scope module %s $end\n" name)
+
+let close_scope w =
+  in_defs w "close_scope";
+  match w.open_scopes with
+  | [] -> invalid_arg "Vcd.close_scope: no open scope"
+  | _ :: rest ->
+      w.open_scopes <- rest;
+      w.emit "$upscope $end\n"
+
+let add_var w name =
+  in_defs w "add_var";
+  let code = id_code w.next_id in
+  w.next_id <- w.next_id + 1;
+  w.emit (Printf.sprintf "$var wire 1 %s %s $end\n" code name);
+  { vcode = code; vname = name; vscope = List.rev w.open_scopes }
+
+let enddefinitions w =
+  in_defs w "enddefinitions";
+  if w.open_scopes <> [] then invalid_arg "Vcd.enddefinitions: unclosed scope";
+  w.defs_open <- false;
+  w.emit "$enddefinitions $end\n$dumpvars\n";
+  for i = 0 to w.next_id - 1 do
+    w.emit (Printf.sprintf "x%s\n" (id_code i))
+  done;
+  w.emit "$end\n"
+
+let stamp w time =
+  if time < w.last_time then invalid_arg "Vcd.change: time went backwards";
+  if time > w.last_time || not w.stamped then begin
+    w.last_time <- time;
+    w.stamped <- true;
+    w.emit (Printf.sprintf "#%d\n" time)
+  end
+
+let change w ~time var v =
+  if w.defs_open then invalid_arg "Vcd.change: call enddefinitions first";
+  stamp w time;
+  w.emit (Printf.sprintf "%c%s\n" (value_char v) var.vcode)
+
+let finish w ~time =
+  if w.defs_open then invalid_arg "Vcd.finish: call enddefinitions first";
+  if time > w.last_time || not w.stamped then begin
+    w.last_time <- time;
+    w.stamped <- true;
+    w.emit (Printf.sprintf "#%d\n" time)
+  end
+
+(* --- reading --- *)
+
+type var_info = { code : string; name : string; scope : string list }
+type change = { time : int; code : string; value : value }
+
+type t = {
+  timescale : string option;
+  vars : var_info list;
+  changes : change list;
+}
+
+let tokens s =
+  let out = ref [] in
+  let buf = Buffer.create 16 in
+  let flush () =
+    if Buffer.length buf > 0 then begin
+      out := Buffer.contents buf :: !out;
+      Buffer.clear buf
+    end
+  in
+  String.iter
+    (fun ch ->
+      match ch with
+      | ' ' | '\t' | '\n' | '\r' -> flush ()
+      | _ -> Buffer.add_char buf ch)
+    s;
+  flush ();
+  List.rev !out
+
+let rec drop_to_end = function
+  | [] -> []
+  | "$end" :: rest -> rest
+  | _ :: rest -> drop_to_end rest
+
+let rec take_to_end acc = function
+  | [] -> (List.rev acc, [])
+  | "$end" :: rest -> (List.rev acc, rest)
+  | tok :: rest -> take_to_end (tok :: acc) rest
+
+let scalar_value = function
+  | '0' -> Some V0
+  | '1' -> Some V1
+  | 'x' | 'X' | 'z' | 'Z' -> Some VX
+  | _ -> None
+
+(* A vector value collapses to a scalar by numeric value: 0 -> 0,
+   1 -> 1 (leading zeros ignored), anything else (a larger value, or
+   any x/z bit) -> x. *)
+let vector_value bits =
+  if bits = "" || not (String.for_all (fun c -> c = '0' || c = '1') bits) then
+    VX
+  else
+    let rec first_one i =
+      if i >= String.length bits then None
+      else if bits.[i] = '1' then Some i
+      else first_one (i + 1)
+    in
+    match first_one 0 with
+    | None -> V0
+    | Some i when i = String.length bits - 1 -> V1
+    | Some _ -> VX
+
+let parse text =
+  let vars = ref [] in
+  let changes = ref [] in
+  let timescale = ref None in
+  let scope = ref [] in
+  let time = ref 0 in
+  let recognized = ref false in
+  let add_change code value =
+    recognized := true;
+    changes := { time = !time; code; value } :: !changes
+  in
+  let rec go = function
+    | [] -> ()
+    | "$timescale" :: rest ->
+        let body, rest = take_to_end [] rest in
+        if body <> [] then begin
+          recognized := true;
+          timescale := Some (String.concat " " body)
+        end;
+        go rest
+    | ("$date" | "$version" | "$comment" | "$enddefinitions") :: rest ->
+        recognized := true;
+        go (drop_to_end rest)
+    | "$scope" :: rest ->
+        let body, rest = take_to_end [] rest in
+        (match List.rev body with
+        | name :: _ ->
+            recognized := true;
+            scope := name :: !scope
+        | [] -> ());
+        go rest
+    | "$upscope" :: rest ->
+        (match !scope with [] -> () | _ :: up -> scope := up);
+        go (drop_to_end rest)
+    | "$var" :: rest ->
+        let body, rest = take_to_end [] rest in
+        (match body with
+        | _type :: _width :: code :: name :: _ ->
+            recognized := true;
+            vars := { code; name; scope = List.rev !scope } :: !vars
+        | _ -> ());
+        go rest
+    | ("$dumpvars" | "$dumpall" | "$dumpon" | "$dumpoff" | "$end") :: rest ->
+        (* dump-section markers: their contents are ordinary changes *)
+        recognized := true;
+        go rest
+    | tok :: rest when tok.[0] = '$' ->
+        (* unknown section: skip its body *)
+        go (drop_to_end rest)
+    | tok :: rest when tok.[0] = '#' -> (
+        match int_of_string_opt (String.sub tok 1 (String.length tok - 1)) with
+        | Some t ->
+            recognized := true;
+            time := t;
+            go rest
+        | None -> go rest)
+    | tok :: rest when (tok.[0] = 'b' || tok.[0] = 'B') && String.length tok > 1
+      -> (
+        let bits = String.sub tok 1 (String.length tok - 1) in
+        match rest with
+        | code :: rest ->
+            add_change code (vector_value bits);
+            go rest
+        | [] -> ())
+    | tok :: rest when (tok.[0] = 'r' || tok.[0] = 'R') && String.length tok > 1
+      -> (
+        (* real change: skip value and identifier *)
+        match rest with _ :: rest -> go rest | [] -> ())
+    | tok :: rest when String.length tok >= 2 -> (
+        match scalar_value tok.[0] with
+        | Some v ->
+            add_change (String.sub tok 1 (String.length tok - 1)) v;
+            go rest
+        | None -> go rest)
+    | _ :: rest -> go rest
+  in
+  go (tokens text);
+  if not !recognized then Error "no recognizable VCD content"
+  else
+    Ok
+      {
+        timescale = !timescale;
+        vars = List.rev !vars;
+        changes = List.rev !changes;
+      }
+
+let full_name v = String.concat "." (v.scope @ [ v.name ])
+
+let find_var t name =
+  List.find_opt (fun v -> full_name v = name) t.vars
+
+let per_var t ~init ~f ~fin =
+  let state = Hashtbl.create 64 in
+  List.iter
+    (fun c ->
+      let s =
+        match Hashtbl.find_opt state c.code with
+        | Some s -> s
+        | None -> init
+      in
+      Hashtbl.replace state c.code (f s c.value))
+    t.changes;
+  List.map
+    (fun (v : var_info) ->
+      let s =
+        match Hashtbl.find_opt state v.code with Some s -> s | None -> init
+      in
+      (full_name v, fin s))
+    t.vars
+
+let toggle_counts t =
+  per_var t ~init:(VX, 0)
+    ~f:(fun (prev, n) v ->
+      match (prev, v) with
+      | V0, V1 | V1, V0 -> (v, n + 1)
+      | _, _ -> (v, n))
+    ~fin:snd
+
+let final_values t = per_var t ~init:VX ~f:(fun _ v -> v) ~fin:(fun v -> v)

@@ -1,0 +1,103 @@
+(** Value Change Dump (IEEE 1364 §18) writing and reading for scalar
+    ternary signals.
+
+    The writer streams a standard VCD document — viewable in GTKWave or
+    any other waveform browser — through a caller-supplied [emit]
+    function, so it works equally against a file, a [Buffer.t] or a
+    socket. Only 1-bit [wire] variables are emitted (the switch-level
+    simulator's nets and internal nodes are scalar and ternary), inside
+    arbitrarily nested [$scope module] hierarchies.
+
+    The reader is deliberately {e tolerant}: unknown sections and tokens
+    are skipped, vector ([b...]) and real ([r...]) changes are accepted
+    (vectors collapse to a scalar by numeric value — 0, 1, or [VX] for
+    anything larger or partly unknown), and a
+    document truncated mid-dump still yields every change seen so far.
+    It exists so VCD round-trips can be tested without an external
+    toolchain, and so traces from other tools can be summarized. *)
+
+type value = V0 | V1 | VX
+
+(** {1 Writing} *)
+
+type writer
+
+type var
+(** Handle to one declared 1-bit variable. *)
+
+val create : ?date:string -> ?timescale:string -> emit:(string -> unit) -> unit -> writer
+(** Starts a document: emits the [$date] (omitted when empty, the
+    default — keeps dumps byte-for-byte reproducible), [$version] and
+    [$timescale] headers. [timescale] is written verbatim (default
+    ["1 ps"]). *)
+
+val open_scope : writer -> string -> unit
+(** [$scope module name $end]. Scopes nest.
+    @raise Invalid_argument after {!enddefinitions}. *)
+
+val close_scope : writer -> unit
+(** @raise Invalid_argument with no open scope or after
+    {!enddefinitions}. *)
+
+val add_var : writer -> string -> var
+(** Declares a 1-bit [wire] in the currently open scope, with a
+    generated short identifier code.
+    @raise Invalid_argument after {!enddefinitions}. *)
+
+val enddefinitions : writer -> unit
+(** Closes the declaration section and emits a [$dumpvars] block
+    initializing every declared variable to [x].
+    @raise Invalid_argument with a scope still open. *)
+
+val change : writer -> time:int -> var -> value -> unit
+(** Records a value change at [time] (in timescale ticks). Emits a
+    [#time] stamp whenever the time advances; changes at one instant
+    share a stamp.
+    @raise Invalid_argument before {!enddefinitions} or if [time] is
+    less than the previous change's time. *)
+
+val finish : writer -> time:int -> unit
+(** Emits a final [#time] stamp (if beyond the last change) so the full
+    horizon is visible in a viewer. The document needs no other
+    terminator.
+    @raise Invalid_argument before {!enddefinitions}. *)
+
+(** {1 Reading} *)
+
+type var_info = {
+  code : string;  (** identifier code, unique per variable *)
+  name : string;
+  scope : string list;  (** enclosing scopes, outermost first *)
+}
+
+type change = {
+  time : int;
+  code : string;
+  value : value;
+}
+
+type t = {
+  timescale : string option;
+  vars : var_info list;  (** declaration order *)
+  changes : change list;  (** document order, including [$dumpvars] *)
+}
+
+val parse : string -> (t, string) result
+(** Tolerant parse of a whole document (see the module preamble).
+    [Error] is reserved for input with no recognizable VCD structure at
+    all; truncation and foreign sections are not errors. *)
+
+val full_name : var_info -> string
+(** Scope path and name joined with ["."], e.g. ["c17.g2_nand2.n0"]. *)
+
+val find_var : t -> string -> var_info option
+(** Look up a variable by its {!full_name}. *)
+
+val toggle_counts : t -> (string * int) list
+(** Per variable (keyed by {!full_name}, in declaration order): the
+    number of strict 0↔1 transitions over the change sequence. Changes
+    from or to [VX] do not count, matching the simulator's
+    [net_toggles] accounting. *)
+
+val final_values : t -> (string * value) list
+(** Per variable: the last recorded value ([VX] if none). *)

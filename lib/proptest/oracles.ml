@@ -71,6 +71,55 @@ let check_sim_power ~seed c =
       (if lo > 0. then hi /. lo else Float.infinity)
       sim_tolerance_factor
 
+(* --- 2b. VCD round-trip: dump a simulation, re-read it, recount --- *)
+
+(* A dump of a warm-up-free run must reproduce the run's accounting
+   exactly: the initial settle is X→value (never 0↔1), and afterwards
+   both the simulator and the reader count precisely the strict 0↔1
+   transitions. *)
+let vcd_horizon = 50.
+
+let check_vcd_roundtrip ~seed c =
+  let inputs = Gen.input_stats ~seed c in
+  let sim = Switchsim.Sim.build proc c in
+  let buf = Buffer.create 4096 in
+  let observer, finish =
+    Switchsim.Vcd_dump.make sim ~probe_internals:(seed land 1 = 0)
+      ~emit:(Buffer.add_string buf) ()
+  in
+  let r =
+    Switchsim.Sim.run_stats sim
+      ~rng:(Stoch.Rng.create (seed + 0x5cd))
+      ~stats:inputs ~horizon:vcd_horizon ~observer ()
+  in
+  finish ~time:vcd_horizon;
+  match Vcd.parse (Buffer.contents buf) with
+  | Error e -> fail "dump does not parse: %s" e
+  | Ok doc ->
+      let toggles = Vcd.toggle_counts doc in
+      let finals = Vcd.final_values doc in
+      let key net =
+        Switchsim.Vcd_dump.sanitize (C.name c)
+        ^ "."
+        ^ Switchsim.Vcd_dump.sanitize (C.net_name c net)
+      in
+      let vcd_value = function
+        | Switchsim.Sim.V0 -> Vcd.V0
+        | Switchsim.Sim.V1 -> Vcd.V1
+        | Switchsim.Sim.VX -> Vcd.VX
+      in
+      all_nets c 0 ~f:(fun net ->
+          let k = key net in
+          match (List.assoc_opt k toggles, List.assoc_opt k finals) with
+          | None, _ | _, None -> fail "net %s missing from the dump" k
+          | Some n, Some v ->
+              if n <> r.Switchsim.Sim.net_toggles.(net) then
+                fail "net %s: %d toggles in the dump, %d in the simulation" k n
+                  r.Switchsim.Sim.net_toggles.(net)
+              else if v <> vcd_value r.Switchsim.Sim.final_values.(net) then
+                fail "net %s: final value differs from the simulator's state" k
+              else Pass)
+
 (* --- 3. reordering preserves logical function --- *)
 
 let function_vectors = 5
@@ -362,6 +411,7 @@ let all () =
   [
     circuit_prop "exactness" Gen.tree_circuit check_exactness;
     circuit_prop "sim-power" Gen.tree_circuit check_sim_power;
+    circuit_prop "vcd-roundtrip" Gen.circuit check_vcd_roundtrip;
     circuit_prop "function" Gen.circuit check_function;
     circuit_prop "optimizer" Gen.circuit check_optimizer;
     circuit_prop "io-roundtrip" Gen.circuit check_roundtrip;

@@ -11,6 +11,11 @@
       factor on read-once circuits (reconvergent fanout makes the
       gate-local model diverge legitimately, which would force a
       vacuous tolerance).
+    - [vcd-roundtrip] — a {!Switchsim.Vcd_dump} of a warm-up-free run,
+      re-read through {!Vcd.parse}, reproduces the simulation's
+      accounting exactly: per-net strict 0↔1 toggle counts equal
+      [net_toggles] and each variable's last value equals the
+      simulator's final state.
     - [function] — reordering preserves logical function: the simulator
       over the configured transistor networks settles to
       {!Netlist.Eval} on random vectors, and every sampled

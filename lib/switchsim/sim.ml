@@ -5,8 +5,24 @@ let c_events_popped = Obs.counter "switchsim.events_popped"
 let c_gate_evals = Obs.counter "switchsim.gate_evals"
 let c_net_toggles = Obs.counter "switchsim.net_toggles"
 let c_glitches_absorbed = Obs.counter "switchsim.glitches_absorbed"
+let c_probe_events = Obs.counter "switchsim.probe_events"
 
 type value = V0 | V1 | VX
+
+type observer = {
+  on_net :
+    time:float -> net:int -> before:value -> after:value -> in_window:bool -> unit;
+  on_internal :
+    (time:float ->
+    gate:int ->
+    node:int ->
+    before:value ->
+    after:value ->
+    in_window:bool ->
+    unit)
+    option;
+  on_energy : (time:float -> gate:int -> node:int -> energy:float -> unit) option;
+}
 
 (* Local node numbering inside one gate: 0 = vdd, 1 = vss, 2 = output,
    3+i = internal node i. *)
@@ -111,6 +127,7 @@ let build proc ?(external_load = default_external_load) circ =
   }
 
 let circuit t = t.circ
+let internal_nodes t g = t.gates.(g).n_nodes - 3
 
 type result = {
   horizon : float;
@@ -118,8 +135,10 @@ type result = {
   energy : float;
   power : float;
   per_gate_energy : float array;
+  per_net_energy : float array;
   net_toggles : int array;
   net_high_time : float array;
+  final_values : value array;
 }
 
 (* Reachability over conducting devices, as a bitmask of local nodes.
@@ -157,15 +176,15 @@ type state = {
   net_values : value array;
   node_states : value array array;  (* per gate, per local node *)
   dirty : bool array;  (* per gate *)
-  mutable energy : float;
   per_gate_energy : float array;
   net_toggles : int array;
   net_high_time : float array;
   net_last_change : float array;
   mutable accounting_from : float;
+  observer : observer option;
 }
 
-let fresh_state sim warmup =
+let fresh_state sim warmup observer =
   let n_nets = C.net_count sim.circ in
   {
     sim;
@@ -179,12 +198,12 @@ let fresh_state sim warmup =
           a)
         sim.gates;
     dirty = Array.make (Array.length sim.gates) false;
-    energy = 0.;
     per_gate_energy = Array.make (Array.length sim.gates) 0.;
     net_toggles = Array.make n_nets 0;
     net_high_time = Array.make n_nets 0.;
     net_last_change = Array.make n_nets 0.;
     accounting_from = warmup;
+    observer;
   }
 
 (* Accrue the time the net spent at 1 since its last change, clipped to
@@ -208,6 +227,11 @@ let set_net st ~now ~accounting net v =
     end;
     st.net_values.(net) <- v;
     st.net_last_change.(net) <- now;
+    (match st.observer with
+    | None -> ()
+    | Some o ->
+        Obs.incr c_probe_events;
+        o.on_net ~time:now ~net ~before:old ~after:v ~in_window:accounting);
     List.iter (fun g -> st.dirty.(g) <- true) st.sim.readers.(net)
   end
 
@@ -234,7 +258,7 @@ let solve st g =
 
 (* Commit one node's new value, depositing charging energy when it
    rises inside the accounting window. *)
-let commit_node st ~accounting g node next =
+let commit_node st ~now ~accounting g node next =
   let gate = st.sim.gates.(g) in
   let states = st.node_states.(g) in
   let prev = states.(node) in
@@ -243,20 +267,31 @@ let commit_node st ~accounting g node next =
       let vdd = st.sim.proc.Cell.Process.vdd in
       let scale = match prev with V0 -> 1. | VX -> 0.5 | V1 -> 0. in
       let e = scale *. gate.caps.(node) *. vdd *. vdd in
-      st.energy <- st.energy +. e;
-      st.per_gate_energy.(g) <- st.per_gate_energy.(g) +. e
+      st.per_gate_energy.(g) <- st.per_gate_energy.(g) +. e;
+      match st.observer with
+      | Some { on_energy = Some f; _ } ->
+          Obs.incr c_probe_events;
+          f ~time:now ~gate:g ~node:(node - out_node) ~energy:e
+      | Some _ | None -> ()
     end;
-    states.(node) <- next
+    states.(node) <- next;
+    if node > out_node then
+      match st.observer with
+      | Some { on_internal = Some f; _ } ->
+          Obs.incr c_probe_events;
+          f ~time:now ~gate:g ~node:(node - out_node) ~before:prev ~after:next
+            ~in_window:accounting
+      | Some _ | None -> ()
   end
 
 (* Zero-delay evaluation: commit every powered node immediately and
    return the new output value. *)
-let evaluate_gate st ~accounting g =
+let evaluate_gate st ~now ~accounting g =
   Obs.incr c_gate_evals;
   let next = solve st g in
   let gate = st.sim.gates.(g) in
   for node = out_node to gate.n_nodes - 1 do
-    commit_node st ~accounting g node next.(node)
+    commit_node st ~now ~accounting g node next.(node)
   done;
   next.(out_node)
 
@@ -267,12 +302,34 @@ let settle st ~now ~accounting =
     (fun g ->
       if st.dirty.(g) then begin
         st.dirty.(g) <- false;
-        let out = evaluate_gate st ~accounting g in
+        let out = evaluate_gate st ~now ~accounting g in
         set_net st ~now ~accounting st.sim.gates.(g).output_net out
       end)
     st.sim.topo
 
-let run t ?(warmup = 0.) ~inputs () =
+(* Per-net energy is the driving gate's total (every net has at most
+   one driver, so this is a re-indexing of [per_gate_energy], not a
+   re-summation); [energy] is defined as its fold in net-id order so
+   the per-net decomposition is conserved bit-for-bit. *)
+let mk_result st ~events ~window =
+  let per_net = Array.make (C.net_count st.sim.circ) 0. in
+  Array.iteri
+    (fun g (sg : sim_gate) -> per_net.(sg.output_net) <- st.per_gate_energy.(g))
+    st.sim.gates;
+  let energy = Array.fold_left ( +. ) 0. per_net in
+  {
+    horizon = window;
+    events;
+    energy;
+    power = energy /. window;
+    per_gate_energy = st.per_gate_energy;
+    per_net_energy = per_net;
+    net_toggles = st.net_toggles;
+    net_high_time = st.net_high_time;
+    final_values = Array.copy st.net_values;
+  }
+
+let run t ?(warmup = 0.) ?observer ~inputs () =
   Obs.span "switchsim.run" @@ fun () ->
   let pis = C.primary_inputs t.circ in
   let horizon =
@@ -289,11 +346,12 @@ let run t ?(warmup = 0.) ~inputs () =
   in
   if warmup < 0. || warmup >= horizon then
     invalid_arg "Switchsim.run: warmup outside [0, horizon)";
-  let st = fresh_state t warmup in
+  let st = fresh_state t warmup observer in
   (* Initial values at t = 0, no energy accounting. *)
   List.iter
     (fun net ->
-      st.net_values.(net) <- (if W.initial (inputs net) then V1 else V0))
+      set_net st ~now:0. ~accounting:false net
+        (if W.initial (inputs net) then V1 else V0))
     pis;
   Array.iter (fun g -> st.dirty.(g) <- true) t.topo;
   settle st ~now:0. ~accounting:false;
@@ -334,18 +392,9 @@ let run t ?(warmup = 0.) ~inputs () =
   process events;
   (* Flush high-time up to the horizon. *)
   Array.iteri (fun net _ -> accrue_high st ~now:horizon net) st.net_values;
-  let window = horizon -. warmup in
-  {
-    horizon = window;
-    events = n_events;
-    energy = st.energy;
-    power = st.energy /. window;
-    per_gate_energy = st.per_gate_energy;
-    net_toggles = st.net_toggles;
-    net_high_time = st.net_high_time;
-  }
+  mk_result st ~events:n_events ~window:(horizon -. warmup)
 
-let run_stats t ~rng ~stats ~horizon ?(warmup = 0.) () =
+let run_stats t ~rng ~stats ~horizon ?(warmup = 0.) ?observer () =
   let table = Hashtbl.create 16 in
   List.iter
     (fun net ->
@@ -357,7 +406,7 @@ let run_stats t ~rng ~stats ~horizon ?(warmup = 0.) () =
     | Some w -> w
     | None -> invalid_arg "Switchsim.run_stats: not a primary input net"
   in
-  run t ~warmup ~inputs ()
+  run t ~warmup ?observer ~inputs ()
 
 (* --- timed (inertial) mode --- *)
 
@@ -365,7 +414,7 @@ type timed_event =
   | Input_toggle of int  (* net *)
   | Commit of int * int  (* gate, serial; stale when the serial moved on *)
 
-let run_timed t ?(warmup = 0.) ~gate_delay ~inputs () =
+let run_timed t ?(warmup = 0.) ?observer ~gate_delay ~inputs () =
   Obs.span "switchsim.run_timed" @@ fun () ->
   let pis = C.primary_inputs t.circ in
   let horizon =
@@ -390,11 +439,12 @@ let run_timed t ?(warmup = 0.) ~gate_delay ~inputs () =
           invalid_arg "Switchsim.run_timed: negative gate delay";
         d)
   in
-  let st = fresh_state t warmup in
+  let st = fresh_state t warmup observer in
   (* Initial values at t = 0 settle with zero delay, no accounting. *)
   List.iter
     (fun net ->
-      st.net_values.(net) <- (if W.initial (inputs net) then V1 else V0))
+      set_net st ~now:0. ~accounting:false net
+        (if W.initial (inputs net) then V1 else V0))
     pis;
   Array.iter (fun g -> st.dirty.(g) <- true) t.topo;
   settle st ~now:0. ~accounting:false;
@@ -435,7 +485,7 @@ let run_timed t ?(warmup = 0.) ~gate_delay ~inputs () =
     let next = solve st g in
     let gate = t.gates.(g) in
     for node = out_node + 1 to gate.n_nodes - 1 do
-      commit_node st ~accounting g node next.(node)
+      commit_node st ~now ~accounting g node next.(node)
     done;
     let v = next.(out_node) in
     let current = st.net_values.(gate.output_net) in
@@ -464,7 +514,7 @@ let run_timed t ?(warmup = 0.) ~gate_delay ~inputs () =
               has_pending.(g) <- false;
               let v = pending.(g) in
               let gate = t.gates.(g) in
-              commit_node st ~accounting g out_node v;
+              commit_node st ~now ~accounting g out_node v;
               set_net st ~now ~accounting gate.output_net v;
               List.iter (react now ~accounting) t.readers.(gate.output_net)
             end
@@ -473,18 +523,10 @@ let run_timed t ?(warmup = 0.) ~gate_delay ~inputs () =
   in
   drain ();
   Array.iteri (fun net _ -> accrue_high st ~now:horizon net) st.net_values;
-  let window = horizon -. warmup in
-  {
-    horizon = window;
-    events = !n_events;
-    energy = st.energy;
-    power = st.energy /. window;
-    per_gate_energy = st.per_gate_energy;
-    net_toggles = st.net_toggles;
-    net_high_time = st.net_high_time;
-  }
+  mk_result st ~events:!n_events ~window:(horizon -. warmup)
 
-let run_timed_stats t ~rng ~stats ~gate_delay ~horizon ?(warmup = 0.) () =
+let run_timed_stats t ~rng ~stats ~gate_delay ~horizon ?(warmup = 0.) ?observer
+    () =
   let table = Hashtbl.create 16 in
   List.iter
     (fun net ->
@@ -496,7 +538,7 @@ let run_timed_stats t ~rng ~stats ~gate_delay ~horizon ?(warmup = 0.) () =
     | Some w -> w
     | None -> invalid_arg "Switchsim.run_stats: not a primary input net"
   in
-  run_timed t ~warmup ~gate_delay ~inputs ()
+  run_timed t ~warmup ?observer ~gate_delay ~inputs ()
 
 let measured_stats (r : result) net =
   Stoch.Signal_stats.make

@@ -26,21 +26,73 @@ val build :
 
 val circuit : t -> Netlist.Circuit.t
 
+type value = V0 | V1 | VX
+(** Ternary signal values as simulated. *)
+
+val internal_nodes : t -> int -> int
+(** Number of internal (non-rail, non-output) transistor-graph nodes of
+    gate [g] under its baked-in configuration. *)
+
 type result = {
   horizon : float;  (** measurement window, s (excludes warm-up) *)
   events : int;  (** primary-input transitions processed *)
   energy : float;  (** J over the window *)
   power : float;  (** [energy /. horizon], W *)
   per_gate_energy : float array;  (** J, by gate index *)
+  per_net_energy : float array;
+      (** J, by net id: all of a gate's deposits (output {e and}
+          internal nodes) booked against the net it drives; primary
+          inputs carry 0. Summed in net-id order, so
+          [Array.fold_left (+.) 0. per_net_energy] equals [energy]
+          {e exactly} (bit-for-bit), not merely within float noise. *)
   net_toggles : int array;  (** 0↔1 transitions per net *)
   net_high_time : float array;  (** s spent at 1 per net *)
+  final_values : value array;  (** per-net value when the run ended *)
+}
+
+(** {1 Probes}
+
+    An observer streams signal-level activity as it happens: every net
+    value change, optionally every internal-node change and every
+    energy deposit. Runs without an observer pay nothing — the emit
+    sites test one [option] and move on, allocating no per-event
+    closures (the [switchsim.probe_events] counter stays 0). *)
+
+type observer = {
+  on_net :
+    time:float -> net:int -> before:value -> after:value -> in_window:bool -> unit;
+      (** Every net change, including the initial settle at time 0.
+          [in_window] is false for changes outside the accounting
+          window (initialization and the warm-up period). *)
+  on_internal :
+    (time:float ->
+    gate:int ->
+    node:int ->
+    before:value ->
+    after:value ->
+    in_window:bool ->
+    unit)
+    option;
+      (** Internal-node changes of gate [gate]; [node >= 1] indexes
+          internal node [node - 1] (the output, node 0, is visible
+          through {!observer.on_net} on the gate's output net). *)
+  on_energy : (time:float -> gate:int -> node:int -> energy:float -> unit) option;
+      (** One event per energy deposit {e inside} the accounting
+          window, with exactly the joules the accumulator books
+          ([node] as in [on_internal], 0 for the output node). *)
 }
 
 val run :
-  t -> ?warmup:float -> inputs:(Netlist.Circuit.net -> Stoch.Waveform.t) -> unit -> result
+  t ->
+  ?warmup:float ->
+  ?observer:observer ->
+  inputs:(Netlist.Circuit.net -> Stoch.Waveform.t) ->
+  unit ->
+  result
 (** Drives every primary input with its waveform. All waveforms must
     share one horizon; energy and statistics are collected from
-    [warmup] (default 0) to the horizon.
+    [warmup] (default 0) to the horizon. [observer] (if any) sees
+    every event in non-decreasing time order.
     @raise Invalid_argument on mismatched horizons or a warm-up beyond
     the horizon. *)
 
@@ -50,6 +102,7 @@ val run_stats :
   stats:(Netlist.Circuit.net -> Stoch.Signal_stats.t) ->
   horizon:float ->
   ?warmup:float ->
+  ?observer:observer ->
   unit ->
   result
 (** Generates stationary Markov waveforms realizing [stats] (one
@@ -70,6 +123,7 @@ val run_stats :
 val run_timed :
   t ->
   ?warmup:float ->
+  ?observer:observer ->
   gate_delay:(int -> float) ->
   inputs:(Netlist.Circuit.net -> Stoch.Waveform.t) ->
   unit ->
@@ -86,6 +140,7 @@ val run_timed_stats :
   gate_delay:(int -> float) ->
   horizon:float ->
   ?warmup:float ->
+  ?observer:observer ->
   unit ->
   result
 (** Stochastic-stimulus variant of {!run_timed}; with equal [rng], it

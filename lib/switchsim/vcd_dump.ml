@@ -1,0 +1,77 @@
+module C = Netlist.Circuit
+
+let default_timescale = 1e-12
+
+let timescale_label ts =
+  let units =
+    [ (1., "s"); (1e-3, "ms"); (1e-6, "us"); (1e-9, "ns"); (1e-12, "ps"); (1e-15, "fs") ]
+  in
+  let close a b = Float.abs (a -. b) <= 1e-3 *. b in
+  let rec find = function
+    | [] -> invalid_arg "Vcd_dump.make: timescale must be 1/10/100 x 1s..1fs"
+    | (unit, label) :: rest ->
+        if close ts unit then Printf.sprintf "1 %s" label
+        else if close ts (10. *. unit) then Printf.sprintf "10 %s" label
+        else if close ts (100. *. unit) then Printf.sprintf "100 %s" label
+        else find rest
+  in
+  find units
+
+(* VCD identifiers may not contain whitespace; keep names portable for
+   viewers by restricting to a safe alphabet. *)
+let sanitize name =
+  let ok c =
+    (c >= 'a' && c <= 'z')
+    || (c >= 'A' && c <= 'Z')
+    || (c >= '0' && c <= '9')
+    || c = '_' || c = '.' || c = '[' || c = ']'
+  in
+  let s = String.map (fun c -> if ok c then c else '_') name in
+  if s = "" then "_" else s
+
+let value = function Sim.V0 -> Vcd.V0 | Sim.V1 -> Vcd.V1 | Sim.VX -> Vcd.VX
+
+let make sim ?(probe_internals = false) ?(timescale = default_timescale) ~emit
+    () =
+  let label = timescale_label timescale in
+  let circ = Sim.circuit sim in
+  let w = Vcd.create ~timescale:label ~emit () in
+  Vcd.open_scope w (sanitize (C.name circ));
+  let net_vars =
+    Array.init (C.net_count circ) (fun n ->
+        Vcd.add_var w (sanitize (C.net_name circ n)))
+  in
+  let node_vars =
+    if not probe_internals then [||]
+    else
+      Array.init (C.gate_count circ) (fun g ->
+          let gate = C.gate_at circ g in
+          let n = Sim.internal_nodes sim g in
+          if n = 0 then [||]
+          else begin
+            Vcd.open_scope w
+              (Printf.sprintf "g%d_%s" g (sanitize (Cell.Gate.name gate.C.cell)));
+            let vars =
+              Array.init n (fun i -> Vcd.add_var w (Printf.sprintf "n%d" i))
+            in
+            Vcd.close_scope w;
+            vars
+          end)
+  in
+  Vcd.close_scope w;
+  Vcd.enddefinitions w;
+  let tick t = int_of_float (Float.round (t /. timescale)) in
+  let on_net ~time ~net ~before:_ ~after ~in_window:_ =
+    Vcd.change w ~time:(tick time) net_vars.(net) (value after)
+  in
+  let on_internal =
+    if not probe_internals then None
+    else
+      Some
+        (fun ~time ~gate ~node ~before:_ ~after ~in_window:_ ->
+          Vcd.change w ~time:(tick time) node_vars.(gate).(node - 1)
+            (value after))
+  in
+  let observer = { Sim.on_net; on_internal; on_energy = None } in
+  let finish ~time = Vcd.finish w ~time:(tick time) in
+  (observer, finish)

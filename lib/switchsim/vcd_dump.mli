@@ -1,0 +1,37 @@
+(** Streams a {!Sim} run into a Value Change Dump ({!Vcd}) viewable in
+    GTKWave: one top-level scope named after the circuit containing a
+    1-bit variable per net, and (with [probe_internals]) one sub-scope
+    per gate ([g<index>_<cell>]) containing its internal transistor
+    nodes ([n0], [n1], ...).
+
+    The dump round-trips through the in-repo {!Vcd.parse}: recounting
+    0↔1 transitions per net variable reproduces the run's
+    [net_toggles] exactly (for a run without warm-up), and the last
+    value per variable is the simulator's final state. *)
+
+val default_timescale : float
+(** 1 ps (1e-12 s per VCD tick). *)
+
+val sanitize : string -> string
+(** Name mangling applied to circuit, net and cell names before they
+    are written: characters outside [[A-Za-z0-9_.\[\]]] become ['_']
+    (and an empty name becomes ["_"]), keeping identifiers portable
+    across waveform viewers. A net's variable in the dump is
+    [sanitize circuit_name ^ "." ^ sanitize net_name] under
+    {!Vcd.full_name}. *)
+
+val make :
+  Sim.t ->
+  ?probe_internals:bool ->
+  ?timescale:float ->
+  emit:(string -> unit) ->
+  unit ->
+  Sim.observer * (time:float -> unit)
+(** [make sim ~emit ()] writes the VCD header and declarations through
+    [emit] immediately and returns [(observer, finish)]: pass
+    [observer] to one {!Sim.run}* call, then call [finish] with the
+    run's absolute horizon (seconds) to stamp the end of the dump.
+    Event times are rounded to the nearest [timescale] tick (default
+    {!default_timescale}).
+    @raise Invalid_argument if [timescale] is not 1, 10 or 100 times a
+    power-of-ten second from 1 s down to 1 fs. *)

@@ -1,0 +1,178 @@
+(* Acceptance tests for the calibration audit: on every built-in suite
+   circuit the audit runs end-to-end, measured density is exactly
+   toggles / window from the same simulation with no net missing from
+   the join, and a VCD dumped from that very run round-trips through
+   the in-repo reader reproducing all per-net toggle counts. *)
+
+module C = Netlist.Circuit
+module Sim = Switchsim.Sim
+module S = Stoch.Signal_stats
+
+let proc = Cell.Process.default
+let table = lazy (Power.Model.table proc)
+let horizon = 2e-4
+
+let run_audit ?sim ?observer ~seed circuit =
+  let inputs =
+    Power.Scenario.input_stats
+      ~rng:(Stoch.Rng.create seed)
+      Power.Scenario.A circuit
+  in
+  Audit.run (Lazy.force table) ?sim ?observer
+    ~rng:(Stoch.Rng.create (seed + 1))
+    ~inputs ~horizon circuit
+
+let test_exact_join_on_suite () =
+  List.iter
+    (fun (name, circuit) ->
+      let a = run_audit ~seed:42 circuit in
+      Alcotest.(check int)
+        (Printf.sprintf "%s: every net is in the join" name)
+        (C.net_count circuit)
+        (Array.length a.Audit.net_rows);
+      Array.iteri
+        (fun net (row : Audit.net_row) ->
+          Alcotest.(check int) "rows are indexed by net id" net row.Audit.net;
+          (* The acceptance criterion: measured density IS toggles over
+             the window of the audited simulation — exactly. *)
+          Alcotest.(check (float 0.))
+            (Printf.sprintf "%s net %s: density = toggles / window" name
+               row.Audit.name)
+            (float_of_int a.Audit.result.Sim.net_toggles.(net) /. a.Audit.window)
+            row.Audit.meas_density;
+          Alcotest.(check int) "toggles come from the same run"
+            a.Audit.result.Sim.net_toggles.(net)
+            row.Audit.toggles;
+          Alcotest.(check bool) "predictions are finite" true
+            (Float.is_finite row.Audit.pred_density
+            && Float.is_finite row.Audit.pred_prob))
+        a.Audit.net_rows;
+      Alcotest.(check int)
+        (Printf.sprintf "%s: every gate is in the join" name)
+        (C.gate_count circuit)
+        (Array.length a.Audit.gate_rows))
+    (Circuits.Suite.all ())
+
+let test_vcd_roundtrip_on_suite () =
+  List.iter
+    (fun (name, circuit) ->
+      let sim = Sim.build proc circuit in
+      let buf = Buffer.create 4096 in
+      let observer, finish =
+        Switchsim.Vcd_dump.make sim ~emit:(Buffer.add_string buf) ()
+      in
+      let a = run_audit ~sim ~observer ~seed:42 circuit in
+      finish ~time:horizon;
+      let doc =
+        match Vcd.parse (Buffer.contents buf) with
+        | Ok doc -> doc
+        | Error e -> Alcotest.failf "%s: dump does not parse: %s" name e
+      in
+      let toggles = Vcd.toggle_counts doc in
+      for net = 0 to C.net_count circuit - 1 do
+        let key =
+          Switchsim.Vcd_dump.sanitize (C.name circuit)
+          ^ "."
+          ^ Switchsim.Vcd_dump.sanitize (C.net_name circuit net)
+        in
+        match List.assoc_opt key toggles with
+        | None -> Alcotest.failf "%s: net %s missing from the dump" name key
+        | Some n ->
+            Alcotest.(check int)
+              (Printf.sprintf "%s net %s toggles round-trip" name key)
+              a.Audit.result.Sim.net_toggles.(net)
+              n
+      done)
+    (Circuits.Suite.all ())
+
+let test_audit_uses_the_given_sim () =
+  (* Passing ~sim must audit against that structure (configs baked in),
+     and the observer sees the audited run itself. *)
+  let circuit = Circuits.Suite.find "c17" in
+  let sim = Sim.build proc circuit in
+  let seen = ref 0 in
+  let observer =
+    {
+      Sim.on_net = (fun ~time:_ ~net:_ ~before:_ ~after:_ ~in_window:_ -> incr seen);
+      on_internal = None;
+      on_energy = None;
+    }
+  in
+  let inputs =
+    Power.Scenario.input_stats ~rng:(Stoch.Rng.create 1) Power.Scenario.A
+      circuit
+  in
+  let a =
+    Audit.run (Lazy.force table) ~sim ~observer
+      ~rng:(Stoch.Rng.create 2)
+      ~inputs ~horizon circuit
+  in
+  Alcotest.(check bool) "observer saw the audited run" true (!seen > 0);
+  Alcotest.(check bool) "window is the horizon" true (a.Audit.window = horizon)
+
+let test_summary_and_serialization () =
+  let circuit = Circuits.Suite.find "tree16" in
+  Obs.reset ();
+  let a = run_audit ~seed:42 circuit in
+  let s = a.Audit.summary in
+  Alcotest.(check bool) "active nets are counted" true
+    (s.Audit.active_nets > 0 && s.Audit.active_nets <= s.Audit.nets);
+  Alcotest.(check bool) "mean <= max density error" true
+    (s.Audit.mean_density_err_pct <= s.Audit.max_density_err_pct);
+  Alcotest.(check bool) "mean <= max prob error" true
+    (s.Audit.mean_prob_err <= s.Audit.max_prob_err);
+  (* On a tree the model is exact up to sampling noise: calibration must
+     land within a loose but meaningful bound. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "tree16 mean density error %.1f%% < 25%%"
+       s.Audit.mean_density_err_pct)
+    true
+    (s.Audit.mean_density_err_pct < 25.);
+  (* Error distributions land in Obs. *)
+  let snap = Obs.snapshot () in
+  let dist name =
+    List.exists (fun (n, _) -> n = name) snap.Obs.distributions
+  in
+  Alcotest.(check bool) "density error distribution" true
+    (dist "audit.net_density_error_percent");
+  Alcotest.(check bool) "prob error distribution" true
+    (dist "audit.net_prob_error_abs");
+  (* Serializations contain every net row. *)
+  let json = Audit.to_json a in
+  Alcotest.(check bool) "json has a summary" true
+    (String.length json > 0 && json.[0] = '{');
+  let ndjson = Audit.to_ndjson a in
+  let lines = String.split_on_char '\n' ndjson |> List.filter (( <> ) "") in
+  Alcotest.(check int) "one ndjson line per net, gate and summary"
+    (C.net_count circuit + C.gate_count circuit + 1)
+    (List.length lines);
+  (* Ranking: worst_nets puts the largest active error first. *)
+  match Audit.worst_nets ~top:2 a with
+  | first :: _ ->
+      Array.iter
+        (fun (row : Audit.net_row) ->
+          if row.Audit.toggles > 0 then
+            Alcotest.(check bool) "no active net is worse than the first" true
+              (Float.abs row.Audit.density_err_pct
+              <= Float.abs first.Audit.density_err_pct))
+        a.Audit.net_rows
+  | [] -> Alcotest.fail "worst_nets is empty"
+
+let () =
+  Alcotest.run "audit"
+    [
+      ( "acceptance",
+        [
+          Alcotest.test_case "exact join on every suite circuit" `Quick
+            test_exact_join_on_suite;
+          Alcotest.test_case "vcd round-trips on every suite circuit" `Quick
+            test_vcd_roundtrip_on_suite;
+        ] );
+      ( "plumbing",
+        [
+          Alcotest.test_case "audit uses the given sim" `Quick
+            test_audit_uses_the_given_sim;
+          Alcotest.test_case "summary and serialization" `Quick
+            test_summary_and_serialization;
+        ] );
+    ]

@@ -163,7 +163,7 @@ let test_runner_counters () =
     (Obs.value (Obs.counter "proptest.counterexamples") > cexs)
 
 let test_oracle_registry () =
-  Alcotest.(check int) "eight oracles" 8
+  Alcotest.(check int) "nine oracles" 9
     (List.length (Proptest.Oracles.all ()));
   Alcotest.(check bool) "find known" true
     (Proptest.Oracles.find "io-roundtrip" <> None);

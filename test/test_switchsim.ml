@@ -235,6 +235,143 @@ let test_warmup_reduces_window () =
   let c_out = (2. *. 6e-15) +. 15e-15 +. 20e-15 in
   Alcotest.(check (float 1e-27)) "one charge" (c_out *. 25.) r.Sim.energy
 
+let test_per_net_energy_conservation () =
+  let circuit = Circuits.Suite.find "par4" in
+  let sim = Sim.build proc circuit in
+  let rng = Stoch.Rng.create 5 in
+  let stats _ = S.make ~prob:0.5 ~density:1.0 in
+  let r = Sim.run_stats sim ~rng ~stats ~horizon:500. () in
+  (* Exact, not approximate: energy is defined as this very fold. *)
+  let sum = Array.fold_left ( +. ) 0. r.Sim.per_net_energy in
+  Alcotest.(check (float 0.)) "per-net fold IS the total" r.Sim.energy sum;
+  (* Per-net energy is the driving gate's energy; input nets carry 0. *)
+  Array.iter
+    (fun (gate : C.gate) ->
+      match C.driver circuit gate.C.output with
+      | C.Driven_by g ->
+          Alcotest.(check (float 0.))
+            (Printf.sprintf "net %s = gate %d" (C.net_name circuit gate.C.output) g)
+            r.Sim.per_gate_energy.(g)
+            r.Sim.per_net_energy.(gate.C.output)
+      | C.Primary_input -> assert false)
+    (C.gates circuit);
+  List.iter
+    (fun net ->
+      Alcotest.(check (float 0.)) "input nets carry no energy" 0.
+        r.Sim.per_net_energy.(net))
+    (C.primary_inputs circuit)
+
+let null_observer =
+  {
+    Sim.on_net = (fun ~time:_ ~net:_ ~before:_ ~after:_ ~in_window:_ -> ());
+    on_internal = None;
+    on_energy = None;
+  }
+
+let test_observer_warmup_flagging () =
+  (* Events during warm-up are delivered but flagged out-of-window. *)
+  let c = inverter_circuit () in
+  let sim = Sim.build proc c in
+  let w = W.of_bits ~bits:[| false; true; false; true; false |] ~period:1.0 in
+  let events = ref [] in
+  let observer =
+    {
+      null_observer with
+      Sim.on_net =
+        (fun ~time ~net:_ ~before:_ ~after:_ ~in_window ->
+          events := (time, in_window) :: !events);
+    }
+  in
+  let r = Sim.run sim ~warmup:2.5 ~observer ~inputs:(fun _ -> w) () in
+  ignore r;
+  let events = List.rev !events in
+  Alcotest.(check bool) "events before the window are seen" true
+    (List.exists (fun (t, _) -> t < 2.5) events);
+  Alcotest.(check bool) "events inside the window are seen" true
+    (List.exists (fun (t, _) -> t >= 2.5) events);
+  List.iter
+    (fun (t, in_window) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "event at %g flagged correctly" t)
+        (t >= 2.5) in_window)
+    events;
+  (* Times arrive in non-decreasing order. *)
+  ignore
+    (List.fold_left
+       (fun prev (t, _) ->
+         Alcotest.(check bool) "monotone times" true (t >= prev);
+         t)
+       neg_infinity events)
+
+let test_observer_energy_matches_books () =
+  (* Every deposit reported through on_energy carries exactly the joules
+     the accumulator books — including X→1 half-energy charges of an
+     internal node first touched inside the window. *)
+  let base = nand_inv () in
+  let wa = W.of_bits ~bits:[| false; true; false; true |] ~period:1.0 in
+  let wb = W.constant false ~horizon:4.0 in
+  let half_seen = ref false in
+  List.iter
+    (fun config ->
+      let circuit = C.with_configs base [| config; 0 |] in
+      let sim = Sim.build proc circuit in
+      let inputs net = if C.net_name circuit net = "a" then wa else wb in
+      let booked = Array.make (C.gate_count circuit) 0. in
+      let observer =
+        {
+          null_observer with
+          Sim.on_energy =
+            Some
+              (fun ~time:_ ~gate ~node ~energy ->
+                booked.(gate) <- booked.(gate) +. energy;
+                (* b = 0 masks the output: any deposit on the nand's
+                   internal node rises from X, at half energy. *)
+                if gate = 0 && node = 1 then begin
+                  let g = C.gate_at circuit 0 in
+                  let network =
+                    Cell.Config.network
+                      (List.nth (Cell.Config.all g.C.cell) g.C.config)
+                  in
+                  let c_int =
+                    Cell.Process.node_capacitance proc network
+                      (Sp.Network.Internal 0)
+                  in
+                  let vdd = proc.Cell.Process.vdd in
+                  Alcotest.(check (float 1e-30)) "half charge from X"
+                    (0.5 *. c_int *. vdd *. vdd)
+                    energy;
+                  half_seen := true
+                end);
+        }
+      in
+      let r = Sim.run sim ~observer ~inputs () in
+      (* Chronological per-gate accumulation is the accumulator's own
+         order, so the sums agree bit-for-bit. *)
+      Array.iteri
+        (fun g e ->
+          Alcotest.(check (float 0.))
+            (Printf.sprintf "config %d gate %d books what it reports" config g)
+            e booked.(g))
+        r.Sim.per_gate_energy)
+    [ 0; 1 ];
+  Alcotest.(check bool) "an X→1 half-energy deposit was observed" true
+    !half_seen
+
+let test_no_observer_no_probe_events () =
+  let circuit = Circuits.Suite.find "c17" in
+  let sim = Sim.build proc circuit in
+  let rng () = Stoch.Rng.create 11 in
+  let stats _ = S.make ~prob:0.5 ~density:1.0 in
+  Obs.reset ();
+  ignore (Sim.run_stats sim ~rng:(rng ()) ~stats ~horizon:100. ());
+  Alcotest.(check int) "no observer, no probe events" 0
+    (Obs.value (Obs.counter "switchsim.probe_events"));
+  ignore
+    (Sim.run_stats sim ~rng:(rng ()) ~stats ~horizon:100.
+       ~observer:null_observer ());
+  Alcotest.(check bool) "observer counts probe events" true
+    (Obs.value (Obs.counter "switchsim.probe_events") > 0)
+
 let test_validation () =
   let c = nand_inv () in
   let sim = Sim.build proc c in
@@ -304,7 +441,18 @@ let () =
           Alcotest.test_case "internal energy depends on order" `Quick
             test_internal_energy_depends_on_order;
           Alcotest.test_case "per-gate sums" `Quick test_per_gate_energy_sums;
+          Alcotest.test_case "per-net conservation" `Quick
+            test_per_net_energy_conservation;
           Alcotest.test_case "warmup window" `Quick test_warmup_reduces_window;
+        ] );
+      ( "probes",
+        [
+          Alcotest.test_case "warmup events flagged" `Quick
+            test_observer_warmup_flagging;
+          Alcotest.test_case "energy events match the books" `Quick
+            test_observer_energy_matches_books;
+          Alcotest.test_case "no observer, no probe events" `Quick
+            test_no_observer_no_probe_events;
         ] );
       ( "functional",
         [

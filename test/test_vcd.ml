@@ -1,0 +1,153 @@
+(* Tests for the VCD writer/reader pair: documents round-trip through
+   the tolerant parser, hierarchy is preserved in full names, and the
+   reader survives truncation, foreign sections and vector changes. *)
+
+let write f =
+  let buf = Buffer.create 256 in
+  f (Buffer.add_string buf);
+  Buffer.contents buf
+
+let parse_ok text =
+  match Vcd.parse text with
+  | Ok t -> t
+  | Error e -> Alcotest.failf "parse failed: %s" e
+
+let test_writer_roundtrip () =
+  let text =
+    write (fun emit ->
+        let w = Vcd.create ~emit () in
+        Vcd.open_scope w "top";
+        let a = Vcd.add_var w "a" in
+        let b = Vcd.add_var w "b" in
+        Vcd.close_scope w;
+        Vcd.enddefinitions w;
+        Vcd.change w ~time:0 a Vcd.V0;
+        Vcd.change w ~time:0 b Vcd.V1;
+        Vcd.change w ~time:5 a Vcd.V1;
+        Vcd.change w ~time:9 a Vcd.V0;
+        Vcd.change w ~time:9 b Vcd.VX;
+        Vcd.finish w ~time:20)
+  in
+  let t = parse_ok text in
+  Alcotest.(check (option string)) "timescale" (Some "1 ps") t.Vcd.timescale;
+  Alcotest.(check int) "two vars" 2 (List.length t.Vcd.vars);
+  Alcotest.(check (list (pair string int)))
+    "toggles count strict 0-1 transitions only"
+    [ ("top.a", 2); ("top.b", 0) ]
+    (Vcd.toggle_counts t);
+  Alcotest.(check bool) "a ends low" true
+    (List.assoc "top.a" (Vcd.final_values t) = Vcd.V0);
+  Alcotest.(check bool) "b ends unknown" true
+    (List.assoc "top.b" (Vcd.final_values t) = Vcd.VX)
+
+let test_hierarchy_names () =
+  let text =
+    write (fun emit ->
+        let w = Vcd.create ~emit () in
+        Vcd.open_scope w "chip";
+        let y = Vcd.add_var w "y" in
+        Vcd.open_scope w "g0_nand2";
+        let n0 = Vcd.add_var w "n0" in
+        Vcd.close_scope w;
+        Vcd.close_scope w;
+        Vcd.enddefinitions w;
+        Vcd.change w ~time:1 y Vcd.V1;
+        Vcd.change w ~time:2 n0 Vcd.V0)
+  in
+  let t = parse_ok text in
+  Alcotest.(check bool) "nested full name" true
+    (Vcd.find_var t "chip.g0_nand2.n0" <> None);
+  Alcotest.(check bool) "top-level full name" true
+    (Vcd.find_var t "chip.y" <> None);
+  Alcotest.(check bool) "absent name" true (Vcd.find_var t "chip.n0" = None)
+
+let test_writer_validation () =
+  let w = Vcd.create ~emit:ignore () in
+  Vcd.open_scope w "s";
+  let v = Vcd.add_var w "v" in
+  Alcotest.check_raises "unclosed scope"
+    (Invalid_argument "Vcd.enddefinitions: unclosed scope") (fun () ->
+      Vcd.enddefinitions w);
+  Vcd.close_scope w;
+  Vcd.enddefinitions w;
+  Alcotest.check_raises "defs closed"
+    (Invalid_argument "Vcd.add_var: definitions are closed") (fun () ->
+      ignore (Vcd.add_var w "late"));
+  Vcd.change w ~time:4 v Vcd.V1;
+  Alcotest.check_raises "time goes backwards"
+    (Invalid_argument "Vcd.change: time went backwards") (fun () ->
+      Vcd.change w ~time:3 v Vcd.V0)
+
+let test_reader_tolerance () =
+  (* Foreign sections, vector and real changes, and truncation: the
+     reader keeps everything it can make sense of. *)
+  let text =
+    "$version some other tool $end\n\
+     $fancy_extension ignore me entirely $end\n\
+     $timescale 10 ns $end\n\
+     $scope module m $end\n\
+     $var wire 1 ! clk $end\n\
+     $var wire 4 \" bus $end\n\
+     $var real 8 # temp $end\n\
+     $upscope $end\n\
+     $enddefinitions $end\n\
+     #0\n\
+     0!\n\
+     b0000 \"\n\
+     r1.5 #\n\
+     #10\n\
+     1!\n\
+     b0001 \"\n\
+     #20\n\
+     0!\n\
+     bxx10 \"\n\
+     #30\n\
+     1!"
+  in
+  let t = parse_ok text in
+  Alcotest.(check (option string)) "timescale" (Some "10 ns") t.Vcd.timescale;
+  Alcotest.(check int) "three vars" 3 (List.length t.Vcd.vars);
+  Alcotest.(check int) "clk toggles, truncated tail included" 3
+    (List.assoc "m.clk" (Vcd.toggle_counts t));
+  (* Vector values collapse: 0000 -> 0, 0001 -> 1, xx10 -> x. *)
+  Alcotest.(check int) "bus saw one 0-to-1" 1
+    (List.assoc "m.bus" (Vcd.toggle_counts t));
+  Alcotest.(check bool) "bus ends unknown" true
+    (List.assoc "m.bus" (Vcd.final_values t) = Vcd.VX);
+  Alcotest.(check bool) "garbage is an error" true
+    (Result.is_error (Vcd.parse "not a vcd file at all"))
+
+let test_dumpvars_initialization () =
+  let text =
+    write (fun emit ->
+        let w = Vcd.create ~emit () in
+        Vcd.open_scope w "t";
+        let a = Vcd.add_var w "a" in
+        Vcd.close_scope w;
+        Vcd.enddefinitions w;
+        Vcd.change w ~time:3 a Vcd.V1)
+  in
+  let t = parse_ok text in
+  (* The $dumpvars block initializes to x at time 0, so the single rise
+     is x->1: no strict toggle. *)
+  Alcotest.(check int) "x->1 is not a toggle" 0
+    (List.assoc "t.a" (Vcd.toggle_counts t));
+  Alcotest.(check bool) "but the final value is known" true
+    (List.assoc "t.a" (Vcd.final_values t) = Vcd.V1)
+
+let () =
+  Alcotest.run "vcd"
+    [
+      ( "roundtrip",
+        [
+          Alcotest.test_case "write then read" `Quick test_writer_roundtrip;
+          Alcotest.test_case "hierarchy names" `Quick test_hierarchy_names;
+          Alcotest.test_case "dumpvars initialization" `Quick
+            test_dumpvars_initialization;
+        ] );
+      ( "robustness",
+        [
+          Alcotest.test_case "writer validation" `Quick test_writer_validation;
+          Alcotest.test_case "reader tolerance" `Quick test_reader_tolerance;
+        ] );
+    ]
