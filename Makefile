@@ -28,6 +28,14 @@ fuzz:
 	dune exec bin/treorder_cli.exe -- fuzz --seed $(FUZZ_SEED) \
 	  --count $(FUZZ_COUNT) --max-gates $(FUZZ_MAX_GATES) --stats
 
+# JOBS= sets the domain count for parallel gate sweeps (exported as
+# TREORDER_JOBS, read by the CLI's --jobs default and the perf_parallel
+# bench target), e.g. `make bench JOBS=8`.
+JOBS ?=
+ifneq ($(JOBS),)
+export TREORDER_JOBS := $(JOBS)
+endif
+
 bench:
 	dune exec bench/main.exe
 
@@ -53,7 +61,7 @@ audit:
 # Individual reproduction targets, e.g. `make table3`
 table1 table2 figure5 table3_a table3_b adder_profile ablation_delay \
 ablation_inputreorder model_accuracy glitch sensitivity exactness \
-sequential gate_accuracy proptest probe_overhead perf:
+sequential gate_accuracy proptest probe_overhead perf perf_parallel:
 	dune exec bench/main.exe -- $@
 
 examples:

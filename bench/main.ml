@@ -7,7 +7,7 @@
      dune exec bench/main.exe -- table3_a perf
    Targets: table1 table2 figure5 table3_a table3_b adder_profile
             ablation_delay ablation_inputreorder model_accuracy
-            probe_overhead perf *
+            probe_overhead perf perf_parallel *
 
    Regression gating against a stored BENCH_obs.json:
      dune exec bench/main.exe -- --baseline OLD.json --check table2 perf
@@ -218,6 +218,100 @@ let perf () =
     (List.sort compare rows);
   Report.Table.print table
 
+(* Parallel optimizer: sequential vs domain-pool wall-clock over the
+   larger suite circuits, with the bit-identical-report check inline (a
+   speedup that changes results would be a bug, not a win). Speedups and
+   memo hit-rates land in BENCH_obs.json as perf_parallel.*
+   distributions next to the optimizer.memo_hits/misses counters.
+   TREORDER_JOBS overrides the domain count (the Makefile's JOBS= knob). *)
+let d_par_speedup = Obs.distribution "perf_parallel.speedup"
+let d_par_memo_hit_rate = Obs.distribution "perf_parallel.memo_hit_rate_pct"
+
+let perf_parallel () =
+  let jobs =
+    match Sys.getenv_opt "TREORDER_JOBS" with
+    | Some _ -> Par.Pool.default_jobs ()
+    | None -> Stdlib.max 4 (Domain.recommended_domain_count ())
+  in
+  section (Printf.sprintf "perf_parallel / gate sweeps across %d domains" jobs);
+  let reps = 3 in
+  let c_hits = Obs.counter "optimizer.memo_hits" in
+  let c_misses = Obs.counter "optimizer.memo_misses" in
+  Par.Pool.with_pool ~jobs @@ fun pool ->
+  let table =
+    Report.Table.create
+      ~columns:
+        [
+          ("circuit", Report.Table.Left);
+          ("sequential", Report.Table.Right);
+          (Printf.sprintf "%d domains" jobs, Report.Table.Right);
+          ("speedup", Report.Table.Right);
+          ("memo hits", Report.Table.Right);
+        ]
+  in
+  List.iter
+    (fun name ->
+      let circuit = Circuits.Suite.find name in
+      (* Scenario B (latched inputs, uniform P/D): the memo keys on
+         quantized input statistics, so its hit rate is
+         workload-dependent — near-identical stats repeating down a
+         carry chain hit ~90%, scenario A's per-input random draws
+         almost never collide. Benchmark the regime the memo is for. *)
+      let inputs =
+        Power.Scenario.input_stats ~rng:(Stoch.Rng.create 7) Power.Scenario.B
+          circuit
+      in
+      let optimize ?pool ?memo () =
+        Reorder.Optimizer.optimize ctx.Experiments.Common.power
+          ~delay:ctx.Experiments.Common.delay ?pool ?memo circuit ~inputs
+      in
+      let best f =
+        let rec go k acc =
+          if k = 0 then acc
+          else
+            let t0 = Unix.gettimeofday () in
+            ignore (f ());
+            go (k - 1) (Float.min acc (Unix.gettimeofday () -. t0))
+        in
+        go reps Float.infinity
+      in
+      (* One warm-up run so both sides measure sweeps against populated
+         symbolic-model caches, not cache construction. *)
+      let reference = optimize () in
+      let t_seq = best (fun () -> optimize ()) in
+      let t_par = best (fun () -> optimize ~pool ()) in
+      let parallel = optimize ~pool () in
+      if
+        parallel.Reorder.Optimizer.power_after
+        <> reference.Reorder.Optimizer.power_after
+        || parallel.Reorder.Optimizer.configs
+           <> reference.Reorder.Optimizer.configs
+      then begin
+        Printf.eprintf "perf_parallel: %s: parallel run is not bit-identical\n"
+          name;
+        exit 1
+      end;
+      let h0 = Obs.value c_hits and m0 = Obs.value c_misses in
+      ignore (optimize ~pool ~memo:(Reorder.Memo.create ()) ());
+      let hits = Obs.value c_hits - h0 and misses = Obs.value c_misses - m0 in
+      let hit_rate =
+        if hits + misses = 0 then 0.
+        else 100. *. float_of_int hits /. float_of_int (hits + misses)
+      in
+      let speedup = if t_par > 0. then t_seq /. t_par else 0. in
+      Obs.observe d_par_speedup speedup;
+      Obs.observe d_par_memo_hit_rate hit_rate;
+      Report.Table.add_row table
+        [
+          name;
+          Report.Table.cell_time t_seq;
+          Report.Table.cell_time t_par;
+          Printf.sprintf "%.2fx" speedup;
+          Printf.sprintf "%d/%d (%.0f%%)" hits (hits + misses) hit_rate;
+        ])
+    [ "rca8"; "rca16"; "tree16"; "mux16" ];
+  Report.Table.print table
+
 (* Generator + oracle throughput of the property-based testing
    subsystem. The [proptest.cases_run] counter lands in BENCH_obs.json
    next to this target's [seconds], so cases-per-second is trackable
@@ -299,6 +393,7 @@ let targets =
     ("proptest", proptest);
     ("probe_overhead", probe_overhead);
     ("perf", perf);
+    ("perf_parallel", perf_parallel);
   ]
 
 let usage () =

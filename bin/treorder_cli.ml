@@ -40,6 +40,28 @@ let scenario_inputs ~seed scenario circuit =
   Power.Scenario.input_stats ~rng:(Stoch.Rng.create seed)
     (parse_scenario scenario) circuit
 
+(* --- parallelism flags --- *)
+
+let jobs_conv =
+  let parse s =
+    match int_of_string_opt (String.trim s) with
+    | Some n when n >= 1 -> Ok n
+    | Some n -> Error (`Msg (Printf.sprintf "JOBS must be at least 1, got %d" n))
+    | None -> Error (`Msg (Printf.sprintf "expected a positive integer, got %S" s))
+  in
+  Arg.conv (parse, Format.pp_print_int)
+
+let jobs_arg =
+  let doc =
+    "Worker domains for parallel gate sweeps. Defaults to \
+     $(b,TREORDER_JOBS) when set, otherwise the machine's recommended \
+     domain count; 1 forces the sequential path."
+  in
+  Arg.(
+    value
+    & opt jobs_conv (Par.Pool.default_jobs ())
+    & info [ "j"; "jobs" ] ~docv:"JOBS" ~doc)
+
 (* --- observability flags (shared by every pipeline subcommand) --- *)
 
 let obs_term =
@@ -284,8 +306,19 @@ let top_arg =
     & info [ "top" ] ~docv:"N"
         ~doc:"Gates shown in the ranked --explain tables.")
 
+let memo_flag =
+  Arg.(
+    value & flag
+    & info [ "memo" ]
+        ~doc:
+          "Memoize best-configuration verdicts across structurally \
+           equivalent gates (quantized-key cache; an approximation near \
+           bucket boundaries, reported via the optimizer.memo_hits/misses \
+           counters).")
+
 let optimize_cmd =
-  let run spec scenario seed objective out explain explain_json top obs =
+  let run spec scenario seed objective jobs memo out explain explain_json top
+      obs =
     with_obs obs @@ fun () ->
     let circuit = load_circuit spec in
     let ctx = context () in
@@ -301,10 +334,12 @@ let optimize_cmd =
           Printf.eprintf "error: unknown objective %S\n" other;
           exit 1
     in
+    Par.Pool.with_pool ~jobs @@ fun pool ->
+    let memo = if memo then Some (Reorder.Memo.create ()) else None in
     let r =
       Reorder.Optimizer.optimize ctx.Experiments.Common.power
         ~delay:ctx.Experiments.Common.delay ~objective
-        ~input_reordering_only:input_only circuit ~inputs
+        ~input_reordering_only:input_only ~pool ?memo circuit ~inputs
     in
     Printf.printf "%s\n" (Format.asprintf "%a" Reorder.Optimizer.pp_report r);
     let sta c =
@@ -340,7 +375,8 @@ let optimize_cmd =
     (Cmd.info "optimize" ~doc:"Reorder transistors for the chosen objective.")
     Term.(
       const run $ circuit_arg $ scenario_arg $ seed_arg $ objective_arg
-      $ output_arg $ explain_flag $ explain_json_arg $ top_arg $ obs_term)
+      $ jobs_arg $ memo_flag $ output_arg $ explain_flag $ explain_json_arg
+      $ top_arg $ obs_term)
 
 (* --- simulate --- *)
 
@@ -635,7 +671,7 @@ let map_cmd =
     let doc = "Equation file (see the Logic.Eqn format)." in
     Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE.eqn" ~doc)
   in
-  let run file scenario seed optimize out obs =
+  let run file scenario seed optimize jobs out obs =
     with_obs obs @@ fun () ->
     let eqn =
       try Logic.Eqn.load file
@@ -658,8 +694,9 @@ let map_cmd =
         let ctx = context () in
         let inputs = scenario_inputs ~seed scenario circuit in
         let r =
+          Par.Pool.with_pool ~jobs @@ fun pool ->
           Reorder.Optimizer.optimize ctx.Experiments.Common.power
-            ~delay:ctx.Experiments.Common.delay circuit ~inputs
+            ~delay:ctx.Experiments.Common.delay ~pool circuit ~inputs
         in
         Printf.printf "%s\n" (Format.asprintf "%a" Reorder.Optimizer.pp_report r);
         r.Reorder.Optimizer.circuit
@@ -678,7 +715,7 @@ let map_cmd =
   Cmd.v
     (Cmd.info "map" ~doc:"Map a Boolean equation file onto the gate library.")
     Term.(
-      const run $ file_arg $ scenario_arg $ seed_arg $ optimize_flag
+      const run $ file_arg $ scenario_arg $ seed_arg $ optimize_flag $ jobs_arg
       $ output_arg $ obs_term)
 
 (* --- profile / glitch / accuracy --- *)
@@ -740,7 +777,7 @@ let fuzz_cmd =
     let doc =
       "Run only this property (repeatable). One of: exactness, sim-power, \
        vcd-roundtrip, function, optimizer, io-roundtrip, densities, \
-       attribution, sp-orderings."
+       attribution, parallel-determinism, sp-orderings."
     in
     Arg.(value & opt_all string [] & info [ "property"; "p" ] ~docv:"NAME" ~doc)
   in

@@ -5,6 +5,8 @@ let c_configs_explored = Obs.counter "optimizer.configs_explored"
 let c_configs_pruned = Obs.counter "optimizer.configs_pruned"
 let c_sta_checks = Obs.counter "optimizer.sta_checks"
 let c_sta_rejects = Obs.counter "optimizer.sta_rejects"
+let c_parallel_levels = Obs.counter "optimizer.parallel_levels"
+let c_wide_sweeps = Obs.counter "optimizer.wide_sweeps"
 let d_configs_per_gate = Obs.distribution "optimizer.configs_per_gate"
 let d_gate_reduction = Obs.distribution "optimizer.gate_reduction_percent"
 
@@ -102,6 +104,84 @@ let choose_by_power power_table ~maximize ~candidates ~load ~input_stats
   in
   (best_i, best_p, current)
 
+(* Memo-miss variant: the winner must be a pure function of the memo key,
+   so the fold is seeded with the first candidate (never the gate's
+   incumbent configuration) and the caller passes the key's
+   representative statistics and load. Racing workers that both miss an
+   entry therefore compute the same winner, which is what makes memoized
+   runs bit-identical across any domain count. *)
+let choose_by_power_pure power_table ~maximize ~candidates ~load ~input_stats
+    (gate : C.gate) =
+  let cell = gate.C.cell in
+  let groups = Power.Model.groups_of_nets gate.C.fanins in
+  let power_of config =
+    (Power.Model.gate_power power_table cell ~config ~input_stats ~groups
+       ~load ())
+      .Power.Model.total
+  in
+  let score p = if maximize then -.p else p in
+  match candidates with
+  | [] -> gate.C.config
+  | first :: rest ->
+      List.fold_left
+        (fun (best_i, best_p) i ->
+          let p = power_of i in
+          if score p < score best_p then (i, p) else (best_i, best_p))
+        (first, power_of first) rest
+      |> fst
+
+(* One power-objective gate decision: either the exhaustive sweep, or a
+   memo hit keyed on (cell, direction, restriction, pin groups, quantized
+   stats, load bucket). Returns the chosen index and — for minimization —
+   the per-gate reduction percentage to feed the
+   [optimizer.gate_reduction_percent] distribution. *)
+let decide_power power_table ?memo ~maximize ~input_only ~candidates ~load
+    ~input_stats (gate : C.gate) =
+  match memo with
+  | None ->
+      let chosen, best, current =
+        choose_by_power power_table ~maximize ~candidates ~load ~input_stats
+          gate
+      in
+      let reduction =
+        if maximize then None else Some (reduction_percent ~best ~worst:current)
+      in
+      (chosen, reduction)
+  | Some memo ->
+      let cell = gate.C.cell in
+      let groups = Power.Model.groups_of_nets gate.C.fanins in
+      let key =
+        Memo.key ~cell ~maximize ~input_only ~groups ~input_stats ~load
+      in
+      let chosen =
+        match Memo.lookup memo key with
+        | Some chosen -> chosen
+        | None ->
+            let chosen =
+              choose_by_power_pure power_table ~maximize ~candidates
+                ~load:(Memo.representative_load load)
+                ~input_stats:(Memo.representative_stats input_stats)
+                gate
+            in
+            Memo.store memo key chosen;
+            chosen
+      in
+      let reduction =
+        if maximize then None
+        else
+          let power_of config =
+            (Power.Model.gate_power power_table cell ~config ~input_stats
+               ~groups ~load ())
+              .Power.Model.total
+          in
+          let current = power_of gate.C.config in
+          let best =
+            if chosen = gate.C.config then current else power_of chosen
+          in
+          Some (reduction_percent ~best ~worst:current)
+      in
+      (chosen, reduction)
+
 let choose_by_delay delay_table ~candidates ~load (gate : C.gate) =
   List.fold_left
     (fun (best_i, best_d) i ->
@@ -113,11 +193,25 @@ let choose_by_delay delay_table ~candidates ~load (gate : C.gate) =
     candidates
   |> fst
 
+(* A worker's verdict on one gate; the coordinator applies these in
+   submission order so counters, distributions, and the configs array
+   evolve exactly as in a sequential run. *)
+type decision = {
+  d_gate : int;
+  d_chosen : int;
+  d_candidates : int;
+  d_reduction : float option;
+}
+
+(* Below this many candidate configurations a single-gate level is not
+   worth fanning out per-configuration. *)
+let wide_sweep_threshold = 8
+
 let default_external_load = 20e-15
 
 let optimize power_table ~delay:delay_table
     ?(external_load = default_external_load) ?(objective = Min_power)
-    ?(input_reordering_only = false) circuit ~inputs =
+    ?(input_reordering_only = false) ?pool ?memo circuit ~inputs =
   Obs.span "optimize.run" @@ fun () ->
   let analysis = Power.Analysis.run power_table circuit ~inputs in
   let power_before =
@@ -149,71 +243,182 @@ let optimize power_table ~delay:delay_table
           +. 1e-18)
     | Min_power | Max_power | Min_delay -> None
   in
-  (* Fig. 3: statistics are configuration-independent (§4.2), so the
-     single Analysis pass already gives every gate its final input
-     statistics; we visit gates in the paper's topological order. *)
-  List.iter
-    (fun g ->
-      Obs.span "optimize.gate" @@ fun () ->
+  let sequential () =
+    (* Fig. 3: statistics are configuration-independent (§4.2), so the
+       single Analysis pass already gives every gate its final input
+       statistics; we visit gates in the paper's topological order. *)
+    List.iter
+      (fun g ->
+        Obs.span "optimize.gate" @@ fun () ->
+        let gate = C.gate_at circuit g in
+        let input_stats = Power.Analysis.gate_input_stats analysis circuit g in
+        let load =
+          Power.Estimate.output_load power_table ~external_load circuit g
+        in
+        let candidates = candidates_for gate in
+        Obs.incr c_gates_visited;
+        Obs.add c_configs_explored (List.length candidates);
+        Obs.observe d_configs_per_gate (float_of_int (List.length candidates));
+        explored := !explored + List.length candidates;
+        (* Per-gate improvement of the chosen configuration over the
+           incumbent one, as a percentage (the distribution behind the
+           BENCH_obs.json [optimizer.gate_reduction_percent] metric). *)
+        let observe_reduction ~best ~current =
+          Obs.observe d_gate_reduction (reduction_percent ~best ~worst:current)
+        in
+        let chosen =
+          match objective with
+          | Min_power | Max_power ->
+              let chosen, reduction =
+                decide_power power_table ?memo
+                  ~maximize:(objective = Max_power)
+                  ~input_only:input_reordering_only ~candidates ~load
+                  ~input_stats gate
+              in
+              Option.iter (Obs.observe d_gate_reduction) reduction;
+              chosen
+          | Min_delay -> choose_by_delay delay_table ~candidates ~load gate
+          | Min_power_delay_bounded ->
+              let budget = Option.get delay_budget in
+              let admissible =
+                List.filter
+                  (fun i ->
+                    let saved = configs.(g) in
+                    configs.(g) <- i;
+                    let d =
+                      Obs.incr c_sta_checks;
+                      critical_delay_with delay_table ~external_load circuit
+                        configs
+                    in
+                    configs.(g) <- saved;
+                    let ok = d <= budget in
+                    if not ok then Obs.incr c_sta_rejects;
+                    ok)
+                  candidates
+              in
+              Obs.add c_configs_pruned
+                (List.length candidates - List.length admissible);
+              let chosen, best, current =
+                choose_by_power power_table ~maximize:false
+                  ~candidates:admissible ~load ~input_stats gate
+              in
+              observe_reduction ~best ~current;
+              chosen
+        in
+        configs.(g) <- chosen)
+      (C.topological_order circuit)
+  in
+  (* Parallel driver: level the circuit, fan each level's gate sweeps
+     across the pool. Statistics are configuration-independent (§4.2),
+     so gates of one level are fully independent decisions; ordering only
+     matters for how results are folded back, and [finish] applies them
+     in submission order (ascending level, topological within a level) —
+     the same order the sequential loop uses. Workers operate on
+     [Power.Model.domain_local] forks; the coordinator merges them back
+     after the last level. *)
+  let parallel pool ~maximize =
+    let levels = C.levels circuit in
+    let nlevels = C.depth circuit in
+    let buckets = Array.make (nlevels + 1) [] in
+    List.iter
+      (fun g -> buckets.(levels.(g)) <- g :: buckets.(levels.(g)))
+      (List.rev (C.topological_order circuit));
+    let decide table g =
       let gate = C.gate_at circuit g in
       let input_stats = Power.Analysis.gate_input_stats analysis circuit g in
-      let load = Power.Estimate.output_load power_table ~external_load circuit g in
+      let load = Power.Estimate.output_load table ~external_load circuit g in
       let candidates = candidates_for gate in
+      let chosen, reduction =
+        decide_power table ?memo ~maximize ~input_only:input_reordering_only
+          ~candidates ~load ~input_stats gate
+      in
+      {
+        d_gate = g;
+        d_chosen = chosen;
+        d_candidates = List.length candidates;
+        d_reduction = reduction;
+      }
+    in
+    (* Single-gate level with a wide candidate list: split the sweep
+       itself across domains, one configuration per task, then fold the
+       powers exactly as [choose_by_power] would (same seed, same
+       left-to-right order, strict comparison). *)
+    let decide_wide g (gate : C.gate) candidates =
+      Obs.incr c_wide_sweeps;
+      let cell = gate.C.cell in
+      let groups = Power.Model.groups_of_nets gate.C.fanins in
+      let input_stats = Power.Analysis.gate_input_stats analysis circuit g in
+      let load =
+        Power.Estimate.output_load power_table ~external_load circuit g
+      in
+      let powers =
+        Par.Pool.map ~chunk:1 pool
+          (fun config ->
+            let table = Power.Model.domain_local power_table in
+            (Power.Model.gate_power table cell ~config ~input_stats ~groups
+               ~load ())
+              .Power.Model.total)
+          (Array.of_list (gate.C.config :: candidates))
+      in
+      let current = powers.(0) in
+      let score p = if maximize then -.p else p in
+      let best_i = ref gate.C.config and best_p = ref current in
+      List.iteri
+        (fun k i ->
+          let p = powers.(k + 1) in
+          if score p < score !best_p then begin
+            best_i := i;
+            best_p := p
+          end)
+        candidates;
+      let reduction =
+        if maximize then None
+        else Some (reduction_percent ~best:!best_p ~worst:current)
+      in
+      {
+        d_gate = g;
+        d_chosen = !best_i;
+        d_candidates = List.length candidates;
+        d_reduction = reduction;
+      }
+    in
+    let finish d =
       Obs.incr c_gates_visited;
-      Obs.add c_configs_explored (List.length candidates);
-      Obs.observe d_configs_per_gate (float_of_int (List.length candidates));
-      explored := !explored + List.length candidates;
-      (* Per-gate improvement of the chosen configuration over the
-         incumbent one, as a percentage (the distribution behind the
-         BENCH_obs.json [optimizer.gate_reduction_percent] metric). *)
-      let observe_reduction ~best ~current =
-        Obs.observe d_gate_reduction (reduction_percent ~best ~worst:current)
-      in
-      let chosen =
-        match objective with
-        | Min_power ->
-            let chosen, best, current =
-              choose_by_power power_table ~maximize:false ~candidates ~load
-                ~input_stats gate
-            in
-            observe_reduction ~best ~current;
-            chosen
-        | Max_power ->
-            let chosen, _, _ =
-              choose_by_power power_table ~maximize:true ~candidates ~load
-                ~input_stats gate
-            in
-            chosen
-        | Min_delay -> choose_by_delay delay_table ~candidates ~load gate
-        | Min_power_delay_bounded ->
-            let budget = Option.get delay_budget in
-            let admissible =
-              List.filter
-                (fun i ->
-                  let saved = configs.(g) in
-                  configs.(g) <- i;
-                  let d =
-                    Obs.incr c_sta_checks;
-                    critical_delay_with delay_table ~external_load circuit
-                      configs
-                  in
-                  configs.(g) <- saved;
-                  let ok = d <= budget in
-                  if not ok then Obs.incr c_sta_rejects;
-                  ok)
-                candidates
-            in
-            Obs.add c_configs_pruned
-              (List.length candidates - List.length admissible);
-            let chosen, best, current =
-              choose_by_power power_table ~maximize:false
-                ~candidates:admissible ~load ~input_stats gate
-            in
-            observe_reduction ~best ~current;
-            chosen
-      in
-      configs.(g) <- chosen)
-    (C.topological_order circuit);
+      Obs.add c_configs_explored d.d_candidates;
+      Obs.observe d_configs_per_gate (float_of_int d.d_candidates);
+      explored := !explored + d.d_candidates;
+      Option.iter (Obs.observe d_gate_reduction) d.d_reduction;
+      configs.(d.d_gate) <- d.d_chosen
+    in
+    for level = 1 to nlevels do
+      match buckets.(level) with
+      | [] -> ()
+      | [ g ] ->
+          Obs.span "optimize.level" @@ fun () ->
+          Obs.incr c_parallel_levels;
+          let gate = C.gate_at circuit g in
+          let candidates = candidates_for gate in
+          if
+            Option.is_none memo
+            && List.length candidates >= wide_sweep_threshold
+          then finish (decide_wide g gate candidates)
+          else finish (decide power_table g)
+      | batch ->
+          Obs.span "optimize.level" @@ fun () ->
+          Obs.incr c_parallel_levels;
+          let decisions =
+            Par.Pool.map pool
+              (fun g -> decide (Power.Model.domain_local power_table) g)
+              (Array.of_list batch)
+          in
+          Array.iter finish decisions
+    done;
+    ignore (Power.Model.merge_forks power_table)
+  in
+  (match (pool, objective) with
+  | Some p, (Min_power | Max_power) when Par.Pool.jobs p > 1 ->
+      parallel p ~maximize:(objective = Max_power)
+  | _ -> sequential ());
   let rewritten = C.with_configs circuit configs in
   let power_after =
     Power.Estimate.total power_table ~external_load rewritten analysis
@@ -232,13 +437,14 @@ let optimize power_table ~delay:delay_table
     configurations_explored = !explored;
   }
 
-let best_and_worst power_table ~delay ?external_load circuit ~inputs =
+let best_and_worst power_table ~delay ?external_load ?pool ?memo circuit
+    ~inputs =
   let best =
-    optimize power_table ~delay ?external_load ~objective:Min_power circuit
-      ~inputs
+    optimize power_table ~delay ?external_load ~objective:Min_power ?pool ?memo
+      circuit ~inputs
   in
   let worst =
-    optimize power_table ~delay ?external_load ~objective:Max_power circuit
-      ~inputs
+    optimize power_table ~delay ?external_load ~objective:Max_power ?pool ?memo
+      circuit ~inputs
   in
   (best, worst)

@@ -5,7 +5,18 @@
     (they are configuration-independent, §4.2 — the monotonic property
     that makes the greedy pass globally optimal with respect to the
     model); then each gate's configurations are exhaustively explored
-    (§4.3) and the one optimizing the objective is selected. *)
+    (§4.3) and the one optimizing the objective is selected.
+
+    That same independence makes the power objectives embarrassingly
+    parallel: pass a {!Par.Pool.t} and the optimizer levels the circuit,
+    fans each level's gate sweeps across the pool (workers operate on
+    {!Power.Model.domain_local} forks, merged back on join), and splits
+    a lone wide sweep across domains per-configuration. Results are
+    folded back in submission order, so a parallel run is bit-identical
+    to a sequential one — same [configs], same [power_after], same
+    counters and distributions. Pass a {!Memo.t} to additionally reuse
+    sweep verdicts across structurally equivalent gates (see
+    {{!page-performance} the performance page}). *)
 
 type objective =
   | Min_power  (** the paper's FIND_BEST_REORDERING *)
@@ -39,17 +50,38 @@ val optimize :
   ?external_load:float ->
   ?objective:objective ->
   ?input_reordering_only:bool ->
+  ?pool:Par.Pool.t ->
+  ?memo:Memo.t ->
   Netlist.Circuit.t ->
   inputs:(Netlist.Circuit.net -> Stoch.Signal_stats.t) ->
   report
 (** [input_reordering_only] (default false) restricts candidates to the
     reference configuration's layout shape — the §2 input-reordering
-    subset, used as an ablation baseline. *)
+    subset, used as an ablation baseline.
+
+    [pool] (default none: today's sequential path, untouched) fans gate
+    sweeps across domains for [Min_power] / [Max_power]. The other
+    objectives stay sequential even with a pool: [Min_delay] shares the
+    Elmore table's cache and [Min_power_delay_bounded] is inherently
+    order-dependent (each STA check reads the configs chosen so far).
+
+    [memo] (default none) reuses best-configuration verdicts across
+    gates with the same cell, pin-tying groups, quantized input
+    statistics and load bucket. A memoized choice is computed from the
+    key's representative values, so it can differ from the exhaustive
+    sweep's near quantization boundaries — the memo is an opt-in
+    speed/accuracy trade, and [configurations_explored] still counts
+    every candidate the algorithm considered. Memoized runs are
+    deterministic: the verdict is a pure function of the key, so domain
+    count and scheduling cannot change the result. Applies to
+    [Min_power] / [Max_power] only. *)
 
 val best_and_worst :
   Power.Model.table ->
   delay:Delay.Elmore.table ->
   ?external_load:float ->
+  ?pool:Par.Pool.t ->
+  ?memo:Memo.t ->
   Netlist.Circuit.t ->
   inputs:(Netlist.Circuit.net -> Stoch.Signal_stats.t) ->
   report * report

@@ -1,7 +1,15 @@
-type counter = { c_name : string; mutable c_value : int }
+(* Domain-safety: counters are Atomic ints (increments commute, so the
+   totals under a parallel run equal the sequential totals exactly);
+   distributions and span aggregates take a per-instrument mutex; the
+   registry tables and the trace sink take their own locks; the span
+   nesting depth is domain-local storage so worker spans nest
+   independently of the coordinator's. *)
+
+type counter = { c_name : string; c_value : int Atomic.t }
 
 type distribution = {
   d_name : string;
+  d_lock : Mutex.t;
   mutable d_count : int;
   mutable d_sum : float;
   mutable d_min : float;
@@ -15,6 +23,7 @@ type distribution = {
 
 type span_agg = {
   s_name : string;
+  s_lock : Mutex.t;
   mutable s_calls : int;
   mutable s_total : float;
   mutable s_slowest : float;
@@ -24,29 +33,40 @@ let counters : (string, counter) Hashtbl.t = Hashtbl.create 64
 let distributions : (string, distribution) Hashtbl.t = Hashtbl.create 16
 let spans : (string, span_agg) Hashtbl.t = Hashtbl.create 16
 
+(* Guards the three registry tables (instrument creation can race when
+   worker domains force a module's initialization). *)
+let registry_lock = Mutex.create ()
+
+let with_lock m f =
+  Mutex.lock m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock m) f
+
 let counter name =
+  with_lock registry_lock @@ fun () ->
   match Hashtbl.find_opt counters name with
   | Some c -> c
   | None ->
-      let c = { c_name = name; c_value = 0 } in
+      let c = { c_name = name; c_value = Atomic.make 0 } in
       Hashtbl.add counters name c;
       c
 
-let incr c = c.c_value <- c.c_value + 1
+let incr c = Atomic.incr c.c_value
 
 let add c n =
   if n < 0 then invalid_arg "Obs.add: negative delta";
-  c.c_value <- c.c_value + n
+  ignore (Atomic.fetch_and_add c.c_value n)
 
-let value c = c.c_value
+let value c = Atomic.get c.c_value
 
 let distribution name =
+  with_lock registry_lock @@ fun () ->
   match Hashtbl.find_opt distributions name with
   | Some d -> d
   | None ->
       let d =
         {
           d_name = name;
+          d_lock = Mutex.create ();
           d_count = 0;
           d_sum = 0.;
           d_min = 0.;
@@ -58,7 +78,8 @@ let distribution name =
       Hashtbl.add distributions name d;
       d
 
-let observe d x =
+(* Caller holds [d.d_lock]. *)
+let observe_locked d x =
   if d.d_count = 0 then begin
     d.d_min <- x;
     d.d_max <- x
@@ -78,6 +99,32 @@ let observe d x =
   d.d_samples.(d.d_len) <- x;
   d.d_len <- d.d_len + 1
 
+let observe d x = with_lock d.d_lock (fun () -> observe_locked d x)
+
+(* --- per-domain sample buffers --- *)
+
+type buffer = { mutable b_samples : float array; mutable b_len : int }
+
+let buffer () = { b_samples = [||]; b_len = 0 }
+
+let record b x =
+  let cap = Array.length b.b_samples in
+  if b.b_len = cap then begin
+    let grown = Array.make (if cap = 0 then 16 else 2 * cap) 0. in
+    Array.blit b.b_samples 0 grown 0 cap;
+    b.b_samples <- grown
+  end;
+  b.b_samples.(b.b_len) <- x;
+  b.b_len <- b.b_len + 1
+
+let buffer_length b = b.b_len
+
+let merge d b =
+  with_lock d.d_lock @@ fun () ->
+  for i = 0 to b.b_len - 1 do
+    observe_locked d b.b_samples.(i)
+  done
+
 (* Nearest-rank quantile over the recorded samples: the smallest value
    such that at least [q·count] samples are <= it. *)
 let quantile_of_sorted sorted q =
@@ -88,10 +135,19 @@ let quantile_of_sorted sorted q =
     sorted.(Stdlib.min (n - 1) (Stdlib.max 0 (rank - 1)))
 
 let span_agg name =
+  with_lock registry_lock @@ fun () ->
   match Hashtbl.find_opt spans name with
   | Some s -> s
   | None ->
-      let s = { s_name = name; s_calls = 0; s_total = 0.; s_slowest = 0. } in
+      let s =
+        {
+          s_name = name;
+          s_lock = Mutex.create ();
+          s_calls = 0;
+          s_total = 0.;
+          s_slowest = 0.;
+        }
+      in
       Hashtbl.add spans name s;
       s
 
@@ -101,10 +157,16 @@ let now = Unix.gettimeofday
 
 type sink = Null | File of { oc : out_channel; t0 : float }
 
+(* Guards both the installed-sink reference and writes through it, so
+   events from concurrent domains land as whole lines. *)
+let sink_lock = Mutex.create ()
 let current_sink = ref Null
 let null_sink = Null
 let file_sink path = File { oc = open_out path; t0 = now () }
-let tracing () = match !current_sink with Null -> false | File _ -> true
+
+let tracing () =
+  with_lock sink_lock @@ fun () ->
+  match !current_sink with Null -> false | File _ -> true
 
 (* JSON string literal with the escapes NDJSON consumers require. *)
 let json_string s =
@@ -130,6 +192,7 @@ let json_float x =
   if Float.is_finite x then Printf.sprintf "%.17g" x else "0"
 
 let emit_span_begin name d =
+  with_lock sink_lock @@ fun () ->
   match !current_sink with
   | Null -> ()
   | File { oc; t0 } ->
@@ -139,6 +202,7 @@ let emit_span_begin name d =
         d
 
 let emit_span_end name d dt =
+  with_lock sink_lock @@ fun () ->
   match !current_sink with
   | Null -> ()
   | File { oc; t0 } ->
@@ -148,43 +212,52 @@ let emit_span_end name d dt =
         (json_float (now () -. t0))
         d (json_float dt)
 
-let emit_counter c =
+let emit_counter_locked c =
   match !current_sink with
   | Null -> ()
   | File { oc; t0 } ->
       Printf.fprintf oc "{\"ev\":\"counter\",\"name\":%s,\"t\":%s,\"value\":%d}\n"
         (json_string c.c_name)
         (json_float (now () -. t0))
-        c.c_value
+        (Atomic.get c.c_value)
 
-let sample c = emit_counter c
+let sample c = with_lock sink_lock (fun () -> emit_counter_locked c)
 
 let set_sink s =
+  with_lock sink_lock @@ fun () ->
   (match !current_sink with
   | File { oc; _ } -> close_out oc
   | Null -> ());
   current_sink := s
 
 let sorted_names tbl =
+  with_lock registry_lock @@ fun () ->
   List.sort compare (Hashtbl.fold (fun name _ acc -> name :: acc) tbl [])
 
 let close_sink () =
+  let names = sorted_names counters in
+  with_lock sink_lock @@ fun () ->
   match !current_sink with
   | Null -> ()
   | File { oc; _ } ->
       List.iter
-        (fun name -> emit_counter (Hashtbl.find counters name))
-        (sorted_names counters);
+        (fun name ->
+          emit_counter_locked
+            (with_lock registry_lock (fun () -> Hashtbl.find counters name)))
+        names;
       current_sink := Null;
       close_out oc
 
 (* --- spans --- *)
 
-let depth_ref = ref 0
-let depth () = !depth_ref
+(* Nesting depth is per domain: a worker task's spans nest relative to
+   that worker, not to whatever the coordinator is timing. *)
+let depth_key = Domain.DLS.new_key (fun () -> ref 0)
+let depth () = !(Domain.DLS.get depth_key)
 
 let span name f =
   let s = span_agg name in
+  let depth_ref = Domain.DLS.get depth_key in
   let d = !depth_ref in
   emit_span_begin name d;
   depth_ref := d + 1;
@@ -193,9 +266,10 @@ let span name f =
     ~finally:(fun () ->
       let dt = now () -. t_start in
       depth_ref := d;
-      s.s_calls <- s.s_calls + 1;
-      s.s_total <- s.s_total +. dt;
-      if dt > s.s_slowest then s.s_slowest <- dt;
+      with_lock s.s_lock (fun () ->
+          s.s_calls <- s.s_calls + 1;
+          s.s_total <- s.s_total +. dt;
+          if dt > s.s_slowest then s.s_slowest <- dt);
       emit_span_end name d dt)
     f
 
@@ -216,7 +290,8 @@ type gc_stats = { minor_words : float; major_words : float }
 
 (* GC words are reported relative to the last [reset], so a snapshot
    describes the allocation of one measured operation, matching the
-   counter/span semantics. *)
+   counter/span semantics. Only the snapshotting domain's heap is
+   visible here. *)
 let gc_base = ref (0., 0.)
 
 let gc_words () =
@@ -232,18 +307,22 @@ type snapshot = {
   gc : gc_stats;
 }
 
+let find_registered tbl name =
+  with_lock registry_lock (fun () -> Hashtbl.find tbl name)
+
 let snapshot () =
   let minor_now, major_now = gc_words () in
   let minor_base, major_base = !gc_base in
   {
     counters =
       List.map
-        (fun name -> (name, (Hashtbl.find counters name).c_value))
+        (fun name -> (name, Atomic.get (find_registered counters name).c_value))
         (sorted_names counters);
     distributions =
       List.map
         (fun name ->
-          let d = Hashtbl.find distributions name in
+          let d = find_registered distributions name in
+          with_lock d.d_lock @@ fun () ->
           let sorted = Array.sub d.d_samples 0 d.d_len in
           Array.sort compare sorted;
           ( name,
@@ -260,7 +339,8 @@ let snapshot () =
     spans =
       List.map
         (fun name ->
-          let s = Hashtbl.find spans name in
+          let s = find_registered spans name in
+          with_lock s.s_lock @@ fun () ->
           (name, { calls = s.s_calls; total = s.s_total; slowest = s.s_slowest }))
         (sorted_names spans);
     gc =
@@ -271,23 +351,29 @@ let snapshot () =
   }
 
 let reset () =
-  Hashtbl.iter (fun _ c -> c.c_value <- 0) counters;
-  Hashtbl.iter
-    (fun _ d ->
+  List.iter
+    (fun name -> Atomic.set (find_registered counters name).c_value 0)
+    (sorted_names counters);
+  List.iter
+    (fun name ->
+      let d = find_registered distributions name in
+      with_lock d.d_lock @@ fun () ->
       d.d_count <- 0;
       d.d_sum <- 0.;
       d.d_min <- 0.;
       d.d_max <- 0.;
       d.d_samples <- [||];
       d.d_len <- 0)
-    distributions;
-  Hashtbl.iter
-    (fun _ s ->
+    (sorted_names distributions);
+  List.iter
+    (fun name ->
+      let s = find_registered spans name in
+      with_lock s.s_lock @@ fun () ->
       s.s_calls <- 0;
       s.s_total <- 0.;
       s.s_slowest <- 0.)
-    spans;
-  depth_ref := 0;
+    (sorted_names spans);
+  Domain.DLS.get depth_key := 0;
   gc_base := gc_words ()
 
 let counter_value snap name =

@@ -23,7 +23,17 @@
     counter samples into NDJSON — one self-contained JSON object per
     line — for offline analysis. With the default {!null_sink}
     installed, no event is materialized: the emit paths test one branch
-    and return. *)
+    and return.
+
+    Every instrument is {e domain-safe} (see {{!page-performance} the
+    performance page}): counters are atomic integers, so the totals of
+    a parallel run equal the sequential totals exactly (increments
+    commute); distributions and span aggregates are mutex-guarded; the
+    span nesting depth is per-domain; trace-sink writes are serialized
+    so concurrent events land as whole lines. For deterministic
+    distribution contents under parallelism, record into a per-domain
+    {!buffer} and {!merge} the buffers at the join point in submission
+    order. *)
 
 (** {1 Counters} *)
 
@@ -53,6 +63,29 @@ val distribution : string -> distribution
 
 val observe : distribution -> float -> unit
 
+(** {2 Per-domain sample buffers}
+
+    A {!buffer} is an unsynchronized local accumulator: a worker domain
+    records into its own buffer without taking any lock, and the
+    coordinator merges the buffers at the join point. Merging buffers
+    in submission order makes the distribution's contents (including
+    the float [sum], which is order-sensitive) independent of worker
+    scheduling. *)
+
+type buffer
+
+val buffer : unit -> buffer
+(** A fresh empty buffer. Not thread-safe: one owner at a time. *)
+
+val record : buffer -> float -> unit
+
+val buffer_length : buffer -> int
+
+val merge : distribution -> buffer -> unit
+(** Append every buffered value to the distribution, in recording
+    order, under a single lock acquisition. The buffer is not
+    cleared. *)
+
 (** {1 Spans} *)
 
 val span : string -> (unit -> 'a) -> 'a
@@ -62,7 +95,8 @@ val span : string -> (unit -> 'a) -> 'a
     nesting depth is restored even when [f] raises. *)
 
 val depth : unit -> int
-(** Current span nesting depth (0 outside any span). *)
+(** Current span nesting depth in the calling domain (0 outside any
+    span). *)
 
 (** {1 Snapshots} *)
 
@@ -101,8 +135,8 @@ val snapshot : unit -> snapshot
 
 val reset : unit -> unit
 (** Zero every registered instrument (handles stay valid), reset the
-    span depth and re-baseline the GC statistics. Does not touch the
-    trace sink. *)
+    calling domain's span depth and re-baseline the GC statistics.
+    Does not touch the trace sink. *)
 
 val counter_value : snapshot -> string -> int
 (** Convenience lookup; 0 when the name is not in the snapshot. *)

@@ -1,0 +1,169 @@
+let c_tasks = Obs.counter "par.tasks_run"
+let c_maps = Obs.counter "par.parallel_maps"
+
+type t = {
+  p_jobs : int;
+  mutex : Mutex.t;
+  work : Condition.t;  (* queue grew, or shutting down *)
+  idle : Condition.t;  (* pending reached 0 *)
+  queue : (unit -> unit) Queue.t;
+  mutable pending : int;  (* tasks queued or running *)
+  mutable shut : bool;
+  mutable domains : unit Domain.t list;
+}
+
+(* True while the current domain is executing a pool task: fans out
+   from inside a task would deadlock a fixed pool, so [map] rejects it. *)
+let in_task = Domain.DLS.new_key (fun () -> ref false)
+
+let default_jobs () =
+  let recommended () = Stdlib.max 1 (Domain.recommended_domain_count ()) in
+  match Sys.getenv_opt "TREORDER_JOBS" with
+  | None -> recommended ()
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some n when n >= 1 -> n
+      | Some _ | None -> recommended ())
+
+let jobs t = t.p_jobs
+
+(* Tasks are exception-free by construction ([map] wraps the user
+   function); the accounting below must run even if that invariant is
+   ever broken, or the join would hang. *)
+let run_task t task =
+  let flag = Domain.DLS.get in_task in
+  flag := true;
+  Fun.protect
+    ~finally:(fun () ->
+      flag := false;
+      Obs.incr c_tasks;
+      Mutex.lock t.mutex;
+      t.pending <- t.pending - 1;
+      if t.pending = 0 then Condition.broadcast t.idle;
+      Mutex.unlock t.mutex)
+    task
+
+let rec worker_loop t =
+  Mutex.lock t.mutex;
+  match Queue.take_opt t.queue with
+  | Some task ->
+      Mutex.unlock t.mutex;
+      run_task t task;
+      worker_loop t
+  | None ->
+      if t.shut then Mutex.unlock t.mutex
+      else begin
+        Condition.wait t.work t.mutex;
+        Mutex.unlock t.mutex;
+        worker_loop t
+      end
+
+let create ?jobs () =
+  let jobs = match jobs with None -> default_jobs () | Some j -> j in
+  if jobs < 1 then invalid_arg "Par.Pool.create: jobs must be >= 1";
+  let t =
+    {
+      p_jobs = jobs;
+      mutex = Mutex.create ();
+      work = Condition.create ();
+      idle = Condition.create ();
+      queue = Queue.create ();
+      pending = 0;
+      shut = false;
+      domains = [];
+    }
+  in
+  t.domains <- List.init (jobs - 1) (fun _ -> Domain.spawn (fun () -> worker_loop t));
+  t
+
+let shutdown t =
+  Mutex.lock t.mutex;
+  if t.shut then Mutex.unlock t.mutex
+  else begin
+    t.shut <- true;
+    Condition.broadcast t.work;
+    Mutex.unlock t.mutex;
+    List.iter Domain.join t.domains;
+    t.domains <- []
+  end
+
+let with_pool ?jobs f =
+  let t = create ?jobs () in
+  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)
+
+(* The caller works the queue down, then blocks until the last
+   in-flight task of the batch has finished. *)
+let join t =
+  let rec help () =
+    Mutex.lock t.mutex;
+    match Queue.take_opt t.queue with
+    | Some task ->
+        Mutex.unlock t.mutex;
+        run_task t task;
+        help ()
+    | None ->
+        while t.pending > 0 do
+          Condition.wait t.idle t.mutex
+        done;
+        Mutex.unlock t.mutex
+  in
+  help ()
+
+let map ?chunk t f xs =
+  if !(Domain.DLS.get in_task) then
+    invalid_arg "Par.Pool.map: nested parallel use from inside a pool task";
+  let n = Array.length xs in
+  if n = 0 then [||]
+  else if t.p_jobs = 1 then begin
+    if t.shut then invalid_arg "Par.Pool.map: pool is shut down";
+    Array.map f xs
+  end
+  else begin
+    let chunk =
+      match chunk with
+      | Some c when c >= 1 -> c
+      | Some _ -> invalid_arg "Par.Pool.map: chunk must be >= 1"
+      | None -> Stdlib.max 1 (1 + ((n - 1) / (t.p_jobs * 4)))
+    in
+    Obs.incr c_maps;
+    let out = Array.make n None in
+    (* First failure by lowest chunk index, so the re-raised exception
+       is deterministic; guarded by [t.mutex]. *)
+    let failed = ref None in
+    let record_failure idx e bt =
+      Mutex.lock t.mutex;
+      (match !failed with
+      | Some (j, _, _) when j <= idx -> ()
+      | Some _ | None -> failed := Some (idx, e, bt));
+      Mutex.unlock t.mutex
+    in
+    let task idx lo hi () =
+      try
+        for i = lo to hi do
+          out.(i) <- Some (f xs.(i))
+        done
+      with e -> record_failure idx e (Printexc.get_raw_backtrace ())
+    in
+    let nchunks = 1 + ((n - 1) / chunk) in
+    Mutex.lock t.mutex;
+    if t.shut then begin
+      Mutex.unlock t.mutex;
+      invalid_arg "Par.Pool.map: pool is shut down"
+    end;
+    t.pending <- t.pending + nchunks;
+    for k = 0 to nchunks - 1 do
+      let lo = k * chunk in
+      let hi = Stdlib.min (n - 1) (lo + chunk - 1) in
+      Queue.add (task k lo hi) t.queue
+    done;
+    Condition.broadcast t.work;
+    Mutex.unlock t.mutex;
+    join t;
+    (match !failed with
+    | Some (_, e, bt) -> Printexc.raise_with_backtrace e bt
+    | None -> ());
+    Array.map (function Some v -> v | None -> assert false) out
+  end
+
+let map_reduce ?chunk t ~map:fn ~combine ~init xs =
+  Array.fold_left combine init (map ?chunk t fn xs)

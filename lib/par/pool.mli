@@ -1,0 +1,62 @@
+(** A fixed pool of worker domains with deterministic fan-out.
+
+    The pool is created once and reused for every parallel region (OCaml
+    domains are heavyweight: one per core, created at startup, never per
+    task). {!map} splits the input array into contiguous chunks, hands
+    the chunks to the workers (the calling domain also participates),
+    and writes each result into its submission-order slot, so the output
+    is {e always} [Array.map f xs] — independent of worker scheduling.
+    {!map_reduce} folds those results left-to-right in submission order,
+    so float accumulations combine in the identical order as a
+    sequential run (the determinism guarantee the optimizer's
+    bit-identical-reports property rests on; see {{!page-performance}
+    the performance page}).
+
+    A pool of [jobs = 1] spawns no domains and runs every map inline —
+    exactly the sequential code path. *)
+
+type t
+
+val default_jobs : unit -> int
+(** The [TREORDER_JOBS] environment variable if set to a positive
+    integer, otherwise [Domain.recommended_domain_count ()]. Malformed
+    values fall back to the recommended count. *)
+
+val create : ?jobs:int -> unit -> t
+(** [create ~jobs ()] spawns [jobs - 1] worker domains (the caller is
+    the remaining worker). [jobs] defaults to {!default_jobs}.
+    @raise Invalid_argument if [jobs < 1]. *)
+
+val jobs : t -> int
+(** The parallelism degree the pool was created with (>= 1). *)
+
+val shutdown : t -> unit
+(** Drain remaining tasks, stop and join every worker domain.
+    Idempotent. Any later {!map} on the pool raises. *)
+
+val with_pool : ?jobs:int -> (t -> 'a) -> 'a
+(** [create], run, then {!shutdown} (also on exceptions). *)
+
+val map : ?chunk:int -> t -> ('a -> 'b) -> 'a array -> 'b array
+(** [map pool f xs] is [Array.map f xs], computed by the pool. [chunk]
+    is the number of consecutive elements per task (default: array
+    length over [4·jobs], at least 1). Side effects of [f] must be
+    domain-safe; results are deterministic in position regardless of
+    scheduling. If one or more applications of [f] raise, the exception
+    of the lowest-indexed failing chunk is re-raised at the join (with
+    its backtrace) after every task of the call has finished, and the
+    pool remains usable.
+    @raise Invalid_argument if called from inside a pool task (nested
+    parallelism would deadlock a fixed pool), after {!shutdown}, or
+    with [chunk < 1]. *)
+
+val map_reduce :
+  ?chunk:int ->
+  t ->
+  map:('a -> 'b) ->
+  combine:('acc -> 'b -> 'acc) ->
+  init:'acc ->
+  'a array ->
+  'acc
+(** [Array.fold_left combine init (map pool f xs)]: the combine always
+    runs on the calling domain, left to right in submission order. *)

@@ -2,6 +2,7 @@ module Stats = Stoch.Signal_stats
 
 let c_model_hit = Obs.counter "power.model_hit"
 let c_model_build = Obs.counter "power.model_build"
+let c_model_fork = Obs.counter "power.model_forks"
 let c_node_evals = Obs.counter "power.node_evals"
 let c_gate_powers = Obs.counter "power.gate_powers"
 
@@ -20,11 +21,20 @@ type config_model = {
   f : Bdd.t;
 }
 
+(* [lock] guards [cache] and [pin_caps] (and, transitively, [bdd]:
+   models are only built while holding it). Symbolic models are tied to
+   this table's BDD manager and never cross tables; worker domains get
+   private forks via [domain_local], and only manager-independent data
+   (pin capacitances) flows back through [merge_forks]. *)
 type table = {
   proc : Cell.Process.t;
   bdd : Bdd.manager;
   cache : (string, config_model) Hashtbl.t;
   pin_caps : (string, float array) Hashtbl.t;
+  lock : Mutex.t;
+  owner : int;  (* Domain id the table was created on *)
+  forks : (int, table) Hashtbl.t;  (* per-domain forks, guarded by forks_lock *)
+  forks_lock : Mutex.t;
 }
 
 type node_power = {
@@ -49,9 +59,63 @@ let table proc =
     bdd = Bdd.manager ();
     cache = Hashtbl.create 256;
     pin_caps = Hashtbl.create 64;
+    lock = Mutex.create ();
+    owner = (Domain.self () :> int);
+    forks = Hashtbl.create 8;
+    forks_lock = Mutex.create ();
   }
 
 let process t = t.proc
+
+let with_lock m f =
+  Mutex.lock m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock m) f
+
+let fork t =
+  Obs.incr c_model_fork;
+  let pin_caps = with_lock t.lock (fun () -> Hashtbl.copy t.pin_caps) in
+  {
+    proc = t.proc;
+    bdd = Bdd.manager ();
+    cache = Hashtbl.create 256;
+    pin_caps;
+    lock = Mutex.create ();
+    owner = (Domain.self () :> int);
+    forks = Hashtbl.create 1;
+    forks_lock = Mutex.create ();
+  }
+
+let domain_local t =
+  let id = (Domain.self () :> int) in
+  if id = t.owner then t
+  else
+    with_lock t.forks_lock @@ fun () ->
+    match Hashtbl.find_opt t.forks id with
+    | Some f -> f
+    | None ->
+        let f = fork t in
+        Hashtbl.add t.forks id f;
+        f
+
+let merge_forks t =
+  let forks =
+    with_lock t.forks_lock (fun () ->
+        Hashtbl.fold (fun _ f acc -> f :: acc) t.forks [])
+  in
+  List.iter
+    (fun f ->
+      let entries =
+        with_lock f.lock (fun () ->
+            Hashtbl.fold (fun k v acc -> (k, v) :: acc) f.pin_caps [])
+      in
+      with_lock t.lock (fun () ->
+          List.iter
+            (fun (k, v) ->
+              if not (Hashtbl.mem t.pin_caps k) then
+                Hashtbl.add t.pin_caps k (Array.copy v))
+            entries))
+    forks;
+  List.length forks
 
 let groups_of_nets fanins =
   Array.mapi
@@ -125,8 +189,13 @@ let build_config_model t cell config_index groups =
   let f = remap (Sp.Network.output_function m network) in
   { nodes; f; df = differences f }
 
+(* The whole lookup-or-build runs under the table lock: a build mutates
+   the BDD manager, and two concurrent builds (or a build racing a
+   lookup) on one table would corrupt it. Worker domains avoid the
+   contention entirely by operating on [domain_local] forks. *)
 let get t cell config groups =
   let key = cache_key cell config groups in
+  with_lock t.lock @@ fun () ->
   match Hashtbl.find_opt t.cache key with
   | Some m ->
       Obs.incr c_model_hit;
@@ -233,6 +302,7 @@ let output_density_contributions t cell ~input_stats ?groups () =
 let input_pin_capacitance t cell pin =
   let name = Cell.Gate.name cell in
   let caps =
+    with_lock t.lock @@ fun () ->
     match Hashtbl.find_opt t.pin_caps name with
     | Some caps -> caps
     | None ->
@@ -248,4 +318,4 @@ let input_pin_capacitance t cell pin =
     invalid_arg "Power.Model.input_pin_capacitance: pin out of range";
   caps.(pin)
 
-let cached_configs t = Hashtbl.length t.cache
+let cached_configs t = with_lock t.lock (fun () -> Hashtbl.length t.cache)

@@ -18,10 +18,38 @@
     what makes exhaustive per-gate exploration fast (§4.1). *)
 
 type table
-(** Cache of per-configuration symbolic models for one process. *)
+(** Cache of per-configuration symbolic models for one process.
+
+    The cache and pin-capacitance tables are mutex-guarded, so lookups
+    (and the model builds they trigger) are safe from any domain. The
+    intended multicore pattern is still one table per domain: worker
+    domains call {!domain_local} to get a private fork (own BDD manager,
+    own caches — no lock contention, and identical floats, since BDD
+    probability evaluation depends only on the canonical ROBDD shape),
+    and the coordinator calls {!merge_forks} at the join point. *)
 
 val table : Cell.Process.t -> table
 val process : table -> Cell.Process.t
+
+val fork : table -> table
+(** A fresh private table for the same process: new BDD manager, empty
+    symbolic cache, and a copy of the pin-capacitance cache as built so
+    far. Numeric results from a fork are bit-identical to the parent's
+    (same process parameters, same canonical BDDs). *)
+
+val domain_local : table -> table
+(** [domain_local t] is [t] on the domain that created it, and a
+    per-domain {!fork} of [t] (created on first use, then reused) on
+    any other domain. The fork registry lives in [t], so one shared
+    table transparently fans out to per-worker private models. *)
+
+val merge_forks : table -> int
+(** Fold every registered fork's manager-independent data (pin
+    capacitances) back into the shared table — the explicit join-side
+    merge after a parallel region. Symbolic models stay with their
+    owning fork (they are tied to its BDD manager) and are reused by
+    the same worker domain on the next region. Returns the number of
+    forks merged. *)
 
 type node_power = {
   node : Sp.Network.node;

@@ -395,6 +395,79 @@ let check_attribution ~seed c =
   in
   gates (Array.to_list ledger.Attrib.gates)
 
+(* --- 9. parallel determinism --- *)
+
+(* One shared 4-domain pool, like the model tables: created on first
+   use, torn down at exit. *)
+let det_pool =
+  lazy
+    (let p = Par.Pool.create ~jobs:4 () in
+     at_exit (fun () -> Par.Pool.shutdown p);
+     p)
+
+let check_parallel_determinism ~seed c =
+  let inputs = Gen.input_stats ~seed c in
+  let pool = Lazy.force det_pool in
+  let module O = Reorder.Optimizer in
+  let run ?pool ?memo () =
+    O.optimize (power ()) ~delay:(delay ()) ?pool ?memo c ~inputs
+  in
+  let seq = run () in
+  let par = run ~pool () in
+  (* Bit-identical, not close: the parallel driver folds worker results
+     in submission order, so every float must match exactly. *)
+  let* () =
+    if par.O.power_before = seq.O.power_before then Pass
+    else
+      fail "power_before: parallel %.17g W, sequential %.17g W"
+        par.O.power_before seq.O.power_before
+  in
+  let* () =
+    if par.O.power_after = seq.O.power_after then Pass
+    else
+      fail "power_after: parallel %.17g W, sequential %.17g W"
+        par.O.power_after seq.O.power_after
+  in
+  let* () =
+    if par.O.configs = seq.O.configs then Pass
+    else
+      let g = ref 0 in
+      Array.iteri
+        (fun i s -> if par.O.configs.(i) <> s then g := i)
+        seq.O.configs;
+      fail "gate %d: parallel chose config %d, sequential %d" !g
+        par.O.configs.(!g) seq.O.configs.(!g)
+  in
+  let* () =
+    if par.O.configurations_explored = seq.O.configurations_explored then Pass
+    else
+      fail "configurations_explored: parallel %d, sequential %d"
+        par.O.configurations_explored seq.O.configurations_explored
+  in
+  let ledger r =
+    Attrib.of_report (power ()) ~candidates:false ~before:c ~inputs r
+  in
+  let ls = ledger seq and lp = ledger par in
+  let* () =
+    if
+      lp.Attrib.total_before = ls.Attrib.total_before
+      && lp.Attrib.total_after = ls.Attrib.total_after
+    then Pass
+    else
+      fail "ledger totals: parallel %.17g/%.17g W, sequential %.17g/%.17g W"
+        lp.Attrib.total_before lp.Attrib.total_after ls.Attrib.total_before
+        ls.Attrib.total_after
+  in
+  (* Memoized runs too: the memo's winners are pure functions of the
+     key, so domain count must not change them either. *)
+  let mseq = run ~memo:(Reorder.Memo.create ()) () in
+  let mpar = run ~pool ~memo:(Reorder.Memo.create ()) () in
+  if mpar.O.power_after = mseq.O.power_after && mpar.O.configs = mseq.O.configs
+  then Pass
+  else
+    fail "memoized runs diverge: parallel %.17g W, sequential %.17g W"
+      mpar.O.power_after mseq.O.power_after
+
 (* --- registry --- *)
 
 let circuit_prop name generate check =
@@ -417,6 +490,7 @@ let all () =
     circuit_prop "io-roundtrip" Gen.circuit check_roundtrip;
     circuit_prop "densities" Gen.circuit check_densities;
     circuit_prop "attribution" Gen.circuit check_attribution;
+    circuit_prop "parallel-determinism" Gen.circuit check_parallel_determinism;
     Prop
       {
         name = "sp-orderings";

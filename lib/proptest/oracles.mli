@@ -35,6 +35,11 @@
       runs: per-gate node shares sum to the gate total, per-node
       per-input contributions sum to the node power, and the ledger
       totals match the optimizer report.
+    - [parallel-determinism] — {!Reorder.Optimizer.optimize} over a
+      4-domain {!Par.Pool} is bit-identical to the sequential run:
+      [power_before]/[power_after], the configuration assignment, the
+      exploration count and the {!Attrib} ledger totals all match
+      exactly, with and without a {!Reorder.Memo}.
     - [sp-orderings] — on random series-parallel networks, every
       electrically distinct reordering conducts identically, the
       closed-form ordering count matches the enumeration, and the

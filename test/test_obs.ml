@@ -333,6 +333,61 @@ let test_snapshot_json () =
   let json = Obs.snapshot_to_json (Obs.snapshot ()) in
   check_valid_json "snapshot" json
 
+(* --- domain safety --- *)
+
+let test_counter_concurrent_increments () =
+  Obs.reset ();
+  let c = Obs.counter "test.concurrent" in
+  let domains = 4 and per_domain = 25_000 in
+  let worker () =
+    for _ = 1 to per_domain do
+      Obs.incr c
+    done
+  in
+  let spawned = List.init domains (fun _ -> Domain.spawn worker) in
+  List.iter Domain.join spawned;
+  (* Atomic increments commute: the total is exact, not approximate. *)
+  Alcotest.(check int) "no lost increments" (domains * per_domain)
+    (Obs.value c)
+
+let test_distribution_buffer_merge () =
+  Obs.reset ();
+  let d = Obs.distribution "test.buffered" in
+  Obs.observe d 1.;
+  let b = Obs.buffer () in
+  Alcotest.(check int) "fresh buffer empty" 0 (Obs.buffer_length b);
+  Obs.record b 2.;
+  Obs.record b 3.;
+  Alcotest.(check int) "records accumulate" 2 (Obs.buffer_length b);
+  (* Not yet visible: buffered samples only land on merge. *)
+  let stats () = List.assoc "test.buffered" (Obs.snapshot ()).Obs.distributions in
+  Alcotest.(check int) "buffer invisible before merge" 1 (stats ()).Obs.count;
+  Obs.merge d b;
+  let s = stats () in
+  Alcotest.(check int) "merged count" 3 s.Obs.count;
+  Alcotest.(check (float 1e-9)) "merged sum" 6. s.Obs.sum;
+  Alcotest.(check (float 1e-9)) "merged max" 3. s.Obs.max
+
+let test_distribution_concurrent_buffers () =
+  Obs.reset ();
+  let d = Obs.distribution "test.par_dist" in
+  let domains = 4 and per_domain = 1_000 in
+  let worker k () =
+    let b = Obs.buffer () in
+    for i = 1 to per_domain do
+      Obs.record b (float_of_int ((k * per_domain) + i))
+    done;
+    Obs.merge d b
+  in
+  let spawned = List.init domains (fun k -> Domain.spawn (worker k)) in
+  List.iter Domain.join spawned;
+  let s = List.assoc "test.par_dist" (Obs.snapshot ()).Obs.distributions in
+  let n = domains * per_domain in
+  Alcotest.(check int) "every sample merged" n s.Obs.count;
+  Alcotest.(check (float 1e-6)) "sum exact"
+    (float_of_int (n * (n + 1)) /. 2.)
+    s.Obs.sum
+
 (* --- pipeline integration: the §4.2 invariant --- *)
 
 let test_densities_once_per_net () =
@@ -388,6 +443,15 @@ let () =
           Alcotest.test_case "disabled sink allocates nothing" `Quick
             test_disabled_sink_allocates_nothing;
           Alcotest.test_case "snapshot JSON valid" `Quick test_snapshot_json;
+        ] );
+      ( "domains",
+        [
+          Alcotest.test_case "concurrent counter increments exact" `Quick
+            test_counter_concurrent_increments;
+          Alcotest.test_case "buffer record/merge" `Quick
+            test_distribution_buffer_merge;
+          Alcotest.test_case "concurrent buffer merges exact" `Quick
+            test_distribution_concurrent_buffers;
         ] );
       ( "pipeline",
         [

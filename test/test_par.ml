@@ -1,0 +1,151 @@
+(* Tests for the fixed domain pool: map equivalence with Array.map
+   across jobs/chunk settings, pool reuse, map_reduce submission-order
+   combining, deterministic exception propagation, nested-use and
+   use-after-shutdown rejection, and TREORDER_JOBS parsing. *)
+
+module P = Par.Pool
+
+let ints = Alcotest.(array int)
+
+let test_map_matches_array_map () =
+  let xs = Array.init 103 (fun i -> i) in
+  let f x = (x * x) + 1 in
+  let expected = Array.map f xs in
+  List.iter
+    (fun jobs ->
+      P.with_pool ~jobs @@ fun p ->
+      Alcotest.(check int) "jobs recorded" jobs (P.jobs p);
+      List.iter
+        (fun chunk ->
+          Alcotest.check ints
+            (Printf.sprintf "jobs=%d chunk=%s" jobs
+               (match chunk with None -> "auto" | Some c -> string_of_int c))
+            expected
+            (P.map ?chunk p f xs))
+        [ None; Some 1; Some 7; Some 1000 ])
+    [ 1; 2; 4 ]
+
+let test_map_empty_and_reuse () =
+  P.with_pool ~jobs:3 @@ fun p ->
+  Alcotest.check ints "empty input" [||] (P.map p (fun x -> x) [||]);
+  (* Many batches through one pool: workers must survive between maps. *)
+  for round = 1 to 20 do
+    let xs = Array.init round (fun i -> i) in
+    Alcotest.check ints
+      (Printf.sprintf "round %d" round)
+      (Array.map succ xs) (P.map p succ xs)
+  done
+
+let test_map_reduce_submission_order () =
+  (* String concatenation is not commutative, so any out-of-order
+     combine changes the result. *)
+  let xs = Array.init 57 (fun i -> i) in
+  let expected =
+    Array.fold_left
+      (fun acc x -> acc ^ string_of_int x ^ ";")
+      "" (Array.map succ xs)
+  in
+  List.iter
+    (fun jobs ->
+      P.with_pool ~jobs @@ fun p ->
+      let got =
+        P.map_reduce ~chunk:3 p
+          ~map:(fun x -> succ x)
+          ~combine:(fun acc x -> acc ^ string_of_int x ^ ";")
+          ~init:"" xs
+      in
+      Alcotest.(check string)
+        (Printf.sprintf "jobs=%d" jobs)
+        expected got)
+    [ 1; 2; 4 ]
+
+exception Boom of int
+
+let test_exception_propagation () =
+  P.with_pool ~jobs:4 @@ fun p ->
+  let xs = Array.init 40 (fun i -> i) in
+  (* Several elements raise; the re-raised exception must be the one
+     from the lowest chunk index, whatever order workers hit them. *)
+  let f x = if x = 7 || x = 23 || x = 31 then raise (Boom x) else x in
+  (match P.map ~chunk:1 p f xs with
+  | _ -> Alcotest.fail "map over a raising function returned"
+  | exception Boom x -> Alcotest.(check int) "lowest failing chunk wins" 7 x);
+  (* The pool is still usable after a failed batch. *)
+  Alcotest.check ints "pool survives the failure" (Array.map succ xs)
+    (P.map p succ xs)
+
+let test_nested_use_rejected () =
+  P.with_pool ~jobs:2 @@ fun p ->
+  let saw = ref None in
+  (try
+     ignore
+       (P.map p
+          (fun _ ->
+            match P.map p succ [| 1 |] with
+            | _ -> ()
+            | exception Invalid_argument m -> saw := Some m)
+          [| 0 |])
+   with Invalid_argument m -> saw := Some m);
+  match !saw with
+  | Some m ->
+      Alcotest.(check bool) "mentions nesting" true
+        (String.length m > 0
+        && String.sub m 0 (String.length "Par.Pool.map: nested")
+           = "Par.Pool.map: nested")
+  | None -> Alcotest.fail "nested map from inside a task was not rejected"
+
+let test_shutdown () =
+  let p = P.create ~jobs:2 () in
+  Alcotest.check ints "works before shutdown" [| 2; 3 |]
+    (P.map p succ [| 1; 2 |]);
+  P.shutdown p;
+  P.shutdown p (* idempotent *);
+  (match P.map p succ [| 1 |] with
+  | _ -> Alcotest.fail "map on a shut-down pool returned"
+  | exception Invalid_argument _ -> ());
+  Alcotest.check_raises "create rejects jobs < 1"
+    (Invalid_argument "Par.Pool.create: jobs must be >= 1") (fun () ->
+      ignore (P.create ~jobs:0 ()))
+
+let test_default_jobs_env () =
+  let with_env value f =
+    let saved = Sys.getenv_opt "TREORDER_JOBS" in
+    Unix.putenv "TREORDER_JOBS" value;
+    Fun.protect
+      ~finally:(fun () ->
+        Unix.putenv "TREORDER_JOBS" (Option.value saved ~default:""))
+      f
+  in
+  with_env "3" (fun () ->
+      Alcotest.(check int) "TREORDER_JOBS honoured" 3 (P.default_jobs ()));
+  with_env "0" (fun () ->
+      Alcotest.(check bool) "non-positive ignored" true (P.default_jobs () >= 1));
+  with_env "nope" (fun () ->
+      Alcotest.(check bool) "garbage ignored" true (P.default_jobs () >= 1))
+
+let () =
+  Alcotest.run "par"
+    [
+      ( "map",
+        [
+          Alcotest.test_case "matches Array.map" `Quick
+            test_map_matches_array_map;
+          Alcotest.test_case "empty input + pool reuse" `Quick
+            test_map_empty_and_reuse;
+          Alcotest.test_case "map_reduce combines in submission order" `Quick
+            test_map_reduce_submission_order;
+        ] );
+      ( "failure",
+        [
+          Alcotest.test_case "deterministic exception propagation" `Quick
+            test_exception_propagation;
+          Alcotest.test_case "nested use rejected" `Quick
+            test_nested_use_rejected;
+          Alcotest.test_case "shutdown semantics" `Quick test_shutdown;
+        ] );
+      ( "config",
+        [
+          Alcotest.test_case "TREORDER_JOBS parsing" `Quick
+            test_default_jobs_env;
+        ] );
+    ]

@@ -163,10 +163,12 @@ let test_runner_counters () =
     (Obs.value (Obs.counter "proptest.counterexamples") > cexs)
 
 let test_oracle_registry () =
-  Alcotest.(check int) "nine oracles" 9
+  Alcotest.(check int) "ten oracles" 10
     (List.length (Proptest.Oracles.all ()));
   Alcotest.(check bool) "find known" true
     (Proptest.Oracles.find "io-roundtrip" <> None);
+  Alcotest.(check bool) "find parallel oracle" true
+    (Proptest.Oracles.find "parallel-determinism" <> None);
   Alcotest.(check bool) "find unknown" true (Proptest.Oracles.find "nope" = None)
 
 let () =

@@ -248,6 +248,140 @@ let test_rewritten_circuit_same_function () =
       (Netlist.Eval.outputs r.O.circuit ~inputs:env)
   done
 
+(* --- memo quantization --- *)
+
+module M = Reorder.Memo
+
+let test_memo_quantization () =
+  (* Probability grid: round-trip stability and boundary behaviour. *)
+  for b = 0 to M.prob_buckets do
+    Alcotest.(check int)
+      (Printf.sprintf "prob bucket %d round-trips" b)
+      b
+      (M.quantize_prob (M.representative_prob b))
+  done;
+  Alcotest.(check int) "prob clamped below" 0 (M.quantize_prob (-0.5));
+  Alcotest.(check int) "prob clamped above" M.prob_buckets
+    (M.quantize_prob 1.5);
+  let w = 1. /. float_of_int M.prob_buckets in
+  (* Values just either side of a bucket midpoint land in adjacent
+     buckets: the grid actually discriminates at its stated width. *)
+  Alcotest.(check bool) "midpoint splits buckets" true
+    (M.quantize_prob ((0.5 *. w) -. 1e-9) = 0
+    && M.quantize_prob ((0.5 *. w) +. 1e-9) = 1);
+  (* Log grid: zero bucket and round-trips. *)
+  Alcotest.(check bool) "zero density gets the zero bucket" true
+    (M.quantize_log 0. = None && M.quantize_log (-1.) = None);
+  Alcotest.(check (float 1e-12)) "zero bucket representative" 0.
+    (M.representative_log None);
+  List.iter
+    (fun v ->
+      let b = M.quantize_log v in
+      Alcotest.(check bool)
+        (Printf.sprintf "log bucket of %g round-trips" v)
+        true
+        (M.quantize_log (M.representative_log b) = b))
+    [ 1e-3; 0.02; 1.; 17.; 1e4; 3.3e6 ];
+  (* A decade spans exactly log_buckets_per_decade buckets. *)
+  match (M.quantize_log 10., M.quantize_log 100.) with
+  | Some a, Some b ->
+      Alcotest.(check int) "buckets per decade" M.log_buckets_per_decade (b - a)
+  | _ -> Alcotest.fail "positive values must get a bucket"
+
+let test_memo_keys_discriminate () =
+  let cell = Cell.Gate.of_name "nand2" in
+  let groups = [| 0; 1 |] in
+  let stats p d = [| S.make ~prob:p ~density:d; S.make ~prob:p ~density:d |] in
+  let key ?(maximize = false) ?(input_only = false) ?(load = 20e-15) st =
+    M.key ~cell ~maximize ~input_only ~groups ~input_stats:st ~load
+  in
+  let base = key (stats 0.5 1e5) in
+  Alcotest.(check string) "same quantized inputs, same key" base
+    (key (stats 0.5001 1.0001e5));
+  Alcotest.(check bool) "direction in the key" true
+    (base <> key ~maximize:true (stats 0.5 1e5));
+  Alcotest.(check bool) "restriction in the key" true
+    (base <> key ~input_only:true (stats 0.5 1e5));
+  Alcotest.(check bool) "probability in the key" true
+    (base <> key (stats 0.9 1e5));
+  Alcotest.(check bool) "density in the key" true
+    (base <> key (stats 0.5 1e8));
+  Alcotest.(check bool) "load in the key" true
+    (base <> key ~load:2e-12 (stats 0.5 1e5));
+  (* Hit/miss accounting through the table itself. *)
+  let t = M.create () in
+  Alcotest.(check int) "fresh memo empty" 0 (M.size t);
+  Alcotest.(check bool) "first lookup misses" true (M.lookup t base = None);
+  M.store t base 3;
+  M.store t base 7 (* keep-first *);
+  Alcotest.(check bool) "hit returns the first stored value" true
+    (M.lookup t base = Some 3);
+  Alcotest.(check int) "one entry" 1 (M.size t)
+
+(* --- parallel determinism --- *)
+
+let test_parallel_matches_sequential () =
+  let pt = power_table () and dt = delay_table () in
+  Par.Pool.with_pool ~jobs:4 @@ fun pool ->
+  List.iter
+    (fun name ->
+      let circuit = Circuits.Suite.find name in
+      let inputs = scenario_inputs 11 Power.Scenario.A circuit in
+      List.iter
+        (fun objective ->
+          let seq = O.optimize pt ~delay:dt ~objective circuit ~inputs in
+          let par = O.optimize pt ~delay:dt ~objective ~pool circuit ~inputs in
+          Alcotest.(check (float 0.))
+            (name ^ " power_after bit-identical")
+            seq.O.power_after par.O.power_after;
+          Alcotest.(check (array int))
+            (name ^ " configs identical")
+            seq.O.configs par.O.configs;
+          Alcotest.(check int)
+            (name ^ " explored identical")
+            seq.O.configurations_explored par.O.configurations_explored)
+        [ O.Min_power; O.Max_power ])
+    [ "c17"; "rca4"; "tree16"; "mux8"; "alu1" ]
+
+let test_parallel_memo_deterministic_and_hits () =
+  let pt = power_table () and dt = delay_table () in
+  (* Uniform inputs maximize structural sharing. *)
+  let inputs _ = S.make ~prob:0.5 ~density:1e5 in
+  Par.Pool.with_pool ~jobs:4 @@ fun pool ->
+  (* An adder repeats the same full-adder cells with near-identical
+     propagated statistics along the carry chain: the memo must carry
+     most of the gates (a small circuit like tree16 is capped lower —
+     every distinct level is one compulsory miss). *)
+  let hits = Obs.counter "optimizer.memo_hits" in
+  let rca = Circuits.Suite.find "rca16" in
+  let h0 = Obs.value hits in
+  ignore (O.optimize pt ~delay:dt ~memo:(M.create ()) rca ~inputs);
+  let gates = C.gate_count rca in
+  let rca_hits = Obs.value hits - h0 in
+  Alcotest.(check bool)
+    (Printf.sprintf "memo hit rate %d/%d > 80%%" rca_hits gates)
+    true
+    (float_of_int rca_hits > 0.8 *. float_of_int gates);
+  let circuit = Circuits.Suite.find "tree16" in
+  let seq = O.optimize pt ~delay:dt ~memo:(M.create ()) circuit ~inputs in
+  let par = O.optimize pt ~delay:dt ~memo:(M.create ()) ~pool circuit ~inputs in
+  Alcotest.(check (float 0.)) "memoized parallel power bit-identical"
+    seq.O.power_after par.O.power_after;
+  Alcotest.(check (array int)) "memoized parallel configs identical"
+    seq.O.configs par.O.configs;
+  (* And memoization must stay function-preserving like any reordering. *)
+  let rng = Stoch.Rng.create 7 in
+  for _ = 1 to 20 do
+    let vector = Hashtbl.create 16 in
+    List.iter
+      (fun net -> Hashtbl.add vector net (Stoch.Rng.bool rng))
+      (C.primary_inputs circuit);
+    let env net = Hashtbl.find vector net in
+    Alcotest.(check (list bool)) "same outputs"
+      (Netlist.Eval.outputs circuit ~inputs:env)
+      (Netlist.Eval.outputs seq.O.circuit ~inputs:env)
+  done
+
 let prop_scenarios_and_circuits_improve =
   QCheck.Test.make ~name:"best <= reference <= worst on random scenarios"
     ~count:20
@@ -298,5 +432,16 @@ let () =
           Alcotest.test_case "input-reordering-only subset" `Quick
             test_input_reordering_only_subset;
           Alcotest.test_case "min-delay objective" `Quick test_min_delay_objective;
+        ] );
+      ( "parallel",
+        [
+          Alcotest.test_case "memo quantization boundaries" `Quick
+            test_memo_quantization;
+          Alcotest.test_case "memo keys discriminate" `Quick
+            test_memo_keys_discriminate;
+          Alcotest.test_case "pool run bit-identical to sequential" `Quick
+            test_parallel_matches_sequential;
+          Alcotest.test_case "memoized runs deterministic, trees hit" `Quick
+            test_parallel_memo_deterministic_and_hits;
         ] );
     ]
