@@ -1,4 +1,4 @@
-.PHONY: all build test bench bench-check audit doc clean examples check fmt fuzz
+.PHONY: all build test bench bench-check audit doc clean examples check fmt fuzz runs-diff
 
 all: build
 
@@ -50,6 +50,15 @@ bench-check:
 	dune exec bench/main.exe -- --baseline $(BENCH_BASELINE) \
 	  --check --no-time --out /tmp/bench_check_obs.json \
 	  table1 table2 probe_overhead
+
+# Cross-run provenance diff: compare two archived run records (or the
+# latest run under two archive roots). Produce records with the
+# --archive DIR option of any pipeline subcommand, then e.g.
+#   make runs-diff DIR_A=runs/monday DIR_B=runs/tuesday
+DIR_A ?= par_det_a
+DIR_B ?= par_det_b
+runs-diff:
+	dune exec bin/treorder_cli.exe -- runs diff $(DIR_A) $(DIR_B)
 
 # Per-net calibration audit of the analytical model against the
 # switch-level simulator, with the same deterministic bound the @check

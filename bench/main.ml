@@ -24,13 +24,40 @@ let section title = Printf.printf "==== %s ====\n%!" title
    after the target ran), serialized to BENCH_obs.json at exit. *)
 let metrics : (string * float * string) list ref = ref []
 
+(* With --archive DIR, every target additionally becomes a run record
+   DIR/<target>/ (deterministic id, overwritten on re-run) so archived
+   bench runs can be compared with `treorder runs diff` — the committed
+   fixture gate in bench/dune rests on this. *)
+let archive_dir : string option ref = ref None
+
 let timed name f =
   Obs.reset ();
+  let pending =
+    Option.map
+      (fun _ ->
+        let p =
+          Runlog.start ~subcommand:"bench"
+            ~argv:(List.tl (Array.to_list Sys.argv))
+            ()
+        in
+        Runlog.set_param p "target" name;
+        p)
+      !archive_dir
+  in
   let t0 = Unix.gettimeofday () in
   let r = f () in
   let seconds = Unix.gettimeofday () -. t0 in
   Printf.printf "[%s: %.1f s]\n\n%!" name seconds;
-  metrics := (name, seconds, Obs.snapshot_to_json (Obs.snapshot ())) :: !metrics;
+  let snapshot_json = Obs.snapshot_to_json (Obs.snapshot ()) in
+  metrics := (name, seconds, snapshot_json) :: !metrics;
+  (match (pending, !archive_dir) with
+  | Some p, Some dir -> (
+      match Runlog.write ~id:name ~dir ~snapshot_json p with
+      | Ok run_dir -> Printf.printf "[archived %s]\n%!" run_dir
+      | Error msg ->
+          Printf.eprintf "cannot write run archive: %s\n" msg;
+          exit 1)
+  | _ -> ());
   r
 
 let write_metrics path =
@@ -401,6 +428,7 @@ let usage () =
     "usage: main.exe [options] [target ...]\n\
      options:\n\
     \  --out FILE        write metrics to FILE (default BENCH_obs.json)\n\
+    \  --archive DIR     also write one run record per target under DIR\n\
     \  --baseline FILE   compare this run against a stored metrics FILE\n\
     \  --check           exit 1 if the comparison finds regressions\n\
     \  --no-time         gate counters only, ignore wall-clock times\n\
@@ -422,6 +450,9 @@ let () =
     | [] -> ()
     | "--out" :: path :: rest ->
         out := path;
+        parse rest
+    | "--archive" :: dir :: rest ->
+        archive_dir := Some dir;
         parse rest
     | "--baseline" :: path :: rest ->
         baseline := Some path;

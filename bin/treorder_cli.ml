@@ -6,6 +6,10 @@
 
 open Cmdliner
 
+(* Single source of truth for the release version: Cmdliner's --version
+   output and the run-archive manifests must agree. *)
+let version = "1.0.0"
+
 let load_circuit spec =
   if Sys.file_exists spec then Netlist.Io.load spec
   else
@@ -80,7 +84,20 @@ let obs_term =
             "Write NDJSON trace events (span begin/end, counter samples) to \
              $(docv).")
   in
-  Term.(const (fun stats trace -> (stats, trace)) $ stats $ trace)
+  let archive =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "archive" ] ~docv:"DIR"
+          ~doc:
+            "Write a self-contained run record (manifest with input hashes \
+             and parameters, full counter/span snapshot, attribution ledger \
+             and audit summary when produced) into a new subdirectory of \
+             $(docv). Compare records with $(b,treorder runs diff).")
+  in
+  Term.(
+    const (fun stats trace archive -> (stats, trace, archive))
+    $ stats $ trace $ archive)
 
 let print_obs_summary () =
   let snap = Obs.snapshot () in
@@ -160,8 +177,11 @@ let print_obs_summary () =
 
 (* Reset the registry so the summary reflects this run only, point the
    trace at the requested file, and always close (flushing the final
-   counter samples) even when the command raises. *)
-let with_obs (stats, trace) f =
+   counter samples) even when the command raises. With --archive, hand
+   the command a pending run record to annotate (inputs, parameters,
+   attachments) and finalize it — snapshot included — once the command
+   has finished. *)
+let with_obs ~cmd (stats, trace, archive) f =
   Obs.reset ();
   Option.iter
     (fun path ->
@@ -171,10 +191,41 @@ let with_obs (stats, trace) f =
           Printf.eprintf "error: cannot open trace file: %s\n" msg;
           exit 1)
     trace;
+  let pending =
+    Option.map
+      (fun _ ->
+        Runlog.start ~tool_version:version ~subcommand:cmd
+          ~argv:(List.tl (Array.to_list Sys.argv))
+          ())
+      archive
+  in
   Fun.protect ~finally:Obs.close_sink (fun () ->
-      let r = f () in
+      let r = f pending in
       if stats then print_obs_summary ();
+      (match (pending, archive) with
+      | Some p, Some dir -> (
+          let snapshot_json = Obs.snapshot_to_json (Obs.snapshot ()) in
+          match Runlog.write ~dir ~snapshot_json p with
+          | Ok run_dir -> Printf.printf "archived %s\n" run_dir
+          | Error msg ->
+              Printf.eprintf "error: cannot write run archive: %s\n" msg;
+              exit 1)
+      | _ -> ());
       r)
+
+let record_params pending kvs =
+  Option.iter
+    (fun p -> List.iter (fun (k, v) -> Runlog.set_param p k v) kvs)
+    pending
+
+(* The circuit parameter doubles as an input file when it names one
+   (suite circuits are baked into the binary; files get fingerprinted). *)
+let record_circuit pending spec =
+  Option.iter
+    (fun p ->
+      Runlog.set_param p "circuit" spec;
+      if Sys.file_exists spec then Runlog.add_input p spec)
+    pending
 
 (* --- list --- *)
 
@@ -222,7 +273,10 @@ let gates_cmd =
 
 let stats_cmd =
   let run spec scenario seed obs =
-    with_obs obs @@ fun () ->
+    with_obs ~cmd:"stats" obs @@ fun pending ->
+    record_circuit pending spec;
+    record_params pending
+      [ ("scenario", scenario); ("seed", string_of_int seed) ];
     let circuit = load_circuit spec in
     let ctx = context () in
     let inputs = scenario_inputs ~seed scenario circuit in
@@ -256,7 +310,10 @@ let stats_cmd =
 
 let estimate_cmd =
   let run spec scenario seed obs =
-    with_obs obs @@ fun () ->
+    with_obs ~cmd:"estimate" obs @@ fun pending ->
+    record_circuit pending spec;
+    record_params pending
+      [ ("scenario", scenario); ("seed", string_of_int seed) ];
     let circuit = load_circuit spec in
     let ctx = context () in
     let inputs = scenario_inputs ~seed scenario circuit in
@@ -319,7 +376,16 @@ let memo_flag =
 let optimize_cmd =
   let run spec scenario seed objective jobs memo out explain explain_json top
       obs =
-    with_obs obs @@ fun () ->
+    with_obs ~cmd:"optimize" obs @@ fun pending ->
+    record_circuit pending spec;
+    record_params pending
+      [
+        ("scenario", scenario);
+        ("seed", string_of_int seed);
+        ("objective", objective);
+        ("jobs", string_of_int jobs);
+        ("memo", string_of_bool memo);
+      ];
     let circuit = load_circuit spec in
     let ctx = context () in
     let inputs = scenario_inputs ~seed scenario circuit in
@@ -348,7 +414,7 @@ let optimize_cmd =
     Printf.printf "critical delay: %s -> %s\n"
       (Report.Table.cell_time (sta circuit))
       (Report.Table.cell_time (sta r.Reorder.Optimizer.circuit));
-    if explain || explain_json <> None then begin
+    if explain || explain_json <> None || pending <> None then begin
       let ledger =
         Attrib.of_report ctx.Experiments.Common.power ~before:circuit ~inputs r
       in
@@ -363,7 +429,10 @@ let optimize_cmd =
           output_char oc '\n';
           close_out oc;
           Printf.printf "wrote %s\n" path)
-        explain_json
+        explain_json;
+      Option.iter
+        (fun p -> Runlog.attach p ~name:"ledger" ~json:(Attrib.to_json ledger))
+        pending
     end;
     Option.iter
       (fun path ->
@@ -468,7 +537,15 @@ let simulate_cmd =
     Arg.(value & opt int 0 & info [ "top" ] ~docv:"N" ~doc)
   in
   let run spec scenario seed horizon warmup vcd probe_internals top obs =
-    with_obs obs @@ fun () ->
+    with_obs ~cmd:"simulate" obs @@ fun pending ->
+    record_circuit pending spec;
+    record_params pending
+      [
+        ("scenario", scenario);
+        ("seed", string_of_int seed);
+        ("horizon", string_of_float horizon);
+        ("warmup", string_of_float warmup);
+      ];
     let circuit = load_circuit spec in
     let ctx = context () in
     let stats = scenario_inputs ~seed scenario circuit in
@@ -523,7 +600,15 @@ let audit_cmd =
   in
   let run spec scenario seed horizon warmup vcd probe_internals top json ndjson
       fail_above obs =
-    with_obs obs @@ fun () ->
+    with_obs ~cmd:"audit" obs @@ fun pending ->
+    record_circuit pending spec;
+    record_params pending
+      [
+        ("scenario", scenario);
+        ("seed", string_of_int seed);
+        ("horizon", string_of_float horizon);
+        ("warmup", string_of_float warmup);
+      ];
     let circuit = load_circuit spec in
     let ctx = context () in
     let inputs = scenario_inputs ~seed scenario circuit in
@@ -535,6 +620,9 @@ let audit_cmd =
         ~inputs ~horizon circuit
     in
     finish_vcd ~time:horizon;
+    Option.iter
+      (fun p -> Runlog.attach p ~name:"audit" ~json:(Audit.to_json a))
+      pending;
     if json then print_string (Audit.to_json a)
     else if ndjson then print_string (Audit.to_ndjson a)
     else print_string (Audit.render ~top a);
@@ -560,7 +648,8 @@ let audit_cmd =
 
 let delay_cmd =
   let run spec obs =
-    with_obs obs @@ fun () ->
+    with_obs ~cmd:"delay" obs @@ fun pending ->
+    record_circuit pending spec;
     let circuit = load_circuit spec in
     let ctx = context () in
     let sta = Delay.Sta.run ctx.Experiments.Common.delay circuit in
@@ -672,7 +761,15 @@ let map_cmd =
     Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE.eqn" ~doc)
   in
   let run file scenario seed optimize jobs out obs =
-    with_obs obs @@ fun () ->
+    with_obs ~cmd:"map" obs @@ fun pending ->
+    Option.iter (fun p -> Runlog.add_input p file) pending;
+    record_params pending
+      [
+        ("scenario", scenario);
+        ("seed", string_of_int seed);
+        ("optimize", string_of_bool optimize);
+        ("jobs", string_of_int jobs);
+      ];
     let eqn =
       try Logic.Eqn.load file
       with Logic.Eqn.Parse_error { line; message } ->
@@ -725,7 +822,8 @@ let profile_cmd =
     Arg.(value & opt int 16 & info [ "bits" ] ~docv:"N" ~doc:"Adder width.")
   in
   let run bits obs =
-    with_obs obs @@ fun () ->
+    with_obs ~cmd:"profile" obs @@ fun pending ->
+    record_params pending [ ("bits", string_of_int bits) ];
     let ctx = context () in
     print_string
       (Experiments.Adder_profile.render
@@ -738,7 +836,13 @@ let profile_cmd =
 
 let glitch_cmd =
   let run scenario seed horizon obs =
-    with_obs obs @@ fun () ->
+    with_obs ~cmd:"glitch" obs @@ fun pending ->
+    record_params pending
+      [
+        ("scenario", scenario);
+        ("seed", string_of_int seed);
+        ("horizon", string_of_float horizon);
+      ];
     let ctx = context () in
     print_string
       (Experiments.Glitch.render
@@ -753,7 +857,13 @@ let glitch_cmd =
 
 let accuracy_cmd =
   let run scenario seed horizon obs =
-    with_obs obs @@ fun () ->
+    with_obs ~cmd:"accuracy" obs @@ fun pending ->
+    record_params pending
+      [
+        ("scenario", scenario);
+        ("seed", string_of_int seed);
+        ("horizon", string_of_float horizon);
+      ];
     let ctx = context () in
     print_string
       (Experiments.Ablations.render_accuracy
@@ -777,7 +887,7 @@ let fuzz_cmd =
     let doc =
       "Run only this property (repeatable). One of: exactness, sim-power, \
        vcd-roundtrip, function, optimizer, io-roundtrip, densities, \
-       attribution, parallel-determinism, sp-orderings."
+       attribution, parallel-determinism, sp-orderings, archive-roundtrip."
     in
     Arg.(value & opt_all string [] & info [ "property"; "p" ] ~docv:"NAME" ~doc)
   in
@@ -788,7 +898,15 @@ let fuzz_cmd =
           ~doc:"Size bound handed to the generators (maximum gate count).")
   in
   let run seed count properties max_gates obs =
-    with_obs obs @@ fun () ->
+    with_obs ~cmd:"fuzz" obs @@ fun pending ->
+    record_params pending
+      [
+        ("seed", string_of_int seed);
+        ("count", string_of_int count);
+        ("max_gates", string_of_int max_gates);
+        ( "properties",
+          if properties = [] then "all" else String.concat "," properties );
+      ];
     let selected =
       match properties with
       | [] -> Proptest.Oracles.all ()
@@ -906,11 +1024,227 @@ let trace_cmd =
        ~doc:"Analyze NDJSON traces produced by the --trace flag.")
     [ trace_report_cmd; trace_chrome_cmd ]
 
+(* --- runs: provenance archives written by --archive --- *)
+
+let fmt_utc epoch =
+  let tm = Unix.gmtime epoch in
+  Printf.sprintf "%04d-%02d-%02d %02d:%02d:%02dZ" (tm.Unix.tm_year + 1900)
+    (tm.Unix.tm_mon + 1) tm.Unix.tm_mday tm.Unix.tm_hour tm.Unix.tm_min
+    tm.Unix.tm_sec
+
+let resolve_run path =
+  match Runlog.resolve path with
+  | Ok run -> run
+  | Error msg ->
+      Printf.eprintf "error: %s\n" msg;
+      exit 1
+
+let runs_list_cmd =
+  let dir_arg =
+    let doc = "Archive directory (as passed to --archive)." in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"DIR" ~doc)
+  in
+  let run dir =
+    match Runlog.scan dir with
+    | Error msg ->
+        Printf.eprintf "error: %s\n" msg;
+        exit 1
+    | Ok [] -> print_endline "no run records"
+    | Ok runs ->
+        let table =
+          Report.Table.create
+            ~columns:
+              [
+                ("run", Report.Table.Left);
+                ("subcommand", Report.Table.Left);
+                ("circuit", Report.Table.Left);
+                ("started (UTC)", Report.Table.Left);
+                ("wall", Report.Table.Right);
+                ("attachments", Report.Table.Left);
+              ]
+        in
+        List.iter
+          (fun (r : Runlog.run) ->
+            let m = r.Runlog.manifest in
+            Report.Table.add_row table
+              [
+                r.Runlog.run_id;
+                m.Runlog.subcommand;
+                (match List.assoc_opt "circuit" m.Runlog.params with
+                | Some c -> c
+                | None -> "-");
+                fmt_utc m.Runlog.started;
+                Report.Table.cell_time (m.Runlog.finished -. m.Runlog.started);
+                (match m.Runlog.attachments with
+                | [] -> "-"
+                | atts -> String.concat "," atts);
+              ])
+          runs;
+        Report.Table.print table
+  in
+  Cmd.v
+    (Cmd.info "list" ~doc:"One line per run record in an archive directory.")
+    Term.(const run $ dir_arg)
+
+let runs_show_cmd =
+  let run_arg =
+    let doc = "Run directory, or an archive directory (latest run)." in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"RUN" ~doc)
+  in
+  let top_arg =
+    Arg.(
+      value & opt int 10
+      & info [ "top" ] ~docv:"N"
+          ~doc:"Counters and spans shown (ranked by value / total time).")
+  in
+  let run path top =
+    let r = resolve_run path in
+    let m = r.Runlog.manifest in
+    Printf.printf "run:         %s\n" r.Runlog.run_id;
+    Printf.printf "subcommand:  %s\n" m.Runlog.subcommand;
+    Printf.printf "tool:        treorder %s (record v%d)\n" m.Runlog.tool_version
+      m.Runlog.version;
+    Printf.printf "argv:        %s\n" (String.concat " " m.Runlog.argv);
+    Printf.printf "started:     %s\n" (fmt_utc m.Runlog.started);
+    Printf.printf "wall:        %s\n"
+      (Report.Table.cell_time (m.Runlog.finished -. m.Runlog.started));
+    List.iter
+      (fun (k, v) -> Printf.printf "param:       %s = %s\n" k v)
+      m.Runlog.params;
+    List.iter
+      (fun (path, sha) -> Printf.printf "input:       %s  sha256 %s\n" path sha)
+      m.Runlog.inputs;
+    List.iter
+      (fun name -> Printf.printf "attachment:  %s.json\n" name)
+      m.Runlog.attachments;
+    match Runlog.read_attachment r "snapshot" with
+    | Error msg -> Printf.printf "snapshot:    unreadable (%s)\n" msg
+    | Ok snap ->
+        let take n xs = List.filteri (fun i _ -> i < n) xs in
+        let counters =
+          Runlog.counters_of_snapshot snap
+          |> List.filter (fun (_, v) -> v > 0.)
+          |> List.sort (fun (_, a) (_, b) -> compare b a)
+          |> take top
+        in
+        if counters <> [] then begin
+          print_newline ();
+          let table =
+            Report.Table.create
+              ~columns:
+                [ ("counter", Report.Table.Left); ("value", Report.Table.Right) ]
+          in
+          List.iter
+            (fun (name, v) ->
+              Report.Table.add_row table [ name; Printf.sprintf "%.0f" v ])
+            counters;
+          Report.Table.print table
+        end;
+        let spans =
+          Runlog.spans_of_snapshot snap
+          |> List.filter (fun (_, v) -> v > 0.)
+          |> List.sort (fun (_, a) (_, b) -> compare b a)
+          |> take top
+        in
+        if spans <> [] then begin
+          print_newline ();
+          let table =
+            Report.Table.create
+              ~columns:
+                [ ("span", Report.Table.Left); ("total", Report.Table.Right) ]
+          in
+          List.iter
+            (fun (name, v) ->
+              Report.Table.add_row table [ name; Report.Table.cell_time v ])
+            spans;
+          Report.Table.print table
+        end
+  in
+  Cmd.v
+    (Cmd.info "show" ~doc:"Render a run record: manifest plus top consumers.")
+    Term.(const run $ run_arg $ top_arg)
+
+let runs_diff_cmd =
+  let a_arg =
+    let doc = "Baseline run (run directory, or archive directory = latest)." in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"A" ~doc)
+  in
+  let b_arg =
+    let doc = "Candidate run (run directory, or archive directory = latest)." in
+    Arg.(required & pos 1 (some string) None & info [] ~docv:"B" ~doc)
+  in
+  let tol_counters_arg =
+    Arg.(
+      value
+      & opt float Regress.default_tolerance.Regress.counter_rtol
+      & info [ "tol-counters" ] ~docv:"RTOL"
+          ~doc:"Relative tolerance for counter drift.")
+  in
+  let with_time_arg =
+    Arg.(
+      value & flag
+      & info [ "with-time" ]
+          ~doc:
+            "Also compare wall-clock (run seconds and span totals); off by \
+             default because wall time is machine noise.")
+  in
+  let rtol_arg =
+    Arg.(
+      value & opt float 1e-9
+      & info [ "rtol" ] ~docv:"RTOL"
+          ~doc:
+            "Relative tolerance for per-gate power and audit error metrics \
+             (the default demands bit-level agreement).")
+  in
+  let ignore_arg =
+    Arg.(
+      value & opt_all string []
+      & info [ "ignore" ] ~docv:"PREFIX"
+          ~doc:
+            "Exclude counters whose name starts with $(docv) (repeatable). \
+             Timing counters (*_ns) and par.domain_* are always excluded.")
+  in
+  let run a b tol_counters with_time rtol ignore =
+    let ra = resolve_run a and rb = resolve_run b in
+    let tol =
+      {
+        Regress.default_tolerance with
+        Regress.counter_rtol = tol_counters;
+        Regress.check_time = with_time;
+      }
+    in
+    let d = Runlog.diff ~tol ~rtol ~ignore_counters:ignore ra rb in
+    print_string (Runlog.render_diff d);
+    if not (Runlog.is_clean d) then exit 1
+  in
+  Cmd.v
+    (Cmd.info "diff"
+       ~doc:
+         "Compare two run records: parameters, input hashes, counters \
+          (Regress semantics), per-gate ledger power and configuration \
+          flips, audit error drift. Exits 1 when the runs disagree beyond \
+          tolerance.")
+    Term.(
+      const run $ a_arg $ b_arg $ tol_counters_arg $ with_time_arg $ rtol_arg
+      $ ignore_arg)
+
+let runs_cmd =
+  Cmd.group
+    (Cmd.info "runs"
+       ~doc:"Inspect and compare run-provenance archives written by --archive.")
+    [ runs_list_cmd; runs_show_cmd; runs_diff_cmd ]
+
 (* --- table3 --- *)
 
 let table3_cmd =
   let run scenario seed horizon obs =
-    with_obs obs @@ fun () ->
+    with_obs ~cmd:"table3" obs @@ fun pending ->
+    record_params pending
+      [
+        ("scenario", scenario);
+        ("seed", string_of_int seed);
+        ("horizon", string_of_float horizon);
+      ];
     let ctx = context () in
     let t =
       Experiments.Table3.run ctx ~seed ~sim_horizon:horizon
@@ -926,7 +1260,7 @@ let table3_cmd =
 let main =
   let doc = "transistor reordering for low-power CMOS (Musoll & Cortadella, DATE 1996)" in
   Cmd.group
-    (Cmd.info "treorder" ~version:"1.0.0" ~doc)
+    (Cmd.info "treorder" ~version ~doc)
     [
       list_cmd;
       gates_cmd;
@@ -942,6 +1276,7 @@ let main =
       spice_cmd;
       map_cmd;
       trace_cmd;
+      runs_cmd;
       fuzz_cmd;
       profile_cmd;
       glitch_cmd;

@@ -324,6 +324,7 @@ let optimize power_table ~delay:delay_table
       (fun g -> buckets.(levels.(g)) <- g :: buckets.(levels.(g)))
       (List.rev (C.topological_order circuit));
     let decide table g =
+      Obs.span "optimize.gate" @@ fun () ->
       let gate = C.gate_at circuit g in
       let input_stats = Power.Analysis.gate_input_stats analysis circuit g in
       let load = Power.Estimate.output_load table ~external_load circuit g in

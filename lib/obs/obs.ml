@@ -191,35 +191,54 @@ let json_string s =
 let json_float x =
   if Float.is_finite x then Printf.sprintf "%.17g" x else "0"
 
-let emit_span_begin name d =
-  with_lock sink_lock @@ fun () ->
-  match !current_sink with
-  | Null -> ()
-  | File { oc; t0 } ->
-      Printf.fprintf oc "{\"ev\":\"span_begin\",\"name\":%s,\"t\":%s,\"depth\":%d}\n"
-        (json_string name)
-        (json_float (now () -. t0))
-        d
+(* Trace lane per domain: lane 0 is the domain that loaded this module
+   (the coordinator), workers claim the next free lane on their first
+   event. Domain ids themselves are not reused-stable across pools, so
+   lanes — dense, first-event-ordered — make nicer Chrome tracks. *)
+let lane_next = Atomic.make 0
+let lane_key = Domain.DLS.new_key (fun () -> ref (-1))
 
-let emit_span_end name d dt =
+let domain_lane () =
+  let r = Domain.DLS.get lane_key in
+  if !r < 0 then r := Atomic.fetch_and_add lane_next 1;
+  !r
+
+let () = ignore (domain_lane ())
+
+let emit_span_begin name d =
+  let dom = domain_lane () in
   with_lock sink_lock @@ fun () ->
   match !current_sink with
   | Null -> ()
   | File { oc; t0 } ->
       Printf.fprintf oc
-        "{\"ev\":\"span_end\",\"name\":%s,\"t\":%s,\"depth\":%d,\"dt\":%s}\n"
+        "{\"ev\":\"span_begin\",\"name\":%s,\"t\":%s,\"depth\":%d,\"dom\":%d}\n"
         (json_string name)
         (json_float (now () -. t0))
-        d (json_float dt)
+        d dom
+
+let emit_span_end name d dt =
+  let dom = domain_lane () in
+  with_lock sink_lock @@ fun () ->
+  match !current_sink with
+  | Null -> ()
+  | File { oc; t0 } ->
+      Printf.fprintf oc
+        "{\"ev\":\"span_end\",\"name\":%s,\"t\":%s,\"depth\":%d,\"dt\":%s,\"dom\":%d}\n"
+        (json_string name)
+        (json_float (now () -. t0))
+        d (json_float dt) dom
 
 let emit_counter_locked c =
   match !current_sink with
   | Null -> ()
   | File { oc; t0 } ->
-      Printf.fprintf oc "{\"ev\":\"counter\",\"name\":%s,\"t\":%s,\"value\":%d}\n"
+      Printf.fprintf oc
+        "{\"ev\":\"counter\",\"name\":%s,\"t\":%s,\"value\":%d,\"dom\":%d}\n"
         (json_string c.c_name)
         (json_float (now () -. t0))
         (Atomic.get c.c_value)
+        (domain_lane ())
 
 let sample c = with_lock sink_lock (fun () -> emit_counter_locked c)
 
@@ -247,6 +266,12 @@ let close_sink () =
         names;
       current_sink := Null;
       close_out oc
+
+(* [Stdlib.exit] (e.g. a Cmdliner usage error after [--trace FILE]
+   already opened the sink) does not unwind [Fun.protect] finalizers,
+   but it does run [at_exit] — so a sink left open by an early exit is
+   still flushed and closed rather than truncated mid-line. *)
+let () = at_exit close_sink
 
 (* --- spans --- *)
 

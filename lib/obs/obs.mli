@@ -159,9 +159,16 @@ val file_sink : string -> sink
     JSON object on its own line. Timestamps ([t], seconds) are relative
     to the moment the sink was created and are monotonically
     non-decreasing. Events are
-    [{"ev":"span_begin","name":n,"t":s,"depth":d}],
-    [{"ev":"span_end","name":n,"t":s,"depth":d,"dt":s}] and
-    [{"ev":"counter","name":n,"t":s,"value":v}]. *)
+    [{"ev":"span_begin","name":n,"t":s,"depth":d,"dom":k}],
+    [{"ev":"span_end","name":n,"t":s,"depth":d,"dt":s,"dom":k}] and
+    [{"ev":"counter","name":n,"t":s,"value":v,"dom":k}], where [dom] is
+    the emitting domain's {!domain_lane}. *)
+
+val domain_lane : unit -> int
+(** A dense per-domain lane number for trace attribution: 0 for the
+    domain that initialized this module (the coordinator), and the next
+    unclaimed integer for each further domain on its first call. Stable
+    for the lifetime of the domain. *)
 
 val set_sink : sink -> unit
 (** Install a sink (closing the previously installed one, if any). *)
@@ -176,4 +183,7 @@ val sample : counter -> unit
 val close_sink : unit -> unit
 (** Emit one final [counter] sample per registered counter, then flush
     and close the current sink and reinstall {!null_sink}. No-op when
-    no file sink is installed. *)
+    no file sink is installed. Also registered as an [at_exit] handler,
+    so a process that calls [Stdlib.exit] with a file sink installed
+    (e.g. a CLI usage error after [--trace] opened the file) still
+    leaves a complete, flushed trace behind. *)

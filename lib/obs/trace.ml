@@ -187,9 +187,9 @@ end
 (* --- events --- *)
 
 type event =
-  | Span_begin of { name : string; t : float; depth : int }
-  | Span_end of { name : string; t : float; depth : int; dt : float }
-  | Counter of { name : string; t : float; value : int }
+  | Span_begin of { name : string; t : float; depth : int; dom : int }
+  | Span_end of { name : string; t : float; depth : int; dt : float; dom : int }
+  | Counter of { name : string; t : float; value : int; dom : int }
 
 let event_of_line line =
   match Json.parse line with
@@ -197,19 +197,25 @@ let event_of_line line =
   | Ok json -> (
       let str key = Option.bind (Json.member key json) Json.to_string in
       let num key = Option.bind (Json.member key json) Json.to_float in
+      (* Traces written before domain tagging have no "dom" field; they
+         are single-domain by construction, so lane 0 is exact. *)
+      let dom =
+        match num "dom" with Some d -> int_of_float d | None -> 0
+      in
       match (str "ev", str "name", num "t") with
       | Some "span_begin", Some name, Some t -> (
           match num "depth" with
-          | Some depth -> Ok (Span_begin { name; t; depth = int_of_float depth })
+          | Some depth ->
+              Ok (Span_begin { name; t; depth = int_of_float depth; dom })
           | None -> Error "span_begin without depth")
       | Some "span_end", Some name, Some t -> (
           match (num "depth", num "dt") with
           | Some depth, Some dt ->
-              Ok (Span_end { name; t; depth = int_of_float depth; dt })
+              Ok (Span_end { name; t; depth = int_of_float depth; dt; dom })
           | _ -> Error "span_end without depth/dt")
       | Some "counter", Some name, Some t -> (
           match num "value" with
-          | Some v -> Ok (Counter { name; t; value = int_of_float v })
+          | Some v -> Ok (Counter { name; t; value = int_of_float v; dom })
           | None -> Error "counter without value")
       | Some ev, _, _ -> Error (Printf.sprintf "unknown event type %S" ev)
       | None, _, _ -> Error "event without \"ev\" field")
@@ -260,8 +266,19 @@ let fresh name =
 
 let span_tree events =
   let root = fresh "" in
-  (* Stack of open spans, innermost first; the root sits at the bottom. *)
-  let stack = ref [ root ] in
+  (* One stack of open spans per domain (innermost first, the shared
+     root at the bottom): a worker's spans nest relative to that
+     worker, while identical paths from different domains aggregate
+     into the same tree nodes. *)
+  let stacks : (int, node list ref) Hashtbl.t = Hashtbl.create 4 in
+  let stack_of dom =
+    match Hashtbl.find_opt stacks dom with
+    | Some s -> s
+    | None ->
+        let s = ref [ root ] in
+        Hashtbl.add stacks dom s;
+        s
+  in
   let descend parent name =
     match Hashtbl.find_opt parent.n_children name with
     | Some child -> child
@@ -273,10 +290,12 @@ let span_tree events =
   List.iter
     (fun ev ->
       match ev with
-      | Span_begin { name; _ } ->
+      | Span_begin { name; dom; _ } ->
+          let stack = stack_of dom in
           let parent = List.hd !stack in
           stack := descend parent name :: !stack
-      | Span_end { name; dt; _ } -> (
+      | Span_end { name; dt; dom; _ } -> (
+          let stack = stack_of dom in
           match !stack with
           | top :: rest when top.n_name = name && rest <> [] ->
               top.n_calls <- top.n_calls + 1;
@@ -359,19 +378,21 @@ let to_chrome events =
         Buffer.add_string b s)
       fmt
   in
+  (* One Chrome thread lane per domain; lane 0 (the coordinator, and
+     everything in a pre-domain-tagging trace) stays tid 1. *)
   List.iter
     (fun ev ->
       match ev with
-      | Span_begin { name; t; _ } ->
-          emit "{\"name\":%s,\"ph\":\"B\",\"ts\":%.3f,\"pid\":1,\"tid\":1}"
-            (Json.escape name) (us t)
-      | Span_end { name; t; _ } ->
-          emit "{\"name\":%s,\"ph\":\"E\",\"ts\":%.3f,\"pid\":1,\"tid\":1}"
-            (Json.escape name) (us t)
-      | Counter { name; t; value } ->
+      | Span_begin { name; t; dom; _ } ->
+          emit "{\"name\":%s,\"ph\":\"B\",\"ts\":%.3f,\"pid\":1,\"tid\":%d}"
+            (Json.escape name) (us t) (dom + 1)
+      | Span_end { name; t; dom; _ } ->
+          emit "{\"name\":%s,\"ph\":\"E\",\"ts\":%.3f,\"pid\":1,\"tid\":%d}"
+            (Json.escape name) (us t) (dom + 1)
+      | Counter { name; t; value; dom } ->
           emit
-            "{\"name\":%s,\"ph\":\"C\",\"ts\":%.3f,\"pid\":1,\"tid\":1,\"args\":{\"value\":%d}}"
-            (Json.escape name) (us t) value)
+            "{\"name\":%s,\"ph\":\"C\",\"ts\":%.3f,\"pid\":1,\"tid\":%d,\"args\":{\"value\":%d}}"
+            (Json.escape name) (us t) (dom + 1) value)
     events;
   Buffer.add_string b "],\"displayTimeUnit\":\"ms\"}";
   Buffer.contents b

@@ -40,9 +40,12 @@ end
 (** {1 Events} *)
 
 type event =
-  | Span_begin of { name : string; t : float; depth : int }
-  | Span_end of { name : string; t : float; depth : int; dt : float }
-  | Counter of { name : string; t : float; value : int }
+  | Span_begin of { name : string; t : float; depth : int; dom : int }
+  | Span_end of { name : string; t : float; depth : int; dt : float; dom : int }
+  | Counter of { name : string; t : float; value : int; dom : int }
+      (** [dom] is the emitting domain's {!Obs.domain_lane}. Traces
+          written before domain tagging carry no ["dom"] field and
+          parse as domain 0 — exact, since they were single-domain. *)
 
 val event_of_line : string -> (event, string) result
 
@@ -66,9 +69,12 @@ type tree = {
 val span_tree : event list -> tree
 (** Aggregate spans by {e path} (the stack of enclosing span names), so
     [optimize.gate] under [optimize.run] is distinct from a top-level
-    [optimize.gate]. The root is synthetic: [name = ""], [calls = 0],
-    [total] = sum of the top-level spans. Unmatched [Span_end]s and
-    spans left open by a truncated trace are dropped. *)
+    [optimize.gate]. Nesting is tracked per domain (each domain's spans
+    nest relative to that domain's own stack) and identical paths from
+    different domains aggregate into the same node. The root is
+    synthetic: [name = ""], [calls = 0], [total] = sum of the top-level
+    spans. Unmatched [Span_end]s and spans left open by a truncated
+    trace are dropped. *)
 
 val render_tree : tree -> string
 (** Plain-text rendering, one line per path: total, self, calls, and
@@ -83,6 +89,8 @@ val final_counters : event list -> (string * int) list
 val to_chrome : event list -> string
 (** The events as a Chrome trace-event JSON document
     ([{"traceEvents":[...]}]): spans become [ph:"B"]/[ph:"E"] duration
-    events and counter samples become [ph:"C"] counter events, all on
-    [pid 1 / tid 1], timestamps in microseconds. Loadable by
-    [chrome://tracing] and Perfetto. *)
+    events and counter samples become [ph:"C"] counter events, on
+    [pid 1] with one thread lane per domain ([tid = dom + 1], so a
+    [--jobs 4] run renders four worker tracks plus the coordinator's),
+    timestamps in microseconds. Loadable by [chrome://tracing] and
+    Perfetto. *)

@@ -1,15 +1,26 @@
 let c_tasks = Obs.counter "par.tasks_run"
 let c_maps = Obs.counter "par.parallel_maps"
+let d_chunk = Obs.distribution "par.chunk_size"
+let d_imbalance = Obs.distribution "par.imbalance"
+
+(* Per-slot telemetry cell. Each cell is written only by the domain
+   occupying that slot (slot 0 is the caller helping in [join], slot i
+   is worker i), so no lock is needed; [Domain.join] in [shutdown]
+   publishes the workers' final values to the flushing domain. *)
+type worker = { mutable w_busy_ns : int; mutable w_tasks : int }
 
 type t = {
   p_jobs : int;
   mutex : Mutex.t;
   work : Condition.t;  (* queue grew, or shutting down *)
   idle : Condition.t;  (* pending reached 0 *)
-  queue : (unit -> unit) Queue.t;
+  queue : (int -> unit) Queue.t;  (* task, given the executing slot *)
   mutable pending : int;  (* tasks queued or running *)
   mutable shut : bool;
   mutable domains : unit Domain.t list;
+  workers : worker array;  (* indexed by slot; length p_jobs *)
+  t_created : float;
+  mutable flushed : bool;
 }
 
 (* True while the current domain is executing a pool task: fans out
@@ -27,35 +38,41 @@ let default_jobs () =
 
 let jobs t = t.p_jobs
 
+let now_ns () = int_of_float (Unix.gettimeofday () *. 1e9)
+
 (* Tasks are exception-free by construction ([map] wraps the user
    function); the accounting below must run even if that invariant is
    ever broken, or the join would hang. *)
-let run_task t task =
+let run_task t slot task =
   let flag = Domain.DLS.get in_task in
   flag := true;
+  let t_start = now_ns () in
   Fun.protect
     ~finally:(fun () ->
       flag := false;
+      let w = t.workers.(slot) in
+      w.w_busy_ns <- w.w_busy_ns + Stdlib.max 0 (now_ns () - t_start);
+      w.w_tasks <- w.w_tasks + 1;
       Obs.incr c_tasks;
       Mutex.lock t.mutex;
       t.pending <- t.pending - 1;
       if t.pending = 0 then Condition.broadcast t.idle;
       Mutex.unlock t.mutex)
-    task
+    (fun () -> Obs.span "par.task" (fun () -> task slot))
 
-let rec worker_loop t =
+let rec worker_loop t slot =
   Mutex.lock t.mutex;
   match Queue.take_opt t.queue with
   | Some task ->
       Mutex.unlock t.mutex;
-      run_task t task;
-      worker_loop t
+      run_task t slot task;
+      worker_loop t slot
   | None ->
       if t.shut then Mutex.unlock t.mutex
       else begin
         Condition.wait t.work t.mutex;
         Mutex.unlock t.mutex;
-        worker_loop t
+        worker_loop t slot
       end
 
 let create ?jobs () =
@@ -71,10 +88,46 @@ let create ?jobs () =
       pending = 0;
       shut = false;
       domains = [];
+      workers = Array.init jobs (fun _ -> { w_busy_ns = 0; w_tasks = 0 });
+      t_created = Unix.gettimeofday ();
+      flushed = false;
     }
   in
-  t.domains <- List.init (jobs - 1) (fun _ -> Domain.spawn (fun () -> worker_loop t));
+  t.domains <-
+    List.init (jobs - 1) (fun i -> Domain.spawn (fun () -> worker_loop t (i + 1)));
   t
+
+(* Surface the per-slot cells as [par.*] counters once the workers have
+   been joined (their final writes are then visible here). A jobs = 1
+   pool runs the pure sequential path and stays silent, so sequential
+   snapshots carry no scheduling noise. *)
+let flush_telemetry t =
+  if (not t.flushed) && t.p_jobs > 1 then begin
+    t.flushed <- true;
+    let lifetime_ns = Stdlib.max 0 (now_ns () - int_of_float (t.t_created *. 1e9)) in
+    Array.iteri
+      (fun slot w ->
+        Obs.add
+          (Obs.counter (Printf.sprintf "par.domain_busy_ns.%d" slot))
+          w.w_busy_ns;
+        Obs.add
+          (Obs.counter (Printf.sprintf "par.domain_idle_ns.%d" slot))
+          (Stdlib.max 0 (lifetime_ns - w.w_busy_ns));
+        Obs.add
+          (Obs.counter (Printf.sprintf "par.domain_tasks.%d" slot))
+          w.w_tasks)
+      t.workers;
+    let total =
+      Array.fold_left (fun acc w -> acc + w.w_busy_ns) 0 t.workers
+    in
+    if total > 0 then begin
+      let mean = float_of_int total /. float_of_int t.p_jobs in
+      let worst =
+        Array.fold_left (fun acc w -> Stdlib.max acc w.w_busy_ns) 0 t.workers
+      in
+      Obs.observe d_imbalance (float_of_int worst /. mean)
+    end
+  end
 
 let shutdown t =
   Mutex.lock t.mutex;
@@ -84,7 +137,8 @@ let shutdown t =
     Condition.broadcast t.work;
     Mutex.unlock t.mutex;
     List.iter Domain.join t.domains;
-    t.domains <- []
+    t.domains <- [];
+    flush_telemetry t
   end
 
 let with_pool ?jobs f =
@@ -99,7 +153,7 @@ let join t =
     match Queue.take_opt t.queue with
     | Some task ->
         Mutex.unlock t.mutex;
-        run_task t task;
+        run_task t 0 task;
         help ()
     | None ->
         while t.pending > 0 do
@@ -137,7 +191,7 @@ let map ?chunk t f xs =
       | Some _ | None -> failed := Some (idx, e, bt));
       Mutex.unlock t.mutex
     in
-    let task idx lo hi () =
+    let task idx lo hi (_slot : int) =
       try
         for i = lo to hi do
           out.(i) <- Some (f xs.(i))
@@ -154,6 +208,7 @@ let map ?chunk t f xs =
     for k = 0 to nchunks - 1 do
       let lo = k * chunk in
       let hi = Stdlib.min (n - 1) (lo + chunk - 1) in
+      Obs.observe d_chunk (float_of_int (hi - lo + 1));
       Queue.add (task k lo hi) t.queue
     done;
     Condition.broadcast t.work;

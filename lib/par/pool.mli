@@ -13,7 +13,18 @@
     the performance page}).
 
     A pool of [jobs = 1] spawns no domains and runs every map inline —
-    exactly the sequential code path. *)
+    exactly the sequential code path.
+
+    Pools self-report: every task runs inside an [Obs] span
+    ([par.task], so NDJSON traces carry one lane per domain), chunk
+    sizes feed the [par.chunk_size] distribution, and {!shutdown}
+    flushes per-slot busy/idle wall-clock nanoseconds and task counts
+    as [par.domain_busy_ns.N] / [par.domain_idle_ns.N] /
+    [par.domain_tasks.N] counters plus a [par.imbalance] observation
+    (max over mean busy time across slots; 1.0 is a perfectly balanced
+    pool). Slot 0 is the calling domain. A [jobs = 1] pool flushes
+    nothing, so sequential snapshots carry no scheduling noise (see
+    {{!page-performance} the performance page}). *)
 
 type t
 
@@ -31,7 +42,8 @@ val jobs : t -> int
 (** The parallelism degree the pool was created with (>= 1). *)
 
 val shutdown : t -> unit
-(** Drain remaining tasks, stop and join every worker domain.
+(** Drain remaining tasks, stop and join every worker domain, then
+    flush the pool's [par.*] telemetry counters (for [jobs > 1]).
     Idempotent. Any later {!map} on the pool raises. *)
 
 val with_pool : ?jobs:int -> (t -> 'a) -> 'a

@@ -468,6 +468,107 @@ let check_parallel_determinism ~seed c =
     fail "memoized runs diverge: parallel %.17g W, sequential %.17g W"
       mpar.O.power_after mseq.O.power_after
 
+(* --- 11. archive round-trip --- *)
+
+let rec rm_rf path =
+  match Sys.is_directory path with
+  | true ->
+      Array.iter (fun e -> rm_rf (Filename.concat path e)) (Sys.readdir path);
+      Sys.rmdir path
+  | false -> Sys.remove path
+  | exception Sys_error _ -> ()
+
+let check_archive_roundtrip ~seed c =
+  let inputs = Gen.input_stats ~seed c in
+  let report =
+    Reorder.Optimizer.optimize (power ()) ~delay:(delay ()) c ~inputs
+  in
+  let ledger =
+    Attrib.of_report (power ()) ~candidates:false ~before:c ~inputs report
+  in
+  let dir = Filename.temp_dir "treorder_oracle" "" in
+  Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
+  let p =
+    Runlog.start ~subcommand:"proptest" ~argv:[ "archive-roundtrip" ] ()
+  in
+  Runlog.set_param p "seed" (string_of_int seed);
+  Runlog.set_param p "circuit" (C.name c);
+  Runlog.attach p ~name:"ledger" ~json:(Attrib.to_json ledger);
+  let snapshot_json = Obs.snapshot_to_json (Obs.snapshot ()) in
+  match Runlog.write ~id:"case" ~dir ~snapshot_json p with
+  | Error e -> fail "archive write failed: %s" e
+  | Ok run_dir -> (
+      match Runlog.load_run run_dir with
+      | Error e -> fail "archive does not load back: %s" e
+      | Ok run -> (
+          let m = run.Runlog.manifest in
+          let* () =
+            if m.Runlog.subcommand = "proptest" then Pass
+            else fail "subcommand %S after round-trip" m.Runlog.subcommand
+          in
+          let* () =
+            if List.assoc_opt "seed" m.Runlog.params = Some (string_of_int seed)
+            then Pass
+            else fail "seed parameter lost across the round-trip"
+          in
+          let* () =
+            if m.Runlog.attachments = [ "ledger" ] then Pass
+            else
+              fail "attachment list [%s] after round-trip"
+                (String.concat "; " m.Runlog.attachments)
+          in
+          match
+            Result.bind (Runlog.read_attachment run "ledger")
+              Runlog.ledger_of_json
+          with
+          | Error e -> fail "ledger does not decode: %s" e
+          | Ok l ->
+              (* %.17g rendering: every float must survive bit-exactly. *)
+              let* () =
+                if
+                  l.Runlog.l_total_before = ledger.Attrib.total_before
+                  && l.Runlog.l_total_after = ledger.Attrib.total_after
+                then Pass
+                else
+                  fail
+                    "ledger totals drift across the JSON round-trip: \
+                     %.17g/%.17g vs %.17g/%.17g"
+                    l.Runlog.l_total_before l.Runlog.l_total_after
+                    ledger.Attrib.total_before ledger.Attrib.total_after
+              in
+              let* () =
+                if
+                  Array.length l.Runlog.l_gates
+                  = Array.length ledger.Attrib.gates
+                then Pass
+                else
+                  fail "gate count %d after round-trip, %d before"
+                    (Array.length l.Runlog.l_gates)
+                    (Array.length ledger.Attrib.gates)
+              in
+              let rec gates i =
+                if i >= Array.length l.Runlog.l_gates then Pass
+                else
+                  let g = l.Runlog.l_gates.(i)
+                  and e = ledger.Attrib.gates.(i) in
+                  if
+                    g.Runlog.g_index = e.Attrib.index
+                    && g.Runlog.g_out = e.Attrib.out_net
+                    && g.Runlog.g_cell = e.Attrib.cell
+                    && g.Runlog.g_config_before = e.Attrib.config_before
+                    && g.Runlog.g_config_after = e.Attrib.config_after
+                    && g.Runlog.g_power_before = e.Attrib.before_total
+                    && g.Runlog.g_power_after = e.Attrib.after_total
+                  then gates (i + 1)
+                  else
+                    fail "gate %d (%s) drifts across the JSON round-trip" i
+                      e.Attrib.out_net
+              in
+              let* () = gates 0 in
+              let d = Runlog.diff run run in
+              if Runlog.is_clean d then Pass
+              else fail "self-diff is not clean:\n%s" (Runlog.render_diff d)))
+
 (* --- registry --- *)
 
 let circuit_prop name generate check =
@@ -499,6 +600,7 @@ let all () =
         print = (fun t -> Sp.Sp_tree.to_string t);
         check = check_sp_orderings;
       };
+    circuit_prop "archive-roundtrip" Gen.circuit check_archive_roundtrip;
   ]
 
 let names () = List.map Runner.name (all ())

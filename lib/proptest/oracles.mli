@@ -44,6 +44,12 @@
       electrically distinct reordering conducts identically, the
       closed-form ordering count matches the enumeration, and the
       pivot-based exploration (Fig. 4) visits the same set.
+    - [archive-roundtrip] — a {!Runlog} record of an optimizer run on a
+      random circuit (manifest, Obs snapshot, {!Attrib} ledger
+      attachment) written to a scratch directory loads back bit-exactly:
+      manifest fields, parameters, and every per-gate configuration and
+      [%.17g]-rendered power survive the JSON round-trip, and the
+      record's diff against itself is clean.
 
     All properties share one power-model / delay table pair built from
     {!Cell.Process.default} (module state, built lazily). *)

@@ -388,6 +388,50 @@ let test_distribution_concurrent_buffers () =
     (float_of_int (n * (n + 1)) /. 2.)
     s.Obs.sum
 
+let test_domain_tagging () =
+  Obs.reset ();
+  Alcotest.(check int) "main domain is lane 0" 0 (Obs.domain_lane ());
+  Alcotest.(check int) "lane is sticky" (Obs.domain_lane ())
+    (Obs.domain_lane ());
+  let path = Filename.temp_file "obs_test_dom" ".ndjson" in
+  Obs.set_sink (Obs.file_sink path);
+  Obs.span "test.main_side" (fun () -> ());
+  let worker_lane =
+    Domain.join
+      (Domain.spawn (fun () ->
+           Obs.span "test.worker_side" (fun () -> ());
+           Obs.domain_lane ()))
+  in
+  Obs.close_sink ();
+  Alcotest.(check bool) "worker claims a distinct lane" true (worker_lane > 0);
+  let lines = read_lines path in
+  Sys.remove path;
+  let dom_of line =
+    (* every event line ends ...,"dom":N} *)
+    match String.rindex_opt line ':' with
+    | Some i ->
+        int_of_string (String.sub line (i + 1) (String.length line - i - 2))
+    | None -> Alcotest.failf "no dom field in %s" line
+  in
+  let has_sub line needle =
+    let ln = String.length needle in
+    let rec at i =
+      i + ln <= String.length line
+      && (String.sub line i ln = needle || at (i + 1))
+    in
+    at 0
+  in
+  List.iter
+    (fun line ->
+      if has_sub line "test.main_side" then
+        Alcotest.(check int) "main events tagged dom 0" 0 (dom_of line)
+      else if has_sub line "test.worker_side" then
+        Alcotest.(check int) "worker events tagged with its lane" worker_lane
+          (dom_of line))
+    lines;
+  Alcotest.(check bool) "every line carries a dom field" true
+    (List.for_all (fun l -> has_sub l "\"dom\":") lines)
+
 (* --- pipeline integration: the §4.2 invariant --- *)
 
 let test_densities_once_per_net () =
@@ -452,6 +496,8 @@ let () =
             test_distribution_buffer_merge;
           Alcotest.test_case "concurrent buffer merges exact" `Quick
             test_distribution_concurrent_buffers;
+          Alcotest.test_case "events tagged with domain lanes" `Quick
+            test_domain_tagging;
         ] );
       ( "pipeline",
         [

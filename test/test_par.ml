@@ -1,7 +1,8 @@
 (* Tests for the fixed domain pool: map equivalence with Array.map
    across jobs/chunk settings, pool reuse, map_reduce submission-order
    combining, deterministic exception propagation, nested-use and
-   use-after-shutdown rejection, and TREORDER_JOBS parsing. *)
+   use-after-shutdown rejection, the per-domain scheduling telemetry
+   flushed at shutdown, and TREORDER_JOBS parsing. *)
 
 module P = Par.Pool
 
@@ -107,6 +108,46 @@ let test_shutdown () =
     (Invalid_argument "Par.Pool.create: jobs must be >= 1") (fun () ->
       ignore (P.create ~jobs:0 ()))
 
+let test_pool_telemetry () =
+  Obs.reset ();
+  let p = P.create ~jobs:3 () in
+  let xs = Array.init 100 (fun i -> i) in
+  (* Enough work per task that busy time clears the clock resolution. *)
+  let f x =
+    let acc = ref 0. in
+    for i = 1 to 50_000 do
+      acc := !acc +. (1. /. float_of_int i)
+    done;
+    x + int_of_float (!acc *. 0.)
+  in
+  ignore (P.map ~chunk:8 p f xs);
+  P.shutdown p;
+  let chunks = 13 (* ceil 100/8 *) in
+  let value name = Obs.value (Obs.counter name) in
+  let sum per_slot = per_slot 0 + per_slot 1 + per_slot 2 in
+  Alcotest.(check int) "every chunk attributed to a slot" chunks
+    (sum (fun d -> value (Printf.sprintf "par.domain_tasks.%d" d)));
+  Alcotest.(check bool) "busy time recorded" true
+    (sum (fun d -> value (Printf.sprintf "par.domain_busy_ns.%d" d)) > 0);
+  let snap = Obs.snapshot () in
+  let dist name = List.assoc_opt name snap.Obs.distributions in
+  (match dist "par.chunk_size" with
+  | Some d ->
+      Alcotest.(check int) "one observation per chunk" chunks d.Obs.count;
+      Alcotest.(check (float 1e-9)) "largest chunk" 8. d.Obs.max;
+      Alcotest.(check (float 1e-9)) "tail chunk" 4. d.Obs.min
+  | None -> Alcotest.fail "par.chunk_size not observed");
+  (match dist "par.imbalance" with
+  | Some d ->
+      Alcotest.(check int) "imbalance observed once at shutdown" 1 d.Obs.count;
+      Alcotest.(check bool) "max/mean busy >= 1" true (d.Obs.max >= 1.)
+  | None -> Alcotest.fail "par.imbalance not observed");
+  (* Sequential pools run inline and publish no scheduling telemetry. *)
+  Obs.reset ();
+  P.with_pool ~jobs:1 (fun q -> ignore (P.map q succ xs));
+  Alcotest.(check int) "jobs=1 flushes nothing" 0
+    (value "par.domain_tasks.0")
+
 let test_default_jobs_env () =
   let with_env value f =
     let saved = Sys.getenv_opt "TREORDER_JOBS" in
@@ -142,6 +183,11 @@ let () =
           Alcotest.test_case "nested use rejected" `Quick
             test_nested_use_rejected;
           Alcotest.test_case "shutdown semantics" `Quick test_shutdown;
+        ] );
+      ( "telemetry",
+        [
+          Alcotest.test_case "per-domain busy/task counters" `Quick
+            test_pool_telemetry;
         ] );
       ( "config",
         [

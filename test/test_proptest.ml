@@ -163,10 +163,12 @@ let test_runner_counters () =
     (Obs.value (Obs.counter "proptest.counterexamples") > cexs)
 
 let test_oracle_registry () =
-  Alcotest.(check int) "ten oracles" 10
+  Alcotest.(check int) "eleven oracles" 11
     (List.length (Proptest.Oracles.all ()));
   Alcotest.(check bool) "find known" true
     (Proptest.Oracles.find "io-roundtrip" <> None);
+  Alcotest.(check bool) "find archive oracle" true
+    (Proptest.Oracles.find "archive-roundtrip" <> None);
   Alcotest.(check bool) "find parallel oracle" true
     (Proptest.Oracles.find "parallel-determinism" <> None);
   Alcotest.(check bool) "find unknown" true (Proptest.Oracles.find "nope" = None)

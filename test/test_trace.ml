@@ -181,6 +181,42 @@ let test_chrome_export () =
         traced
   | _ -> Alcotest.fail "no traceEvents array"
 
+let test_domain_lanes () =
+  (* Traces written before domain tagging have no "dom" field: they
+     parse as domain 0. *)
+  (match ok (Trace.event_of_line {|{"ev":"span_begin","name":"a","t":0.0,"depth":1}|}) with
+  | Trace.Span_begin { dom; _ } ->
+      Alcotest.(check int) "missing dom reads 0" 0 dom
+  | _ -> Alcotest.fail "expected span_begin");
+  let lines =
+    {|{"ev":"span_begin","name":"coord","t":0.0,"depth":1,"dom":0}|} ^ "\n"
+    ^ {|{"ev":"span_begin","name":"par.task","t":0.1,"depth":1,"dom":2}|} ^ "\n"
+    ^ {|{"ev":"span_end","name":"par.task","t":0.2,"depth":1,"dt":0.1,"dom":2}|}
+    ^ "\n"
+    ^ {|{"ev":"counter","name":"c","t":0.25,"value":3,"dom":2}|} ^ "\n"
+    ^ {|{"ev":"span_end","name":"coord","t":0.3,"depth":1,"dt":0.3,"dom":0}|}
+    ^ "\n"
+  in
+  let events = ok (Trace.events_of_string lines) in
+  (* The two spans overlap in time but live on different domains: each
+     domain keeps its own stack, so neither nests under the other. *)
+  let root = Trace.span_tree events in
+  Alcotest.(check (list string)) "per-domain span stacks" [ "coord"; "par.task" ]
+    (List.sort compare
+       (List.map (fun (t : Trace.tree) -> t.Trace.name) root.Trace.children));
+  (* Chrome export renders one lane per domain: tid = dom + 1. *)
+  let doc = ok (J.parse (Trace.to_chrome events)) in
+  match J.member "traceEvents" doc with
+  | Some (J.Arr traced) ->
+      let tids =
+        List.sort_uniq compare
+          (List.filter_map
+             (fun e -> Option.bind (J.member "tid" e) J.to_float)
+             traced)
+      in
+      Alcotest.(check (list (float 1e-9))) "one lane per domain" [ 1.; 3. ] tids
+  | _ -> Alcotest.fail "no traceEvents array"
+
 (* --- distribution quantiles (nearest-rank) --- *)
 
 let dist_stats_of values =
@@ -313,6 +349,7 @@ let () =
           Alcotest.test_case "parse errors name the line" `Quick
             test_parse_errors;
           Alcotest.test_case "chrome export" `Quick test_chrome_export;
+          Alcotest.test_case "domain lanes" `Quick test_domain_lanes;
         ] );
       ( "quantiles",
         [
