@@ -1,4 +1,4 @@
-.PHONY: all build test bench bench-check audit doc clean examples check fmt fuzz runs-diff
+.PHONY: all build test bench bench-check audit mc doc clean examples check fmt fuzz runs-diff
 
 all: build
 
@@ -44,12 +44,12 @@ bench:
 # (--no-time), so the gate is stable across machines. Refresh the
 # fixture after an intentional behaviour change with:
 #   dune exec bench/main.exe -- --out bench/baseline_check.json \
-#     table1 table2 probe_overhead
+#     table1 table2 probe_overhead perf_mc
 BENCH_BASELINE ?= bench/baseline_check.json
 bench-check:
 	dune exec bench/main.exe -- --baseline $(BENCH_BASELINE) \
 	  --check --no-time --out /tmp/bench_check_obs.json \
-	  table1 table2 probe_overhead
+	  table1 table2 probe_overhead perf_mc
 
 # Cross-run provenance diff: compare two archived run records (or the
 # latest run under two archive roots). Produce records with the
@@ -67,10 +67,24 @@ audit:
 	dune exec bin/treorder_cli.exe -- audit tree16 --seed 42 \
 	  --horizon 2e-3 --fail-above 10 --stats
 
+# Monte-Carlo estimate of the same circuit with the bit-parallel
+# engine; SAMPLES / SEED / JOBS tune the budget, stream and domain
+# count, e.g. `make mc SAMPLES=1048576 JOBS=8`. MC_BOUND is the
+# --fail-above gate, calibrated for the default budget (3.6% measured
+# at 262144 samples); raise it when cutting SAMPLES, since the mean
+# density error floor scales with 1/sqrt(samples).
+SAMPLES ?= 262144
+SEED ?= 42
+MC_BOUND ?= 5
+mc:
+	dune exec bin/treorder_cli.exe -- audit tree16 --backend mc \
+	  --samples $(SAMPLES) --seed $(SEED) $(if $(JOBS),--jobs $(JOBS)) \
+	  --fail-above $(MC_BOUND) --stats
+
 # Individual reproduction targets, e.g. `make table3`
 table1 table2 figure5 table3_a table3_b adder_profile ablation_delay \
 ablation_inputreorder model_accuracy glitch sensitivity exactness \
-sequential gate_accuracy proptest probe_overhead perf perf_parallel:
+sequential gate_accuracy proptest probe_overhead perf perf_parallel perf_mc:
 	dune exec bench/main.exe -- $@
 
 examples:

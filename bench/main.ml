@@ -7,7 +7,7 @@
      dune exec bench/main.exe -- table3_a perf
    Targets: table1 table2 figure5 table3_a table3_b adder_profile
             ablation_delay ablation_inputreorder model_accuracy
-            probe_overhead perf perf_parallel *
+            probe_overhead perf perf_parallel perf_mc *
 
    Regression gating against a stored BENCH_obs.json:
      dune exec bench/main.exe -- --baseline OLD.json --check table2 perf
@@ -399,6 +399,92 @@ let probe_overhead () =
   if t_off > 0. then
     Printf.printf "overhead: %+.1f%%\n" (100. *. ((t_on /. t_off) -. 1.))
 
+(* Monte-Carlo throughput: the bit-parallel engine vs the event-driven
+   simulator at an equal sample budget — the simulator gets one
+   trajectory of the same total signal-time the engine samples
+   (horizon = samples x dt). Speedup and gate-eval throughput land in
+   BENCH_obs.json as perf_mc.* distributions; the mc.* counters are
+   deterministic for the fixed seed and regression-gated. *)
+let d_mc_speedup = Obs.distribution "perf_mc.speedup"
+let d_mc_gate_evals = Obs.distribution "perf_mc.gate_evals_per_s"
+
+let perf_mc () =
+  section "perf_mc / bit-parallel Monte-Carlo vs switch-level simulation";
+  let reps = 3 in
+  let samples = 65536 in
+  let c_words = Obs.counter "mc.words_evaluated" in
+  let best ?(reps = reps) f =
+    let rec go k acc =
+      if k = 0 then acc
+      else
+        let t0 = Unix.gettimeofday () in
+        ignore (f ());
+        go (k - 1) (Float.min acc (Unix.gettimeofday () -. t0))
+    in
+    go reps Float.infinity
+  in
+  let table =
+    Report.Table.create
+      ~columns:
+        [
+          ("circuit", Report.Table.Left);
+          ("mc", Report.Table.Right);
+          ("gate-evals/s", Report.Table.Right);
+          ("switchsim", Report.Table.Right);
+          ("speedup", Report.Table.Right);
+        ]
+  in
+  List.iter
+    (fun name ->
+      let circuit = Circuits.Suite.find name in
+      (* Scenario B (uniform latched-input statistics): every circuit
+         samples at the same dt, so throughput scales with structure
+         rather than with one unlucky input's extreme probability. *)
+      let inputs =
+        Power.Scenario.input_stats ~rng:(Stoch.Rng.create 42) Power.Scenario.B
+          circuit
+      in
+      let estimate () =
+        Mc.estimate ctx.Experiments.Common.power ~samples ~seed:42 ~inputs
+          circuit
+      in
+      let r = estimate () in
+      let w0 = Obs.value c_words in
+      let t_mc = best estimate in
+      let words = (Obs.value c_words - w0) / reps in
+      (* 64 independent lanes per word op *)
+      let gate_evals_per_s = float_of_int (words * 64) /. t_mc in
+      (* Equal budget: one simulator trajectory covering the same total
+         signal-time the engine sampled across all its trajectories. *)
+      let horizon = float_of_int r.Mc.samples *. r.Mc.dt in
+      let sim = Switchsim.Sim.build ctx.Experiments.Common.proc circuit in
+      (* One timed simulator run: at these speedup ratios its noise is
+         irrelevant, and three reps would dominate the bench's clock. *)
+      let t_sim =
+        best ~reps:1 (fun () ->
+            Switchsim.Sim.run_stats sim
+              ~rng:(Stoch.Rng.create 43)
+              ~stats:inputs ~horizon ())
+      in
+      let speedup = if t_mc > 0. then t_sim /. t_mc else 0. in
+      Obs.observe d_mc_speedup speedup;
+      Obs.observe d_mc_gate_evals gate_evals_per_s;
+      Report.Table.add_row table
+        [
+          name;
+          Report.Table.cell_time t_mc;
+          Printf.sprintf "%.3g" gate_evals_per_s;
+          Report.Table.cell_time t_sim;
+          Printf.sprintf "%.1fx" speedup;
+        ];
+      if speedup < 10. then
+        Printf.eprintf
+          "perf_mc: %s: mc is only %.1fx faster than switchsim at an equal \
+           sample budget (expected >= 10x on an idle machine)\n"
+          name speedup)
+    [ "c17"; "tree16"; "rca8"; "rca16" ];
+  Report.Table.print table
+
 (* --- driver --- *)
 
 let targets =
@@ -421,6 +507,7 @@ let targets =
     ("probe_overhead", probe_overhead);
     ("perf", perf);
     ("perf_parallel", perf_parallel);
+    ("perf_mc", perf_mc);
   ]
 
 let usage () =

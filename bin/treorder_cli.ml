@@ -66,6 +66,35 @@ let jobs_arg =
     & opt jobs_conv (Par.Pool.default_jobs ())
     & info [ "j"; "jobs" ] ~docv:"JOBS" ~doc)
 
+(* --- power backend selection (estimate / audit) --- *)
+
+let backend_conv =
+  let parse s =
+    match Power.Backend.of_name s with
+    | b -> Ok b
+    | exception Not_found ->
+        Error
+          (`Msg
+             (Printf.sprintf "unknown backend %S (expected one of: %s)" s
+                (String.concat ", "
+                   (List.map Power.Backend.name Power.Backend.all))))
+  in
+  Arg.conv (parse, Power.Backend.pp)
+
+let backend_arg ~default ~doc =
+  Arg.(value & opt backend_conv default & info [ "backend" ] ~docv:"BACKEND" ~doc)
+
+let samples_arg =
+  let doc =
+    "Monte-Carlo sample budget: net-value observations \
+     (trajectories x steps), rounded up to whole blocks. mc backend only."
+  in
+  Arg.(value & opt (some int) None & info [ "samples" ] ~docv:"N" ~doc)
+
+let with_optional_pool ~jobs f =
+  if jobs <= 1 then f None
+  else Par.Pool.with_pool ~jobs @@ fun pool -> f (Some pool)
+
 (* --- observability flags (shared by every pipeline subcommand) --- *)
 
 let obs_term =
@@ -309,24 +338,85 @@ let stats_cmd =
 (* --- estimate --- *)
 
 let estimate_cmd =
-  let run spec scenario seed obs =
+  let backend_arg =
+    backend_arg ~default:Power.Backend.Analytical
+      ~doc:
+        "Power backend: analytical (the paper's propagated model), mc \
+         (bit-parallel Monte-Carlo sampling of the same input model), or \
+         switchsim (event-driven switch-level simulation)."
+  in
+  let horizon_arg =
+    let doc = "Simulation horizon in seconds (switchsim backend only)." in
+    Arg.(value & opt float 2e-3 & info [ "horizon" ] ~docv:"SECONDS" ~doc)
+  in
+  let run spec scenario seed backend samples jobs horizon obs =
     with_obs ~cmd:"estimate" obs @@ fun pending ->
     record_circuit pending spec;
     record_params pending
-      [ ("scenario", scenario); ("seed", string_of_int seed) ];
+      [
+        ("scenario", scenario);
+        ("seed", string_of_int seed);
+        ("backend", Power.Backend.name backend);
+      ];
     let circuit = load_circuit spec in
     let ctx = context () in
     let inputs = scenario_inputs ~seed scenario circuit in
-    let analysis = Power.Analysis.run ctx.Experiments.Common.power circuit ~inputs in
-    let b = Power.Estimate.circuit ctx.Experiments.Common.power circuit analysis in
     Printf.printf "%s\n" (Format.asprintf "%a" Netlist.Circuit.pp_summary circuit);
-    Printf.printf "model power:    %s\n" (Report.Table.cell_power b.Power.Estimate.total);
-    Printf.printf "  internal:     %s\n" (Report.Table.cell_power b.Power.Estimate.internal);
-    Printf.printf "  output nodes: %s\n" (Report.Table.cell_power b.Power.Estimate.output)
+    match backend with
+    | Power.Backend.Analytical ->
+        let analysis =
+          Power.Analysis.run ctx.Experiments.Common.power circuit ~inputs
+        in
+        let b =
+          Power.Estimate.circuit ctx.Experiments.Common.power circuit analysis
+        in
+        Printf.printf "model power:    %s\n"
+          (Report.Table.cell_power b.Power.Estimate.total);
+        Printf.printf "  internal:     %s\n"
+          (Report.Table.cell_power b.Power.Estimate.internal);
+        Printf.printf "  output nodes: %s\n"
+          (Report.Table.cell_power b.Power.Estimate.output)
+    | Power.Backend.Mc ->
+        record_params pending [ ("jobs", string_of_int jobs) ];
+        Option.iter
+          (fun n -> record_params pending [ ("samples", string_of_int n) ])
+          samples;
+        with_optional_pool ~jobs @@ fun pool ->
+        let r =
+          Mc.estimate ctx.Experiments.Common.power ?pool ?samples
+            ~seed:(seed + 1) ~inputs circuit
+        in
+        Printf.printf "mc power:       %s (output-node switching)\n"
+          (Report.Table.cell_power r.Mc.power);
+        Printf.printf "  samples:      %d (%d trajectories x %d steps, %d \
+                       blocks)\n"
+          r.Mc.samples r.Mc.trajectories r.Mc.steps r.Mc.blocks;
+        Printf.printf "  dt / window:  %.3g s / %.3g s\n" r.Mc.dt r.Mc.window;
+        Printf.printf "  energy:       %.4g J per trajectory window\n"
+          r.Mc.energy
+    | Power.Backend.Switchsim ->
+        record_params pending [ ("horizon", string_of_float horizon) ];
+        let sim = Switchsim.Sim.build ctx.Experiments.Common.proc circuit in
+        let r =
+          Switchsim.Sim.run_stats sim
+            ~rng:(Stoch.Rng.create (seed + 1))
+            ~stats:inputs ~horizon ()
+        in
+        Printf.printf "simulated power: %s\n"
+          (Report.Table.cell_power r.Switchsim.Sim.power);
+        Printf.printf "  events:        %d input transitions over %s\n"
+          r.Switchsim.Sim.events
+          (Report.Table.cell_time r.Switchsim.Sim.horizon);
+        Printf.printf "  energy:        %.4g J\n" r.Switchsim.Sim.energy
   in
   Cmd.v
-    (Cmd.info "estimate" ~doc:"Estimate circuit power under the extended model.")
-    Term.(const run $ circuit_arg $ scenario_arg $ seed_arg $ obs_term)
+    (Cmd.info "estimate"
+       ~doc:
+         "Estimate circuit power under the extended model, Monte-Carlo \
+          sampling, or switch-level simulation.")
+    Term.(
+      const run $ circuit_arg $ scenario_arg $ seed_arg $ backend_arg
+      $ samples_arg $ jobs_arg $ horizon_arg $ obs_term)
 
 (* --- optimize --- *)
 
@@ -598,28 +688,64 @@ let audit_cmd =
     in
     Arg.(value & opt (some float) None & info [ "fail-above" ] ~docv:"PCT" ~doc)
   in
-  let run spec scenario seed horizon warmup vcd probe_internals top json ndjson
-      fail_above obs =
+  let backend_arg =
+    backend_arg ~default:Power.Backend.Switchsim
+      ~doc:
+        "Measured side of the audit: switchsim (event-driven switch-level \
+         simulation) or mc (bit-parallel Monte-Carlo sampling)."
+  in
+  let run spec scenario seed backend samples jobs horizon warmup vcd
+      probe_internals top json ndjson fail_above obs =
     with_obs ~cmd:"audit" obs @@ fun pending ->
     record_circuit pending spec;
     record_params pending
       [
         ("scenario", scenario);
         ("seed", string_of_int seed);
-        ("horizon", string_of_float horizon);
-        ("warmup", string_of_float warmup);
+        ("backend", Power.Backend.name backend);
       ];
     let circuit = load_circuit spec in
     let ctx = context () in
     let inputs = scenario_inputs ~seed scenario circuit in
-    let sim = Switchsim.Sim.build ctx.Experiments.Common.proc circuit in
-    let observer, finish_vcd = with_vcd sim vcd probe_internals in
     let a =
-      Audit.run ctx.Experiments.Common.power ~sim ?observer ~warmup
-        ~rng:(Stoch.Rng.create (seed + 1))
-        ~inputs ~horizon circuit
+      match backend with
+      | Power.Backend.Mc ->
+          if vcd <> None then begin
+            Printf.eprintf
+              "error: --vcd records a simulator waveform; it requires the \
+               switchsim backend\n";
+            exit 2
+          end;
+          record_params pending [ ("jobs", string_of_int jobs) ];
+          Option.iter
+            (fun n -> record_params pending [ ("samples", string_of_int n) ])
+            samples;
+          with_optional_pool ~jobs @@ fun pool ->
+          Audit.run ctx.Experiments.Common.power ~backend ?samples ?pool
+            ~rng:(Stoch.Rng.create (seed + 1))
+            ~inputs ~horizon circuit
+      | Power.Backend.Analytical ->
+          Printf.eprintf
+            "error: the analytical model is the audit's predicted side; \
+             measure against the switchsim or mc backend\n";
+          exit 2
+      | Power.Backend.Switchsim ->
+          record_params pending
+            [
+              ("horizon", string_of_float horizon);
+              ("warmup", string_of_float warmup);
+            ];
+          let sim = Switchsim.Sim.build ctx.Experiments.Common.proc circuit in
+          let observer, finish_vcd = with_vcd sim vcd probe_internals in
+          let a =
+            Audit.run ctx.Experiments.Common.power ~backend ~sim ?observer
+              ~warmup
+              ~rng:(Stoch.Rng.create (seed + 1))
+              ~inputs ~horizon circuit
+          in
+          finish_vcd ~time:horizon;
+          a
     in
-    finish_vcd ~time:horizon;
     Option.iter
       (fun p -> Runlog.attach p ~name:"audit" ~json:(Audit.to_json a))
       pending;
@@ -637,12 +763,13 @@ let audit_cmd =
   Cmd.v
     (Cmd.info "audit"
        ~doc:
-         "Audit the analytical power model against the switch-level simulator \
-          net by net.")
+         "Audit the analytical power model net by net against a measured \
+          backend: the switch-level simulator or the Monte-Carlo engine.")
     Term.(
-      const run $ circuit_arg $ scenario_arg $ seed_arg $ horizon_arg
-      $ warmup_arg $ vcd_arg $ probe_internals_arg $ top_arg $ json_arg
-      $ ndjson_arg $ fail_above_arg $ obs_term)
+      const run $ circuit_arg $ scenario_arg $ seed_arg $ backend_arg
+      $ samples_arg $ jobs_arg $ horizon_arg $ warmup_arg $ vcd_arg
+      $ probe_internals_arg $ top_arg $ json_arg $ ndjson_arg $ fail_above_arg
+      $ obs_term)
 
 (* --- delay --- *)
 
@@ -887,7 +1014,8 @@ let fuzz_cmd =
     let doc =
       "Run only this property (repeatable). One of: exactness, sim-power, \
        vcd-roundtrip, function, optimizer, io-roundtrip, densities, \
-       attribution, parallel-determinism, sp-orderings, archive-roundtrip."
+       attribution, parallel-determinism, sp-orderings, archive-roundtrip, \
+       mc-convergence."
     in
     Arg.(value & opt_all string [] & info [ "property"; "p" ] ~docv:"NAME" ~doc)
   in

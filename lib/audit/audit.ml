@@ -16,6 +16,7 @@ type net_row = {
   prob_err : float;
   pred_density : float;
   meas_density : float;
+  meas_density_se : float;
   density_err_pct : float;
   toggles : int;
   sim_energy : float;
@@ -42,36 +43,114 @@ type summary = {
   total_err_pct : float;
 }
 
+type measurement = Sim_result of Sim.result | Mc_result of Mc.result
+
 type t = {
   circuit : string;
+  backend : Power.Backend.t;
   window : float;
   net_rows : net_row array;
   gate_rows : gate_row array;
   summary : summary;
-  result : Sim.result;
+  measurement : measurement;
 }
+
+let sim_result t =
+  match t.measurement with
+  | Sim_result r -> r
+  | Mc_result _ -> invalid_arg "Audit.sim_result: audit ran the mc backend"
+
+let mc_result t =
+  match t.measurement with
+  | Mc_result m -> m
+  | Sim_result _ ->
+      invalid_arg "Audit.mc_result: audit ran the switchsim backend"
 
 let signed_pct ~floor pred meas =
   100. *. (pred -. meas) /. Float.max (Float.abs meas) floor
 
-let run table ?external_load ?sim ?observer ?(warmup = 0.) ?(min_toggles = 8)
-    ~rng ~inputs ~horizon circuit =
+let run table ?external_load ?(backend = Power.Backend.Switchsim) ?sim
+    ?observer ?(warmup = 0.) ?(min_toggles = 8) ?samples ?pool ~rng ~inputs
+    ~horizon circuit =
   Obs.span "audit.run" @@ fun () ->
   let proc = Power.Model.process table in
   let analysis = Power.Analysis.run table circuit ~inputs in
   let breakdown = Power.Estimate.circuit table ?external_load circuit analysis in
-  let sim =
-    match sim with
-    | Some s -> s
-    | None -> Sim.build proc ?external_load circuit
+  let measurement =
+    match backend with
+    | Power.Backend.Analytical ->
+        invalid_arg
+          "Audit.run: the analytical model is the predicted side; measure \
+           with the switchsim or mc backend"
+    | Power.Backend.Switchsim ->
+        let sim =
+          match sim with
+          | Some s -> s
+          | None -> Sim.build proc ?external_load circuit
+        in
+        Sim_result
+          (Sim.run_stats sim ~rng ~stats:inputs ~horizon ~warmup ?observer ())
+    | Power.Backend.Mc ->
+        (* Deterministic per caller seed: the engine wants an integer
+           seed for its per-block split streams, so derive one from the
+           caller's stream. *)
+        let seed = Int64.to_int (Int64.logand (Stoch.Rng.bits64 rng) 0x3FFFFFFFL) in
+        Mc_result (Mc.estimate table ?external_load ?pool ?samples ~seed ~inputs circuit)
   in
-  let r = Sim.run_stats sim ~rng ~stats:inputs ~horizon ~warmup ?observer () in
-  let window = r.Sim.horizon in
+  let window =
+    match measurement with
+    | Sim_result r -> r.Sim.horizon
+    | Mc_result m -> m.Mc.window
+  in
+  (* One measured toggle is the density resolution of the instrument:
+     the whole window for the simulator, the summed lane-time for MC. *)
+  let density_floor =
+    match measurement with
+    | Sim_result r -> 1. /. r.Sim.horizon
+    | Mc_result m -> 1. /. (float_of_int m.Mc.trajectories *. m.Mc.window)
+  in
+  let meas_stats net =
+    match measurement with
+    | Sim_result r -> Sim.measured_stats r net
+    | Mc_result m -> Mc.measured_stats m net
+  in
+  let meas_se net =
+    match measurement with
+    | Sim_result _ -> 0.
+    | Mc_result m -> m.Mc.density_se.(net)
+  in
+  let net_toggles net =
+    match measurement with
+    | Sim_result r -> r.Sim.net_toggles.(net)
+    | Mc_result m -> m.Mc.net_toggles.(net)
+  in
+  let net_energy net =
+    match measurement with
+    | Sim_result r -> r.Sim.per_net_energy.(net)
+    | Mc_result m -> m.Mc.per_net_energy.(net)
+  in
+  (* MC evaluates functionally, so it sees output-node switching only:
+     compare it against the model's output-node share, not the full
+     gate power (which includes internal-node charging). *)
+  let gate_model_power g =
+    match measurement with
+    | Sim_result _ -> breakdown.Power.Estimate.per_gate.(g)
+    | Mc_result _ ->
+        let gate = C.gate_at circuit g in
+        (Power.Estimate.gate table ?external_load circuit analysis g
+           ~config:gate.C.config)
+          .Power.Model.output
+  in
+  let gate_meas_power g =
+    match measurement with
+    | Sim_result r -> r.Sim.per_gate_energy.(g) /. window
+    | Mc_result m -> m.Mc.per_gate_energy.(g) /. window
+  in
   let levels = C.levels circuit in
   let net_rows =
     Array.init (C.net_count circuit) (fun net ->
         let pred = Power.Analysis.stats analysis net in
-        let meas = Sim.measured_stats r net in
+        let meas = meas_stats net in
         let pred_prob = Stoch.Signal_stats.prob pred in
         let meas_prob = Stoch.Signal_stats.prob meas in
         let pred_density = Stoch.Signal_stats.density pred in
@@ -84,10 +163,10 @@ let run table ?external_load ?sim ?observer ?(warmup = 0.) ?(min_toggles = 8)
                 Cell.Gate.name (C.gate_at circuit g).C.cell,
                 levels.(g) )
         in
-        let toggles = r.Sim.net_toggles.(net) in
+        let toggles = net_toggles net in
         let prob_err = Float.abs (pred_prob -. meas_prob) in
         let density_err_pct =
-          signed_pct ~floor:(1. /. window) pred_density meas_density
+          signed_pct ~floor:density_floor pred_density meas_density
         in
         Obs.observe d_prob_err prob_err;
         if toggles >= min_toggles then
@@ -104,16 +183,17 @@ let run table ?external_load ?sim ?observer ?(warmup = 0.) ?(min_toggles = 8)
           prob_err;
           pred_density;
           meas_density;
+          meas_density_se = meas_se net;
           density_err_pct;
           toggles;
-          sim_energy = r.Sim.per_net_energy.(net);
+          sim_energy = net_energy net;
         })
   in
   let gate_rows =
     Array.init (C.gate_count circuit) (fun g ->
         let gate = C.gate_at circuit g in
-        let model_power = breakdown.Power.Estimate.per_gate.(g) in
-        let sim_power = r.Sim.per_gate_energy.(g) /. window in
+        let model_power = gate_model_power g in
+        let sim_power = gate_meas_power g in
         {
           gate = g;
           cell = Cell.Gate.name gate.C.cell;
@@ -130,8 +210,16 @@ let run table ?external_load ?sim ?observer ?(warmup = 0.) ?(min_toggles = 8)
   in
   let maxi f l = List.fold_left (fun a x -> Float.max a (f x)) 0. l in
   let all = Array.to_list net_rows in
-  let model_total = breakdown.Power.Estimate.total in
-  let sim_total = r.Sim.power in
+  let model_total =
+    match measurement with
+    | Sim_result _ -> breakdown.Power.Estimate.total
+    | Mc_result _ -> breakdown.Power.Estimate.output
+  in
+  let sim_total =
+    match measurement with
+    | Sim_result r -> r.Sim.power
+    | Mc_result m -> m.Mc.power
+  in
   let summary =
     {
       nets = Array.length net_rows;
@@ -145,7 +233,8 @@ let run table ?external_load ?sim ?observer ?(warmup = 0.) ?(min_toggles = 8)
       total_err_pct = signed_pct ~floor:1e-12 model_total sim_total;
     }
   in
-  { circuit = C.name circuit; window; net_rows; gate_rows; summary; result = r }
+  { circuit = C.name circuit; backend; window; net_rows; gate_rows; summary;
+    measurement }
 
 let take top l =
   let rec go n = function
@@ -177,9 +266,19 @@ let worst_gates ?top t =
 let render ?(top = 10) t =
   let b = Buffer.create 2048 in
   let s = t.summary in
+  let instrument =
+    match t.measurement with
+    | Sim_result _ -> ""
+    | Mc_result m ->
+        Printf.sprintf "; mc: %d samples in %d blocks, dt %s" m.Mc.samples
+          m.Mc.blocks
+          (Report.Table.cell_time m.Mc.dt)
+  in
   Buffer.add_string b
-    (Printf.sprintf "audit: %s over %s (%d nets, %d active)\n" t.circuit
-       (Report.Table.cell_time t.window) s.nets s.active_nets);
+    (Printf.sprintf "audit: %s vs %s over %s (%d nets, %d active%s)\n"
+       t.circuit
+       (Power.Backend.name t.backend)
+       (Report.Table.cell_time t.window) s.nets s.active_nets instrument);
   Buffer.add_string b
     (Printf.sprintf "  density error: mean %.1f%%  max %.1f%%  (active nets)\n"
        s.mean_density_err_pct s.max_density_err_pct);
@@ -258,12 +357,14 @@ let str = Trace.Json.escape
 
 let net_row_json n =
   Printf.sprintf
-    "{\"net\":%d,\"name\":%s,\"driver\":%s,\"driver_gate\":%s,\"fanout\":%d,\"depth\":%d,\"pred_prob\":%s,\"meas_prob\":%s,\"prob_err\":%s,\"pred_density\":%s,\"meas_density\":%s,\"density_err_pct\":%s,\"toggles\":%d,\"sim_energy\":%s}"
+    "{\"net\":%d,\"name\":%s,\"driver\":%s,\"driver_gate\":%s,\"fanout\":%d,\"depth\":%d,\"pred_prob\":%s,\"meas_prob\":%s,\"prob_err\":%s,\"pred_density\":%s,\"meas_density\":%s,\"meas_density_se\":%s,\"density_err_pct\":%s,\"toggles\":%d,\"sim_energy\":%s}"
     n.net (str n.name) (str n.driver)
     (match n.driver_gate with None -> "null" | Some g -> string_of_int g)
     n.fanout n.depth (json_float n.pred_prob) (json_float n.meas_prob)
     (json_float n.prob_err) (json_float n.pred_density)
-    (json_float n.meas_density) (json_float n.density_err_pct) n.toggles
+    (json_float n.meas_density)
+    (json_float n.meas_density_se)
+    (json_float n.density_err_pct) n.toggles
     (json_float n.sim_energy)
 
 let gate_row_json g =
@@ -275,8 +376,10 @@ let gate_row_json g =
 let summary_json t =
   let s = t.summary in
   Printf.sprintf
-    "{\"circuit\":%s,\"window\":%s,\"nets\":%d,\"active_nets\":%d,\"mean_density_err_pct\":%s,\"max_density_err_pct\":%s,\"mean_prob_err\":%s,\"max_prob_err\":%s,\"model_total\":%s,\"sim_total\":%s,\"total_err_pct\":%s}"
-    (str t.circuit) (json_float t.window) s.nets s.active_nets
+    "{\"circuit\":%s,\"backend\":%s,\"window\":%s,\"nets\":%d,\"active_nets\":%d,\"mean_density_err_pct\":%s,\"max_density_err_pct\":%s,\"mean_prob_err\":%s,\"max_prob_err\":%s,\"model_total\":%s,\"sim_total\":%s,\"total_err_pct\":%s}"
+    (str t.circuit)
+    (str (Power.Backend.name t.backend))
+    (json_float t.window) s.nets s.active_nets
     (json_float s.mean_density_err_pct)
     (json_float s.max_density_err_pct)
     (json_float s.mean_prob_err) (json_float s.max_prob_err)

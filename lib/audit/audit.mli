@@ -1,17 +1,24 @@
-(** Per-net calibration audit: the analytical model against the
-    switch-level simulator, net by net.
+(** Per-net calibration audit: the analytical model against a
+    measurement backend, net by net.
 
     The paper validates its probabilistic power model (§3–§4) against a
     switch-level simulation only at whole-circuit granularity (Table 3,
     columns E vs S). This audit performs the same comparison {e per
     net}: one analytical propagation ({!Power.Analysis.run}) and one
-    simulation of the same circuit under the same input statistics, then
-    an inner join on net id of predicted vs measured equilibrium
-    probability and transition density, plus model vs simulated power
-    per gate. Every net appears in both sides by construction — the
-    measured side is {!Switchsim.Sim.measured_stats} over the very
-    result whose [net_toggles] define measured density
-    ([toggles / window], exactly).
+    measurement of the same circuit under the same input statistics,
+    then an inner join on net id of predicted vs measured equilibrium
+    probability and transition density, plus model vs measured power
+    per gate. Every net appears in both sides by construction.
+
+    The measured side is selected by {!Power.Backend}: [Switchsim]
+    (default) is the event-driven simulator — measured density IS
+    [net_toggles / window] over the very {!Switchsim.Sim.result}
+    audited; [Mc] is the bit-parallel Monte-Carlo engine ({!Mc}) —
+    correlation-exact densities with per-net standard errors, far more
+    samples per second than the simulator, at the price of modeling
+    output-node switching only (gate rows compare against the model's
+    output-node share; [Analytical] is rejected — it is the predicted
+    side).
 
     Error distributions are published through {!Obs} under
     [audit.net_density_error_percent] (absolute percent error, active
@@ -30,9 +37,14 @@ type net_row = {
   meas_prob : float;
   prob_err : float;  (** [abs (pred - meas)] *)
   pred_density : float;  (** 1/s *)
-  meas_density : float;  (** [toggles /. window], 1/s *)
+  meas_density : float;  (** 1/s; [toggles /. window] under switchsim *)
+  meas_density_se : float;
+      (** standard error of [meas_density] (mc backend; 0 under
+          switchsim, which reports no error estimate) *)
   density_err_pct : float;
-      (** signed, [100 (pred - meas) / max meas (1 / window)] *)
+      (** signed, [100 (pred - meas) / max meas floor] where [floor] is
+          one measured toggle (per window, or per summed lane-time
+          under mc) *)
   toggles : int;
   sim_energy : float;  (** J deposited against this net *)
 }
@@ -58,35 +70,54 @@ type summary = {
   total_err_pct : float;  (** signed *)
 }
 
+type measurement =
+  | Sim_result of Switchsim.Sim.result
+  | Mc_result of Mc.result  (** the measurement audited against *)
+
 type t = {
   circuit : string;
-  window : float;  (** measurement window, s *)
+  backend : Power.Backend.t;  (** the measured side *)
+  window : float;
+      (** measurement window, s (per-trajectory window under mc) *)
   net_rows : net_row array;  (** by net id — no net missing *)
   gate_rows : gate_row array;  (** by gate index *)
   summary : summary;
-  result : Switchsim.Sim.result;  (** the simulation audited against *)
+  measurement : measurement;
 }
+
+val sim_result : t -> Switchsim.Sim.result
+(** @raise Invalid_argument if the audit ran the mc backend. *)
+
+val mc_result : t -> Mc.result
+(** @raise Invalid_argument if the audit ran the switchsim backend. *)
 
 val run :
   Power.Model.table ->
   ?external_load:float ->
+  ?backend:Power.Backend.t ->
   ?sim:Switchsim.Sim.t ->
   ?observer:Switchsim.Sim.observer ->
   ?warmup:float ->
   ?min_toggles:int ->
+  ?samples:int ->
+  ?pool:Par.Pool.t ->
   rng:Stoch.Rng.t ->
   inputs:(Netlist.Circuit.net -> Stoch.Signal_stats.t) ->
   horizon:float ->
   Netlist.Circuit.t ->
   t
-(** Runs both sides and joins them. [sim] reuses an already-built
-    simulation structure (it must be for this circuit); [observer] is
-    forwarded to the run, so a VCD dump can be recorded from the exact
-    simulation being audited. [min_toggles] (default 8) sets the
-    activity threshold below which a net's density error is reported
-    but excluded from the summary and the Obs distribution (relative
-    error on a handful of toggles is noise, not calibration signal).
-    Wrapped in the [audit.run] span. *)
+(** Runs both sides and joins them. [backend] (default [Switchsim])
+    selects the measured side; [Analytical] raises [Invalid_argument].
+    [sim] reuses an already-built simulation structure (it must be for
+    this circuit); [observer] is forwarded to the run, so a VCD dump
+    can be recorded from the exact simulation being audited (switchsim
+    backend only). [samples] and [pool] parameterize the mc backend
+    (see {!Mc.estimate}; the mc seed is drawn from [rng], and [horizon]
+    and [warmup] are ignored — the sample count sets the window).
+    [min_toggles] (default 8) sets the activity threshold below which a
+    net's density error is reported but excluded from the summary and
+    the Obs distribution (relative error on a handful of toggles is
+    noise, not calibration signal). Wrapped in the [audit.run] span. *)
 
 val worst_nets : ?top:int -> t -> net_row list
 (** Active nets ranked by absolute density error (worst first), then

@@ -1,0 +1,17 @@
+type t = Analytical | Mc | Switchsim
+
+let all = [ Analytical; Mc; Switchsim ]
+
+let name = function
+  | Analytical -> "analytical"
+  | Mc -> "mc"
+  | Switchsim -> "switchsim"
+
+let of_name s =
+  match String.lowercase_ascii (String.trim s) with
+  | "analytical" | "model" -> Analytical
+  | "mc" | "montecarlo" | "monte-carlo" -> Mc
+  | "switchsim" | "sim" -> Switchsim
+  | _ -> raise Not_found
+
+let pp fmt t = Format.pp_print_string fmt (name t)

@@ -1,0 +1,25 @@
+(** Estimation-backend selector.
+
+    The pipeline can obtain per-net activity (and from it power) three
+    independent ways: the paper's analytical propagation
+    ({!Power.Analysis} + {!Power.Estimate}), the bit-parallel
+    Monte-Carlo engine ([Mc], correlation-exact sampling of the same
+    Markov input model), and the event-driven switch-level simulator
+    ([Switchsim.Sim], the measurement instrument of Table 3). This
+    module only names the choice — the dispatch lives with the callers
+    ([Audit], the CLI) so that [lib/power] does not depend on the
+    simulators. *)
+
+type t = Analytical | Mc | Switchsim
+
+val all : t list
+(** In the order above. *)
+
+val name : t -> string
+(** ["analytical"], ["mc"], ["switchsim"]. *)
+
+val of_name : string -> t
+(** Case-insensitive inverse of {!name}.
+    @raise Not_found on anything else. *)
+
+val pp : Format.formatter -> t -> unit

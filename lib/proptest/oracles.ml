@@ -569,6 +569,102 @@ let check_archive_roundtrip ~seed c =
               if Runlog.is_clean d then Pass
               else fail "self-diff is not clean:\n%s" (Runlog.render_diff d)))
 
+(* --- 12. mc convergence: bit-parallel Monte-Carlo vs the others --- *)
+
+(* Two halves. (a) Function preservation, exact: every lane of the
+   word-parallel evaluator equals the scalar evaluator on that lane's
+   vector. (b) Statistical convergence: MC per-net densities at a fixed
+   seed agree with a switch-level simulation of the same input model
+   within a few standard errors of BOTH estimators (each side carries
+   its own sampling noise; the relative term covers MC's time
+   discretization, which sees at most one transition per net per step). *)
+
+let mc_sim_horizon = 500.
+let mc_samples = 65536
+
+let check_mc_convergence ~seed c =
+  (* (a) exact per-lane agreement with Netlist.Eval *)
+  let rng = Stoch.Rng.create (seed + 0x6dc0) in
+  let words =
+    List.map (fun net -> (net, Stoch.Rng.bits64 rng)) (C.primary_inputs c)
+  in
+  let values = Mc.eval_nets c ~inputs:(fun net -> List.assoc net words) in
+  let rec lanes = function
+    | [] -> Pass
+    | lane :: rest -> (
+        let bit net = (Mc.unpack (List.assoc net words)).(lane) in
+        let expected = Netlist.Eval.nets c ~inputs:bit in
+        let mismatch =
+          List.find_opt
+            (fun net -> (Mc.unpack values.(net)).(lane) <> expected.(net))
+            (List.init (C.net_count c) Fun.id)
+        in
+        match mismatch with
+        | Some net ->
+            fail "lane %d: word eval says %b on %s, scalar eval %b" lane
+              (Mc.unpack values.(net)).(lane)
+              (C.net_name c net) expected.(net)
+        | None -> lanes rest)
+  in
+  let* () = lanes [ 0; 31; 63 ] in
+  (* (b) density convergence against the simulator *)
+  let inputs = Gen.input_stats ~seed c in
+  let r =
+    Mc.estimate (power ()) ~samples:mc_samples ~seed:(seed + 0x3c) ~inputs c
+  in
+  let sim = Switchsim.Sim.build proc c in
+  let sr =
+    Switchsim.Sim.run_stats sim
+      ~rng:(Stoch.Rng.create (seed + 0x51a))
+      ~stats:inputs ~horizon:mc_sim_horizon ~warmup:(0.1 *. mc_sim_horizon) ()
+  in
+  let window = sr.Switchsim.Sim.horizon in
+  (* The simulator's single finite realization carries two kinds of
+     noise: Poisson noise on each net's toggle count, and a correlated
+     component from slow inputs — a telegraph input with correlation
+     time tau = 1/(r01 + r10) = 2 P (1-P) / D whose realized duty cycle
+     drifts over the window drags every downstream density with it.
+     Bound both, taking the slowest input's tau as the circuit-wide
+     correlation scale. *)
+  let tau_max =
+    List.fold_left
+      (fun acc net ->
+        let s = inputs net in
+        let p = Stoch.Signal_stats.prob s
+        and d = Stoch.Signal_stats.density s in
+        if d <= 0. then acc
+        else Float.max acc (2. *. p *. (1. -. p) /. d))
+      0. (C.primary_inputs c)
+  in
+  let corr = sqrt (2. *. tau_max /. window) in
+  all_nets c 0 ~f:(fun net ->
+      let toggles = sr.Switchsim.Sim.net_toggles.(net) in
+      if toggles < 16 then Pass (* below the simulator's own resolution *)
+      else
+        let d_sim = float_of_int toggles /. window in
+        let d_mc = r.Mc.density.(net) in
+        let d_ref = Float.max d_sim d_mc in
+        let se_sim = sqrt (float_of_int toggles) /. window in
+        let bound =
+          (4. *. (r.Mc.density_se.(net) +. se_sim +. (d_ref *. corr)))
+          +. (0.06 *. d_ref)
+        in
+        let* () =
+          if Float.abs (d_mc -. d_sim) <= bound then Pass
+          else
+            fail "net %s: mc density %.4g vs simulated %.4g (bound %.4g)"
+              (C.net_name c net) d_mc d_sim bound
+        in
+        let p_sim =
+          Stoch.Signal_stats.prob (Switchsim.Sim.measured_stats sr net)
+        in
+        let se_p_sim = sqrt (p_sim *. (1. -. p_sim)) *. corr in
+        let p_bound = (4. *. (r.Mc.prob_se.(net) +. se_p_sim)) +. 0.02 in
+        if Float.abs (r.Mc.prob.(net) -. p_sim) <= p_bound then Pass
+        else
+          fail "net %s: mc probability %.4g vs simulated %.4g (bound %.4g)"
+            (C.net_name c net) r.Mc.prob.(net) p_sim p_bound)
+
 (* --- registry --- *)
 
 let circuit_prop name generate check =
@@ -601,6 +697,7 @@ let all () =
         check = check_sp_orderings;
       };
     circuit_prop "archive-roundtrip" Gen.circuit check_archive_roundtrip;
+    circuit_prop "mc-convergence" Gen.circuit check_mc_convergence;
   ]
 
 let names () = List.map Runner.name (all ())

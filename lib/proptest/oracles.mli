@@ -50,6 +50,15 @@
       manifest fields, parameters, and every per-gate configuration and
       [%.17g]-rendered power survive the JSON round-trip, and the
       record's diff against itself is clean.
+    - [mc-convergence] — the bit-parallel Monte-Carlo engine ({!Mc})
+      agrees with the rest of the stack twice over: every lane of
+      {!Mc.eval_nets} equals the scalar {!Netlist.Eval.nets} on that
+      lane's input vector (exactly), and per-net MC densities and
+      probabilities at a fixed seed match a {!Switchsim.Sim.run_stats}
+      run of the same input model within a few standard errors of both
+      estimators (each side carries its own sampling noise; a small
+      relative term covers MC's one-transition-per-step time
+      discretization).
 
     All properties share one power-model / delay table pair built from
     {!Cell.Process.default} (module state, built lazily). *)

@@ -38,10 +38,10 @@ let test_exact_join_on_suite () =
           Alcotest.(check (float 0.))
             (Printf.sprintf "%s net %s: density = toggles / window" name
                row.Audit.name)
-            (float_of_int a.Audit.result.Sim.net_toggles.(net) /. a.Audit.window)
+            (float_of_int (Audit.sim_result a).Sim.net_toggles.(net) /. a.Audit.window)
             row.Audit.meas_density;
           Alcotest.(check int) "toggles come from the same run"
-            a.Audit.result.Sim.net_toggles.(net)
+            (Audit.sim_result a).Sim.net_toggles.(net)
             row.Audit.toggles;
           Alcotest.(check bool) "predictions are finite" true
             (Float.is_finite row.Audit.pred_density
@@ -80,10 +80,70 @@ let test_vcd_roundtrip_on_suite () =
         | Some n ->
             Alcotest.(check int)
               (Printf.sprintf "%s net %s toggles round-trip" name key)
-              a.Audit.result.Sim.net_toggles.(net)
+              (Audit.sim_result a).Sim.net_toggles.(net)
               n
       done)
     (Circuits.Suite.all ())
+
+(* --- mc backend acceptance --- *)
+
+let run_mc_audit ?samples ~seed circuit =
+  let inputs =
+    Power.Scenario.input_stats
+      ~rng:(Stoch.Rng.create seed)
+      Power.Scenario.A circuit
+  in
+  Audit.run (Lazy.force table) ~backend:Power.Backend.Mc ?samples
+    ~rng:(Stoch.Rng.create (seed + 1))
+    ~inputs ~horizon circuit
+
+(* The mc backend must join exactly the same net set as the simulator
+   backend: every net present, rows indexed by net id, all measured
+   quantities finite, standard errors reported. *)
+let test_mc_join_on_suite () =
+  List.iter
+    (fun (name, circuit) ->
+      let a = run_mc_audit ~samples:16384 ~seed:42 circuit in
+      Alcotest.(check int)
+        (Printf.sprintf "%s: every net is in the mc join" name)
+        (C.net_count circuit)
+        (Array.length a.Audit.net_rows);
+      Array.iteri
+        (fun net (row : Audit.net_row) ->
+          Alcotest.(check int) "rows are indexed by net id" net row.Audit.net;
+          Alcotest.(check bool) "measured side is finite" true
+            (Float.is_finite row.Audit.meas_density
+            && Float.is_finite row.Audit.meas_prob
+            && Float.is_finite row.Audit.meas_density_se
+            && row.Audit.meas_density_se >= 0.);
+          Alcotest.(check bool) "toggles counted" true (row.Audit.toggles >= 0))
+        a.Audit.net_rows;
+      Alcotest.(check int)
+        (Printf.sprintf "%s: every gate is in the mc join" name)
+        (C.gate_count circuit)
+        (Array.length a.Audit.gate_rows);
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: backend recorded" name)
+        true
+        (a.Audit.backend = Power.Backend.Mc))
+    (Circuits.Suite.all ())
+
+(* On read-once trees the spatial-independence assumption holds, so the
+   analytical densities are exact in expectation and the mc measurement
+   must agree within sampling tolerance. *)
+let test_mc_agrees_with_analytical_on_trees () =
+  List.iter
+    (fun (name, circuit) ->
+      let a = run_mc_audit ~samples:262144 ~seed:42 circuit in
+      let s = a.Audit.summary in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: mc mean density error %.2f%% < 5%%" name
+           s.Audit.mean_density_err_pct)
+        true
+        (s.Audit.mean_density_err_pct < 5.))
+    (List.filter
+       (fun (name, _) -> String.length name >= 4 && String.sub name 0 4 = "tree")
+       (Circuits.Suite.all ()))
 
 let test_audit_uses_the_given_sim () =
   (* Passing ~sim must audit against that structure (configs baked in),
@@ -167,6 +227,10 @@ let () =
             test_exact_join_on_suite;
           Alcotest.test_case "vcd round-trips on every suite circuit" `Quick
             test_vcd_roundtrip_on_suite;
+          Alcotest.test_case "mc backend joins every suite circuit" `Quick
+            test_mc_join_on_suite;
+          Alcotest.test_case "mc agrees with the model on trees" `Quick
+            test_mc_agrees_with_analytical_on_trees;
         ] );
       ( "plumbing",
         [

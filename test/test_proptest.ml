@@ -163,8 +163,10 @@ let test_runner_counters () =
     (Obs.value (Obs.counter "proptest.counterexamples") > cexs)
 
 let test_oracle_registry () =
-  Alcotest.(check int) "eleven oracles" 11
+  Alcotest.(check int) "twelve oracles" 12
     (List.length (Proptest.Oracles.all ()));
+  Alcotest.(check bool) "find mc oracle" true
+    (Proptest.Oracles.find "mc-convergence" <> None);
   Alcotest.(check bool) "find known" true
     (Proptest.Oracles.find "io-roundtrip" <> None);
   Alcotest.(check bool) "find archive oracle" true

@@ -30,6 +30,69 @@ let test_rng_split_independent () =
   let xa = Stoch.Rng.bits64 a and xb = Stoch.Rng.bits64 b in
   Alcotest.(check bool) "split streams differ" true (xa <> xb)
 
+(* Pearson chi-squared of observed byte counts against uniform. 255
+   degrees of freedom: mean 255, sd ~22.6; the bound below is ~8 sd out,
+   so a correct generator never trips it at these fixed seeds while a
+   broken split (overlapping or correlated streams) blows past it. *)
+let chi2_bytes draw ~draws =
+  let counts = Array.make 256 0 in
+  for _ = 1 to draws do
+    let w = draw () in
+    for byte = 0 to 7 do
+      let v =
+        Int64.to_int (Int64.logand (Int64.shift_right_logical w (8 * byte)) 0xFFL)
+      in
+      counts.(v) <- counts.(v) + 1
+    done
+  done;
+  let expected = float_of_int (8 * draws) /. 256. in
+  Array.fold_left
+    (fun acc c ->
+      let d = float_of_int c -. expected in
+      acc +. (d *. d /. expected))
+    0. counts
+
+let chi2_bound = 437. (* chi2_{0.9999, 255} rounded up *)
+
+(* The per-block stream scheme the MC engine relies on: streams split
+   off one master must be marginally uniform AND mutually independent.
+   The second chi-squared runs on XORs of lane-aligned draws from
+   adjacent split streams — overlap or correlation between streams
+   would collapse the XOR distribution far from uniform. *)
+let test_rng_split_chi_squared () =
+  let master = Stoch.Rng.create 42 in
+  let streams = Array.init 8 (fun _ -> Stoch.Rng.split master) in
+  (* pooled marginal uniformity over every split stream *)
+  let i = ref 0 in
+  let pooled () =
+    let s = streams.(!i mod 8) in
+    incr i;
+    Stoch.Rng.bits64 s
+  in
+  let chi2 = chi2_bytes pooled ~draws:4096 in
+  Alcotest.(check bool)
+    (Printf.sprintf "pooled split-stream bytes uniform (chi2 %.0f < %.0f)"
+       chi2 chi2_bound)
+    true (chi2 < chi2_bound);
+  (* pairwise independence: XOR of aligned draws is uniform too *)
+  let streams = Array.init 8 (fun _ -> Stoch.Rng.split master) in
+  let j = ref 0 in
+  let xored () =
+    let pair = !j mod 7 in
+    incr j;
+    Int64.logxor
+      (Stoch.Rng.bits64 streams.(pair))
+      (Stoch.Rng.bits64 streams.(pair + 1))
+  in
+  let chi2 = chi2_bytes xored ~draws:4096 in
+  Alcotest.(check bool)
+    (Printf.sprintf "xor of adjacent split streams uniform (chi2 %.0f < %.0f)"
+       chi2 chi2_bound)
+    true (chi2 < chi2_bound);
+  (* and the master keeps its own stream usable after every split *)
+  let after = Stoch.Rng.bits64 master in
+  Alcotest.(check bool) "master still advances" true (after <> 0L)
+
 let test_float_range () =
   let rng = Stoch.Rng.create 3 in
   for _ = 1 to 1000 do
@@ -216,6 +279,8 @@ let () =
           Alcotest.test_case "seed sensitivity" `Quick test_rng_seed_sensitivity;
           Alcotest.test_case "copy independent" `Quick test_rng_copy_independent;
           Alcotest.test_case "split independent" `Quick test_rng_split_independent;
+          Alcotest.test_case "split streams chi-squared" `Quick
+            test_rng_split_chi_squared;
           Alcotest.test_case "float range" `Quick test_float_range;
           Alcotest.test_case "float mean" `Slow test_float_mean;
           Alcotest.test_case "int bounds" `Quick test_int_bounds;
