@@ -1,4 +1,4 @@
-.PHONY: all build test bench bench-check audit mc doc clean examples check fmt fuzz runs-diff
+.PHONY: all build test bench bench-check audit mc telemetry doc clean examples check fmt fuzz runs-diff
 
 all: build
 
@@ -44,12 +44,12 @@ bench:
 # (--no-time), so the gate is stable across machines. Refresh the
 # fixture after an intentional behaviour change with:
 #   dune exec bench/main.exe -- --out bench/baseline_check.json \
-#     table1 table2 probe_overhead perf_mc
+#     table1 table2 probe_overhead perf_mc telemetry_overhead
 BENCH_BASELINE ?= bench/baseline_check.json
 bench-check:
 	dune exec bench/main.exe -- --baseline $(BENCH_BASELINE) \
 	  --check --no-time --out /tmp/bench_check_obs.json \
-	  table1 table2 probe_overhead perf_mc
+	  table1 table2 probe_overhead perf_mc telemetry_overhead
 
 # Cross-run provenance diff: compare two archived run records (or the
 # latest run under two archive roots). Produce records with the
@@ -81,10 +81,23 @@ mc:
 	  --samples $(SAMPLES) --seed $(SEED) $(if $(JOBS),--jobs $(JOBS)) \
 	  --fail-above $(MC_BOUND) --stats
 
+# Live-telemetry smoke: optimize with a fast sampler, then verify the
+# heartbeat stream and the OpenMetrics exposition agree with the run
+# (the same check the @check alias runs hermetically in _build).
+telemetry:
+	dune exec bin/treorder_cli.exe -- optimize rca16 --seed 42 --jobs 2 \
+	  --telemetry-interval 0.01 --metrics /tmp/treorder_metrics.prom \
+	  --trace /tmp/treorder_telemetry.ndjson
+	dune exec bin/treorder_cli.exe -- trace telemetry \
+	  /tmp/treorder_telemetry.ndjson --metrics /tmp/treorder_metrics.prom \
+	  --min-heartbeats 3 --max-sample-ns 200000000
+	dune exec bin/treorder_cli.exe -- top --replay /tmp/treorder_telemetry.ndjson
+
 # Individual reproduction targets, e.g. `make table3`
 table1 table2 figure5 table3_a table3_b adder_profile ablation_delay \
 ablation_inputreorder model_accuracy glitch sensitivity exactness \
-sequential gate_accuracy proptest probe_overhead perf perf_parallel perf_mc:
+sequential gate_accuracy proptest probe_overhead perf perf_parallel \
+perf_mc telemetry_overhead:
 	dune exec bench/main.exe -- $@
 
 examples:

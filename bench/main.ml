@@ -7,7 +7,7 @@
      dune exec bench/main.exe -- table3_a perf
    Targets: table1 table2 figure5 table3_a table3_b adder_profile
             ablation_delay ablation_inputreorder model_accuracy
-            probe_overhead perf perf_parallel perf_mc *
+            probe_overhead perf perf_parallel perf_mc telemetry_overhead *
 
    Regression gating against a stored BENCH_obs.json:
      dune exec bench/main.exe -- --baseline OLD.json --check table2 perf
@@ -485,6 +485,51 @@ let perf_mc () =
     [ "c17"; "tree16"; "rca8"; "rca16" ];
   Report.Table.print table
 
+(* Telemetry sampler overhead: the same optimizer run with the sampler
+   off and with it ticking at a 1 ms cadence — 250x the production
+   default, so the measured delta is a hard upper bound. The optimizer
+   counters are identical either way (the sampler is read-only) and
+   those are what the fixture gates; the sampler's own obs.sample_ns
+   cost counter is wall-clock in disguise and excluded from the gate
+   like every _ns counter. *)
+let d_tel_overhead = Obs.distribution "telemetry_overhead.percent"
+
+let telemetry_overhead () =
+  section "telemetry_overhead / sampler on vs off";
+  let circuit = Circuits.Suite.find "rca16" in
+  let inputs =
+    Power.Scenario.input_stats ~rng:(Stoch.Rng.create 42) Power.Scenario.A
+      circuit
+  in
+  let run () =
+    let t0 = Unix.gettimeofday () in
+    let r =
+      Reorder.Optimizer.optimize ctx.Experiments.Common.power
+        ~delay:ctx.Experiments.Common.delay circuit ~inputs
+    in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  let off, t_off = run () in
+  Telemetry.start ~interval:0.001 ();
+  let on_, t_on = run () in
+  Telemetry.stop ();
+  (* read-only observer: the optimized result must be bit-identical *)
+  assert (
+    off.Reorder.Optimizer.power_after = on_.Reorder.Optimizer.power_after
+    && off.Reorder.Optimizer.configs = on_.Reorder.Optimizer.configs);
+  let n_samples = List.length (Telemetry.series ()) in
+  let cost_ns = Obs.value (Obs.counter "obs.sample_ns") in
+  Printf.printf
+    "sampler off: %.3f s\nsampler on:  %.3f s (%d samples, %.2f ms \
+     self-measured)\n"
+    t_off t_on n_samples
+    (float_of_int cost_ns /. 1e6);
+  if t_off > 0. then begin
+    let pct = 100. *. ((t_on /. t_off) -. 1.) in
+    Obs.observe d_tel_overhead pct;
+    Printf.printf "overhead: %+.1f%%\n" pct
+  end
+
 (* --- driver --- *)
 
 let targets =
@@ -508,6 +553,7 @@ let targets =
     ("perf", perf);
     ("perf_parallel", perf_parallel);
     ("perf_mc", perf_mc);
+    ("telemetry_overhead", telemetry_overhead);
   ]
 
 let usage () =

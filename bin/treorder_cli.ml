@@ -124,9 +124,38 @@ let obs_term =
              and audit summary when produced) into a new subdirectory of \
              $(docv). Compare records with $(b,treorder runs diff).")
   in
+  let metrics =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "metrics" ] ~docv:"FILE"
+          ~doc:
+            "Write an OpenMetrics/Prometheus text exposition of the live \
+             telemetry to $(docv), rewritten atomically on every sampler \
+             tick (implies the sampler; see $(b,--telemetry-interval)). The \
+             final exposition is also dropped into $(b,--archive) records \
+             as metrics.prom.")
+  in
+  let telemetry =
+    Arg.(
+      value & flag
+      & info [ "telemetry" ]
+          ~doc:
+            "Run the background telemetry sampler even without \
+             $(b,--metrics): heartbeat events (phase, percent, ETA, rates, \
+             pool utilization) land in the $(b,--trace) stream for \
+             $(b,treorder top).")
+  in
+  let interval =
+    Arg.(
+      value & opt float 0.25
+      & info [ "telemetry-interval" ] ~docv:"SECONDS"
+          ~doc:"Telemetry sampler cadence in seconds (default 0.25).")
+  in
   Term.(
-    const (fun stats trace archive -> (stats, trace, archive))
-    $ stats $ trace $ archive)
+    const (fun stats trace archive metrics telemetry interval ->
+        (stats, trace, archive, metrics, telemetry, interval))
+    $ stats $ trace $ archive $ metrics $ telemetry $ interval)
 
 let print_obs_summary () =
   let snap = Obs.snapshot () in
@@ -210,7 +239,7 @@ let print_obs_summary () =
    the command a pending run record to annotate (inputs, parameters,
    attachments) and finalize it — snapshot included — once the command
    has finished. *)
-let with_obs ~cmd (stats, trace, archive) f =
+let with_obs ~cmd (stats, trace, archive, metrics, telemetry, interval) f =
   Obs.reset ();
   Option.iter
     (fun path ->
@@ -220,6 +249,13 @@ let with_obs ~cmd (stats, trace, archive) f =
           Printf.eprintf "error: cannot open trace file: %s\n" msg;
           exit 1)
     trace;
+  (* The sampler starts after the reset (so obs.sample_ns measures this
+     run only) and stops — taking its final forced sample — before the
+     stats summary and the archive snapshot, so all three views agree.
+     Without --metrics/--telemetry it never starts and obs.sample_ns
+     stays 0. *)
+  let sampler_on = telemetry || Option.is_some metrics in
+  if sampler_on then Telemetry.start ~interval ?metrics_file:metrics ();
   let pending =
     Option.map
       (fun _ ->
@@ -228,14 +264,29 @@ let with_obs ~cmd (stats, trace, archive) f =
           ())
       archive
   in
-  Fun.protect ~finally:Obs.close_sink (fun () ->
+  Fun.protect
+    ~finally:(fun () ->
+      Telemetry.stop ();
+      Obs.close_sink ())
+    (fun () ->
       let r = f pending in
+      Telemetry.stop ();
       if stats then print_obs_summary ();
       (match (pending, archive) with
       | Some p, Some dir -> (
           let snapshot_json = Obs.snapshot_to_json (Obs.snapshot ()) in
           match Runlog.write ~dir ~snapshot_json p with
-          | Ok run_dir -> Printf.printf "archived %s\n" run_dir
+          | Ok run_dir ->
+              Printf.printf "archived %s\n" run_dir;
+              if sampler_on then
+                Option.iter
+                  (fun s ->
+                    let oc =
+                      open_out (Filename.concat run_dir "metrics.prom")
+                    in
+                    output_string oc (Telemetry.to_openmetrics s);
+                    close_out oc)
+                  (Telemetry.last ())
           | Error msg ->
               Printf.eprintf "error: cannot write run archive: %s\n" msg;
               exit 1)
@@ -1015,7 +1066,7 @@ let fuzz_cmd =
       "Run only this property (repeatable). One of: exactness, sim-power, \
        vcd-roundtrip, function, optimizer, io-roundtrip, densities, \
        attribution, parallel-determinism, sp-orderings, archive-roundtrip, \
-       mc-convergence."
+       mc-convergence, telemetry-consistency."
     in
     Arg.(value & opt_all string [] & info [ "property"; "p" ] ~docv:"NAME" ~doc)
   in
@@ -1090,10 +1141,27 @@ let trace_report_cmd =
       value & opt int 10
       & info [ "top" ] ~docv:"N" ~doc:"Counters shown (by final value).")
   in
-  let run path top =
+  let flame_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "flame" ] ~docv:"FILE"
+          ~doc:
+            "Also write the span tree as folded stacks (one \
+             \"path;to;span count_ns\" line per frame) for flamegraph \
+             tools.")
+  in
+  let run path top flame =
     let events = load_trace path in
     let tree = Trace.span_tree events in
     print_string (Trace.render_tree tree);
+    Option.iter
+      (fun target ->
+        let oc = open_out target in
+        output_string oc (Trace.to_folded tree);
+        close_out oc;
+        Printf.printf "wrote %s\n" target)
+      flame;
     let counters = Trace.final_counters events in
     if counters <> [] then begin
       print_newline ();
@@ -1117,7 +1185,7 @@ let trace_report_cmd =
        ~doc:
          "Span tree (total/self wall-clock per path) and top counters of a \
           trace.")
-    Term.(const run $ trace_file_arg $ top_counters_arg)
+    Term.(const run $ trace_file_arg $ top_counters_arg $ flame_arg)
 
 let trace_chrome_cmd =
   let out_arg =
@@ -1146,11 +1214,321 @@ let trace_chrome_cmd =
           Perfetto).")
     Term.(const run $ trace_file_arg $ out_arg)
 
+let trace_telemetry_cmd =
+  let metrics_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "metrics" ] ~docv:"FILE"
+          ~doc:
+            "OpenMetrics file written by the same run's --metrics flag; \
+             strictly parsed and cross-checked against the trace's final \
+             counters.")
+  in
+  let min_heartbeats_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "min-heartbeats" ] ~docv:"N"
+          ~doc:"Fail unless the trace holds at least $(docv) heartbeats.")
+  in
+  let max_sample_ns_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "max-sample-ns" ] ~docv:"NS"
+          ~doc:
+            "Fail if the final obs.sample_ns counter (total sampler cost) \
+             exceeds $(docv).")
+  in
+  let run path metrics min_heartbeats max_sample_ns =
+    let events = load_trace path in
+    let failed = ref false in
+    let fail fmt =
+      Printf.ksprintf
+        (fun msg ->
+          Printf.eprintf "FAIL %s\n" msg;
+          failed := true)
+        fmt
+    in
+    (* 1. Heartbeat count, percent bounds, per-phase monotonicity. *)
+    let heartbeats =
+      List.filter_map
+        (function
+          | Trace.Heartbeat { t; phase; percent; _ } ->
+              Some (t, phase, percent)
+          | _ -> None)
+        events
+    in
+    let n_heartbeats = List.length heartbeats in
+    if n_heartbeats < min_heartbeats then
+      fail "expected >= %d heartbeats, trace has %d" min_heartbeats
+        n_heartbeats;
+    let last_percent : (string, float) Hashtbl.t = Hashtbl.create 7 in
+    List.iter
+      (fun (t, phase, percent) ->
+        if percent < 0. || percent > 100. then
+          fail "heartbeat at t=%.3f: percent %.2f outside [0, 100]" t percent;
+        (match Hashtbl.find_opt last_percent phase with
+        | Some prev when percent < prev ->
+            fail
+              "heartbeat at t=%.3f: percent %.2f < %.2f within phase %S \
+               (not monotone)"
+              t percent prev phase
+        | _ -> ());
+        Hashtbl.replace last_percent phase percent)
+      heartbeats;
+    (* 2. Final counters vs the OpenMetrics exposition. The sampler's
+       own obs.* counters are excluded: the final tick's cost lands
+       after that tick read the registry. *)
+    let final = Trace.final_counters events in
+    (match max_sample_ns with
+    | None -> ()
+    | Some bound ->
+        let v =
+          Option.value ~default:0 (List.assoc_opt "obs.sample_ns" final)
+        in
+        if v > bound then
+          fail "obs.sample_ns = %d exceeds --max-sample-ns %d" v bound);
+    (match metrics with
+    | None -> ()
+    | Some mfile ->
+        if not (Sys.file_exists mfile) then fail "no such metrics file %S" mfile
+        else
+          let text = In_channel.with_open_bin mfile In_channel.input_all in
+          (match Telemetry.parse_openmetrics text with
+          | Error msg -> fail "%s: %s" mfile msg
+          | Ok parsed ->
+              List.iter
+                (fun (name, v) ->
+                  if not (String.length name >= 4 && String.sub name 0 4 = "obs.")
+                  then begin
+                    let family, labels = Telemetry.metric_of_counter name in
+                    match
+                      Telemetry.metric_value parsed ~labels (family ^ "_total")
+                    with
+                    | None ->
+                        fail "counter %s missing from %s (expected %s_total)"
+                          name mfile family
+                    | Some mv ->
+                        if Float.abs (mv -. float_of_int v) > 0.5 then
+                          fail "counter %s: trace says %d, %s says %g" name v
+                            mfile mv
+                  end)
+                final))
+    ;
+    if !failed then exit 1;
+    Printf.printf "ok: %d heartbeats, %d counters consistent%s\n" n_heartbeats
+      (List.length final)
+      (match metrics with Some m -> " with " ^ m | None -> "")
+  in
+  Cmd.v
+    (Cmd.info "telemetry"
+       ~doc:
+         "Verify a run's live-telemetry outputs: heartbeat count, percent \
+          monotonicity per phase, strict OpenMetrics parse and \
+          trace-vs-metrics counter agreement. Exit 1 on any violation.")
+    Term.(
+      const run $ trace_file_arg $ metrics_arg $ min_heartbeats_arg
+      $ max_sample_ns_arg)
+
 let trace_cmd =
   Cmd.group
     (Cmd.info "trace"
        ~doc:"Analyze NDJSON traces produced by the --trace flag.")
-    [ trace_report_cmd; trace_chrome_cmd ]
+    [ trace_report_cmd; trace_chrome_cmd; trace_telemetry_cmd ]
+
+(* --- top: live (or replayed) view of a telemetry-bearing trace --- *)
+
+type top_state = {
+  mutable tp_hb :
+    (string * float * float option * (string * float) list * float list) option;
+  tp_counters : (string * int, int) Hashtbl.t;
+      (** keyed (name, dom); display sums across domains, like
+          {!Trace.final_counters} *)
+  mutable tp_events : int;
+  mutable tp_bad_lines : int;
+}
+
+let top_feed st = function
+  | Trace.Heartbeat { phase; percent; eta_s; rates; util; _ } ->
+      st.tp_events <- st.tp_events + 1;
+      st.tp_hb <- Some (phase, percent, eta_s, rates, util)
+  | Trace.Counter { name; value; dom; _ } ->
+      st.tp_events <- st.tp_events + 1;
+      Hashtbl.replace st.tp_counters (name, dom) value
+  | Trace.Span_begin _ | Trace.Span_end _ -> st.tp_events <- st.tp_events + 1
+
+let top_bar frac width =
+  let frac = Float.max 0. (Float.min 1. frac) in
+  let filled = int_of_float ((frac *. float_of_int width) +. 0.5) in
+  "[" ^ String.make filled '#' ^ String.make (width - filled) '-' ^ "]"
+
+let top_render ~final st =
+  let b = Buffer.create 1024 in
+  (match st.tp_hb with
+  | None ->
+      Buffer.add_string b
+        "waiting for heartbeats (run with --metrics or --telemetry)...\n"
+  | Some (phase, percent, eta_s, rates, util) ->
+      Printf.bprintf b "phase    %s\n" (if phase = "" then "-" else phase);
+      Printf.bprintf b "progress %s %5.1f%%%s\n"
+        (top_bar (percent /. 100.) 40)
+        percent
+        (match eta_s with
+        | Some e when not final -> Printf.sprintf "  eta %.1fs" e
+        | _ -> "");
+      List.iteri
+        (fun i u ->
+          Printf.bprintf b "slot %-3d %s %3.0f%% busy\n" i (top_bar u 20)
+            (100. *. u))
+        util;
+      let is_ns_counter name =
+        (* time accumulators (…_ns, par.domain_busy_ns.3): their "rate"
+           is just ns-per-second noise, not work throughput *)
+        let re = "_ns" in
+        let nl = String.length name and rl = String.length re in
+        let rec scan i =
+          i + rl <= nl && (String.sub name i rl = re || scan (i + 1))
+        in
+        scan 0
+      in
+      let ranked =
+        List.filter (fun (name, _) -> not (is_ns_counter name)) rates
+        |> List.sort (fun (_, a) (_, b) -> compare (b : float) a)
+        |> List.filteri (fun i _ -> i < 8)
+      in
+      if ranked <> [] then begin
+        Buffer.add_string b "rates\n";
+        List.iter
+          (fun (name, r) -> Printf.bprintf b "  %-28s %10.1f /s\n" name r)
+          ranked
+      end);
+  if final then begin
+    (* Replay: the run is over, so show where the counters ended up. *)
+    let totals : (string, int) Hashtbl.t = Hashtbl.create 16 in
+    Hashtbl.iter
+      (fun (name, _dom) v ->
+        Hashtbl.replace totals name
+          (v + Option.value ~default:0 (Hashtbl.find_opt totals name)))
+      st.tp_counters;
+    let ranked =
+      Hashtbl.fold (fun name v acc -> (name, v) :: acc) totals []
+      |> List.sort (fun (a, va) (b, vb) ->
+             match compare (vb : int) va with 0 -> compare a b | c -> c)
+      |> List.filteri (fun i _ -> i < 10)
+    in
+    if ranked <> [] then begin
+      Buffer.add_string b "final counters\n";
+      List.iter
+        (fun (name, v) -> Printf.bprintf b "  %-28s %10d\n" name v)
+        ranked
+    end
+  end;
+  Printf.bprintf b "%d events%s\n" st.tp_events
+    (if st.tp_bad_lines > 0 then
+       Printf.sprintf " (%d unparseable lines skipped)" st.tp_bad_lines
+     else "");
+  Buffer.contents b
+
+let top_cmd =
+  let replay_arg =
+    Arg.(
+      value & flag
+      & info [ "replay" ]
+          ~doc:"Parse the whole (finished) trace and render one final frame.")
+  in
+  let interval_arg =
+    Arg.(
+      value & opt float 0.5
+      & info [ "interval" ] ~docv:"SECONDS"
+          ~doc:"Poll cadence in live mode (default 0.5).")
+  in
+  let exit_idle_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "exit-idle" ] ~docv:"SECONDS"
+          ~doc:
+            "In live mode, exit once the trace has grown no further for \
+             $(docv) seconds (default: follow until interrupted).")
+  in
+  let new_state () =
+    {
+      tp_hb = None;
+      tp_counters = Hashtbl.create 16;
+      tp_events = 0;
+      tp_bad_lines = 0;
+    }
+  in
+  let run path replay interval exit_idle =
+    if replay then begin
+      let events = load_trace path in
+      let st = new_state () in
+      List.iter (top_feed st) events;
+      print_string (top_render ~final:true st)
+    end
+    else begin
+      if not (Sys.file_exists path) then begin
+        Printf.eprintf "error: no such trace file %S\n" path;
+        exit 1
+      end;
+      let ic = open_in_bin path in
+      (* Tail the file through our own line buffer: the writer flushes
+         whole lines, but a read can still land mid-line, so complete
+         lines are parsed and the remainder is carried to the next
+         poll. *)
+      let pending = Buffer.create 256 in
+      let chunk = Bytes.create 65536 in
+      let st = new_state () in
+      let idle = ref 0. in
+      let stop = ref false in
+      while not !stop do
+        let grew = ref false in
+        let rec drain () =
+          let n = input ic chunk 0 (Bytes.length chunk) in
+          if n > 0 then begin
+            grew := true;
+            Buffer.add_subbytes pending chunk 0 n;
+            drain ()
+          end
+        in
+        drain ();
+        let data = Buffer.contents pending in
+        Buffer.clear pending;
+        let rec split start =
+          match String.index_from_opt data start '\n' with
+          | Some nl ->
+              let line = String.sub data start (nl - start) in
+              (if String.trim line <> "" then
+                 match Trace.event_of_line line with
+                 | Ok ev -> top_feed st ev
+                 | Error _ -> st.tp_bad_lines <- st.tp_bad_lines + 1);
+              split (nl + 1)
+          | None ->
+              Buffer.add_substring pending data start
+                (String.length data - start)
+        in
+        split 0;
+        if !grew then idle := 0. else idle := !idle +. interval;
+        print_string "\027[2J\027[H";
+        Printf.printf "treorder top — %s\n\n" path;
+        print_string (top_render ~final:false st);
+        flush stdout;
+        match exit_idle with
+        | Some limit when !idle >= limit -> stop := true
+        | _ -> Unix.sleepf interval
+      done;
+      close_in ic
+    end
+  in
+  Cmd.v
+    (Cmd.info "top"
+       ~doc:
+         "Watch a run live: tail its --trace NDJSON file and render \
+          phase, progress/ETA, per-slot pool utilization and top counter \
+          rates in place. With $(b,--replay), render a finished trace's \
+          final state once.")
+    Term.(const run $ trace_file_arg $ replay_arg $ interval_arg $ exit_idle_arg)
 
 (* --- runs: provenance archives written by --archive --- *)
 
@@ -1404,6 +1782,7 @@ let main =
       spice_cmd;
       map_cmd;
       trace_cmd;
+      top_cmd;
       runs_cmd;
       fuzz_cmd;
       profile_cmd;

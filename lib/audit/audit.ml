@@ -147,8 +147,13 @@ let run table ?external_load ?(backend = Power.Backend.Switchsim) ?sim
     | Mc_result m -> m.Mc.per_gate_energy.(g) /. window
   in
   let levels = C.levels circuit in
+  (* One tick per joined net (the measurement itself reported its own
+     phase — mc.run registers blocks — so this covers the join). *)
+  Telemetry.progress_begin ~phase:"audit.join"
+    ~total:(C.net_count circuit);
   let net_rows =
     Array.init (C.net_count circuit) (fun net ->
+        Telemetry.progress_tick ();
         let pred = Power.Analysis.stats analysis net in
         let meas = meas_stats net in
         let pred_prob = Stoch.Signal_stats.prob pred in

@@ -243,6 +243,15 @@ let optimize power_table ~delay:delay_table
           +. 1e-18)
     | Min_power | Max_power | Min_delay -> None
   in
+  (* The sweep's denominator is known before it starts (§4: every
+     gate's candidate list is enumerable up-front), so the telemetry
+     heartbeat's percent/ETA is exact rather than guessed. Both
+     drivers tick per decided gate, weighted by its candidate count. *)
+  Telemetry.progress_begin ~phase:"optimize.sweep"
+    ~total:
+      (List.fold_left
+         (fun acc g -> acc + List.length (candidates_for (C.gate_at circuit g)))
+         0 (C.topological_order circuit));
   let sequential () =
     (* Fig. 3: statistics are configuration-independent (§4.2), so the
        single Analysis pass already gives every gate its final input
@@ -305,7 +314,8 @@ let optimize power_table ~delay:delay_table
               observe_reduction ~best ~current;
               chosen
         in
-        configs.(g) <- chosen)
+        configs.(g) <- chosen;
+        Telemetry.progress_tick ~n:(List.length candidates) ())
       (C.topological_order circuit)
   in
   (* Parallel driver: level the circuit, fan each level's gate sweeps
@@ -389,7 +399,8 @@ let optimize power_table ~delay:delay_table
       Obs.observe d_configs_per_gate (float_of_int d.d_candidates);
       explored := !explored + d.d_candidates;
       Option.iter (Obs.observe d_gate_reduction) d.d_reduction;
-      configs.(d.d_gate) <- d.d_chosen
+      configs.(d.d_gate) <- d.d_chosen;
+      Telemetry.progress_tick ~n:d.d_candidates ()
     in
     for level = 1 to nlevels do
       match buckets.(level) with

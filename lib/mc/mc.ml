@@ -332,7 +332,14 @@ let estimate table ?(external_load = default_external_load) ?pool ?dt
      the stimulus is a pure function of (seed, block index). *)
   let master = Stoch.Rng.create seed in
   let rngs = Array.init blocks (fun _ -> Stoch.Rng.split master) in
-  let run rng = run_block ~nets ~pis ~ops ~words ~steps rng in
+  (* One tick per completed block (ticks are atomic, so worker domains
+     feed the same heartbeat the sequential path does). *)
+  Telemetry.progress_begin ~phase:"mc.run" ~total:blocks;
+  let run rng =
+    let r = run_block ~nets ~pis ~ops ~words ~steps rng in
+    Telemetry.progress_tick ();
+    r
+  in
   let results =
     match pool with
     | Some p -> Par.Pool.map p run rngs

@@ -242,6 +242,33 @@ let emit_counter_locked c =
 
 let sample c = with_lock sink_lock (fun () -> emit_counter_locked c)
 
+(* Custom event: the fields are pre-rendered JSON fragments, so the
+   caller controls nesting (objects, arrays) without this module
+   growing a JSON AST. Flushed eagerly — heartbeats are emitted a few
+   times per second and must be visible to a live [treorder top]
+   tailing the file. *)
+let emit_event ~ev fields =
+  let dom = domain_lane () in
+  with_lock sink_lock @@ fun () ->
+  match !current_sink with
+  | Null -> ()
+  | File { oc; t0 } ->
+      let b = Buffer.create 128 in
+      Buffer.add_string b "{\"ev\":";
+      Buffer.add_string b (json_string ev);
+      Buffer.add_string b ",\"t\":";
+      Buffer.add_string b (json_float (now () -. t0));
+      List.iter
+        (fun (k, v) ->
+          Buffer.add_char b ',';
+          Buffer.add_string b (json_string k);
+          Buffer.add_char b ':';
+          Buffer.add_string b v)
+        fields;
+      Buffer.add_string b (Printf.sprintf ",\"dom\":%d}\n" dom);
+      output_string oc (Buffer.contents b);
+      flush oc
+
 let set_sink s =
   with_lock sink_lock @@ fun () ->
   (match !current_sink with
@@ -249,21 +276,24 @@ let set_sink s =
   | Null -> ());
   current_sink := s
 
-let sorted_names tbl =
+(* Name-sorted instrument list under a single registry-lock
+   acquisition. Readers that iterate the registry (snapshots, the
+   telemetry sampler tick, the final counter flush) get a coherent view
+   of the name set instead of interleaving one lock round-trip per
+   instrument with concurrent registrations. *)
+let registered tbl =
   with_lock registry_lock @@ fun () ->
-  List.sort compare (Hashtbl.fold (fun name _ acc -> name :: acc) tbl [])
+  List.sort
+    (fun (a, _) (b, _) -> compare (a : string) b)
+    (Hashtbl.fold (fun name v acc -> (name, v) :: acc) tbl [])
 
 let close_sink () =
-  let names = sorted_names counters in
+  let regs = registered counters in
   with_lock sink_lock @@ fun () ->
   match !current_sink with
   | Null -> ()
   | File { oc; _ } ->
-      List.iter
-        (fun name ->
-          emit_counter_locked
-            (with_lock registry_lock (fun () -> Hashtbl.find counters name)))
-        names;
+      List.iter (fun (_, c) -> emit_counter_locked c) regs;
       current_sink := Null;
       close_out oc
 
@@ -332,8 +362,9 @@ type snapshot = {
   gc : gc_stats;
 }
 
-let find_registered tbl name =
-  with_lock registry_lock (fun () -> Hashtbl.find tbl name)
+let read_counters () =
+  Array.of_list
+    (List.map (fun (name, c) -> (name, Atomic.get c.c_value)) (registered counters))
 
 let snapshot () =
   let minor_now, major_now = gc_words () in
@@ -341,12 +372,11 @@ let snapshot () =
   {
     counters =
       List.map
-        (fun name -> (name, Atomic.get (find_registered counters name).c_value))
-        (sorted_names counters);
+        (fun (name, c) -> (name, Atomic.get c.c_value))
+        (registered counters);
     distributions =
       List.map
-        (fun name ->
-          let d = find_registered distributions name in
+        (fun (name, d) ->
           with_lock d.d_lock @@ fun () ->
           let sorted = Array.sub d.d_samples 0 d.d_len in
           Array.sort compare sorted;
@@ -360,14 +390,13 @@ let snapshot () =
               p90 = quantile_of_sorted sorted 0.90;
               p99 = quantile_of_sorted sorted 0.99;
             } ))
-        (sorted_names distributions);
+        (registered distributions);
     spans =
       List.map
-        (fun name ->
-          let s = find_registered spans name in
+        (fun (name, s) ->
           with_lock s.s_lock @@ fun () ->
           (name, { calls = s.s_calls; total = s.s_total; slowest = s.s_slowest }))
-        (sorted_names spans);
+        (registered spans);
     gc =
       {
         minor_words = minor_now -. minor_base;
@@ -377,11 +406,10 @@ let snapshot () =
 
 let reset () =
   List.iter
-    (fun name -> Atomic.set (find_registered counters name).c_value 0)
-    (sorted_names counters);
+    (fun (_, c) -> Atomic.set c.c_value 0)
+    (registered counters);
   List.iter
-    (fun name ->
-      let d = find_registered distributions name in
+    (fun (_, d) ->
       with_lock d.d_lock @@ fun () ->
       d.d_count <- 0;
       d.d_sum <- 0.;
@@ -389,15 +417,14 @@ let reset () =
       d.d_max <- 0.;
       d.d_samples <- [||];
       d.d_len <- 0)
-    (sorted_names distributions);
+    (registered distributions);
   List.iter
-    (fun name ->
-      let s = find_registered spans name in
+    (fun (_, s) ->
       with_lock s.s_lock @@ fun () ->
       s.s_calls <- 0;
       s.s_total <- 0.;
       s.s_slowest <- 0.)
-    (sorted_names spans);
+    (registered spans);
   Domain.DLS.get depth_key := 0;
   gc_base := gc_words ()
 

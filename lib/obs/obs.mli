@@ -131,7 +131,15 @@ type snapshot = {
 val snapshot : unit -> snapshot
 (** Consistent copy of every registered instrument's current value.
     Every list is sorted by instrument name, so rendered snapshots are
-    diffable across runs. *)
+    diffable across runs. The instrument set is collected under a
+    single registry-lock acquisition, so the snapshot's view of which
+    instruments exist is coherent even while worker domains register
+    new ones. *)
+
+val read_counters : unit -> (string * int) array
+(** Just the counters, name-sorted, under one registry-lock
+    acquisition — the cheap read path the telemetry sampler hits every
+    tick (no distribution sorting, no span locks, no GC probe). *)
 
 val reset : unit -> unit
 (** Zero every registered instrument (handles stay valid), reset the
@@ -179,6 +187,21 @@ val tracing : unit -> bool
 val sample : counter -> unit
 (** Emit a [counter] trace event with the counter's current value.
     No-op when {!tracing} is false. *)
+
+val emit_event : ev:string -> (string * string) list -> unit
+(** [emit_event ~ev fields] writes one custom NDJSON event
+    [{"ev":ev,"t":s,<fields>,"dom":k}] and flushes the sink (so live
+    consumers tailing the file see it immediately). Field values are
+    pre-rendered JSON fragments (use {!json_string} / {!json_float});
+    this is how the telemetry sampler emits [heartbeat] events. No-op
+    when {!tracing} is false. *)
+
+val json_string : string -> string
+(** A JSON string literal with NDJSON-safe escapes. *)
+
+val json_float : float -> string
+(** A finite JSON number rendering ([%.17g]; non-finite values render
+    as [0], since JSON has no inf/nan). *)
 
 val close_sink : unit -> unit
 (** Emit one final [counter] sample per registered counter, then flush

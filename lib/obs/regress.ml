@@ -114,13 +114,26 @@ let check_slower tol ~target ~metric ~baseline ~current acc =
     { target; metric; baseline; current; allowed = limit } :: acc
   else acc
 
+(* Counters named *_ns (par.domain_busy_ns.0, obs.sample_ns, ...) are
+   wall-clock measurements in disguise: machine-dependent, so gating
+   them would make the committed fixture flaky. Same policy as
+   Runlog.diff. *)
+let is_time_counter name =
+  let suffix = "_ns" in
+  let nl = String.length name and sl = String.length suffix in
+  let ends_at i = i >= sl && String.sub name (i - sl) sl = suffix in
+  ends_at nl
+  || match String.rindex_opt name '.' with Some i -> ends_at i | None -> false
+
 let compare_target tol (name, base, cur) acc =
   let acc =
     List.fold_left
       (fun acc (counter, baseline, current) ->
-        check_counter tol ~target:name
-          ~metric:("counter " ^ counter)
-          ~baseline ~current acc)
+        if is_time_counter counter then acc
+        else
+          check_counter tol ~target:name
+            ~metric:("counter " ^ counter)
+            ~baseline ~current acc)
       acc
       (join base.counters cur.counters)
   in

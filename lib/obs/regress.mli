@@ -48,7 +48,10 @@ val compare : tolerance -> baseline:target list -> current:target list -> violat
 (** Compare every target (and, within a target, every counter/span)
     present in {e both} documents; metrics on one side only are
     ignored, so adding a bench target or a counter does not fail the
-    gate. The result is sorted by target then metric name. *)
+    gate. Counters named [*_ns] — including per-slot variants such as
+    [par.domain_busy_ns.0] — are wall-clock measurements in disguise
+    and are skipped, matching [Runlog.diff]'s exclusion policy. The
+    result is sorted by target then metric name. *)
 
 val compared_targets : baseline:target list -> current:target list -> string list
 (** The target names the comparison covers (sorted). *)

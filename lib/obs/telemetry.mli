@@ -1,0 +1,171 @@
+(** Live telemetry: a background sampler over the {!Obs} registry.
+
+    Where {!Obs.snapshot} is post-hoc (one reading after the run), this
+    module watches a run {e while it executes}: a sampler domain
+    snapshots every registered instrument at a fixed cadence (default
+    250 ms) into a bounded ring of {!sample}s, each carrying the raw
+    counter values {e and} their per-second rates over the interval,
+    distribution quantiles, GC word deltas, per-slot domain-pool
+    utilization and the current {!progress} estimate. Every tick is
+    exposed two further ways:
+
+    - an OpenMetrics/Prometheus text exposition written atomically
+      (temp file + rename) to the configured metrics file, and
+    - a [heartbeat] event appended to the NDJSON trace sink (when one
+      is installed), which `treorder top` tails to render a live view.
+
+    The sampler measures its own cost into the [obs.sample_ns] counter,
+    so its overhead is visible in the very data it collects and is
+    regression-gated by the [telemetry_overhead] bench target. When the
+    sampler is never started, that counter stays 0: the instrumented
+    code paths themselves carry no telemetry cost.
+
+    Thread-safety: every entry point may be called from any domain.
+    {!progress_tick} is a single atomic increment, safe in per-gate /
+    per-block hot paths. *)
+
+(** {1 Progress}
+
+    Phases register their total work up-front — the optimizer knows
+    gates × candidate configurations before the sweep starts — and tick
+    completion as they go. Percent is monotone {e within} a phase; a
+    new {!progress_begin} starts a new denominator (the heartbeat
+    carries the phase name so consumers can segment). *)
+
+type progress = {
+  phase : string;  (** [""] when no phase has been registered *)
+  total : int;  (** registered work units *)
+  done_ : int;  (** completed work units, clamped to [total] *)
+  percent : float;  (** 0–100; 0 when [total = 0] *)
+  eta_s : float option;  (** linear-extrapolation estimate; [None] until
+                             the first tick *)
+}
+
+val progress_begin : phase:string -> total:int -> unit
+(** Start a new phase with [total] work units, resetting completion. *)
+
+val progress_tick : ?n:int -> unit -> unit
+(** Record [n] (default 1) completed work units. Lock-free. *)
+
+val progress : unit -> progress
+(** The current phase's progress, with [percent] and [eta_s] derived
+    at call time. *)
+
+(** {1 Pool utilization source}
+
+    [treorder.par] installs a callback here at link time (dependency
+    inversion: this library must not depend on the pool), exposing the
+    per-slot busy/task accumulators of every live pool. *)
+
+type pool_slot = {
+  ps_slot : int;  (** slot number, dense across live pools *)
+  ps_busy_ns : int;  (** cumulative busy time, including the in-flight task *)
+  ps_tasks : int;  (** completed tasks *)
+  ps_running : bool;  (** currently executing a task *)
+}
+
+val set_pool_source : (unit -> pool_slot array) -> unit
+
+(** {1 Samples and the ring} *)
+
+type slot_util = {
+  u_slot : int;
+  u_busy_ns : int;  (** cumulative busy ns at sample time *)
+  u_tasks : int;
+  u_ratio : float;  (** busy fraction of the last interval, in [0, 1] *)
+}
+
+type sample = {
+  s_time : float;  (** seconds since the session started *)
+  s_counters : (string * int) array;  (** name-sorted counter values *)
+  s_rates : (string * float) array;  (** per-second deltas, name-sorted *)
+  s_dists : (string * Obs.dist_stats) list;
+  s_spans : (string * Obs.span_stats) list;
+  s_gc_minor_delta : float;
+      (** minor words allocated over the interval, as visible from the
+          sampling domain (domain-local minor heaps) *)
+  s_gc_major_delta : float;
+  s_util : slot_util array;
+  s_progress : progress;
+}
+
+val rates_of :
+  prev:(string * int) array ->
+  dt:float ->
+  (string * int) array ->
+  (string * float) array
+(** [rates_of ~prev ~dt cur]: per-second rate of each counter in [cur]
+    against the name-sorted [prev] values. A counter absent from
+    [prev] is treated as previously 0; negative deltas clamp to 0;
+    [dt <= 0] yields all-zero rates. Exposed pure for testing. *)
+
+(** {1 Sampler lifecycle} *)
+
+val start :
+  ?interval:float -> ?capacity:int -> ?metrics_file:string -> unit -> unit
+(** Start a sampler session. [interval] (default 0.25 s) is the tick
+    cadence; an interval [<= 0] starts a {e manual} session with no
+    background domain, ticked explicitly via {!sample_now} (tests, and
+    anywhere sample counts must be deterministic). [capacity] (default
+    1024) bounds the ring: older samples are evicted. [metrics_file]
+    enables the OpenMetrics exposition, rewritten atomically on every
+    tick. Idempotent: starting a running sampler is a no-op. *)
+
+val stop : unit -> unit
+(** Signal the sampler domain, join it, then take one final forced
+    sample — so the newest ring entry reflects the final registry
+    state. (Exception: [obs.sample_ns] lags by exactly the final
+    tick's own cost, which cannot be included in the values that tick
+    reads; consumers comparing final sample against {!Obs.snapshot}
+    must exclude it.) The ring stays readable via {!series} after
+    stopping. Idempotent. *)
+
+val running : unit -> bool
+
+val sample_now : unit -> sample option
+(** Take (and record) a sample immediately. [None] when no session is
+    active. *)
+
+val series : unit -> sample list
+(** The ring contents, oldest first, of the active session — or of the
+    last stopped one. *)
+
+val last : unit -> sample option
+(** The newest sample, if any. *)
+
+(** {1 OpenMetrics exposition} *)
+
+val metric_of_counter : string -> string * (string * string) list
+(** Map an Obs counter name to its OpenMetrics family name and labels:
+    [treorder_] prefix, non-alphanumerics to [_], and the per-slot pool
+    counters ([par.domain_busy_ns.3], ...) folded into one family with
+    a [slot] label. The sample line for a counter appends [_total]. *)
+
+val to_openmetrics : sample -> string
+(** Render one sample as an OpenMetrics text exposition: [# HELP] and
+    [# TYPE] per family, counter/gauge/summary samples, terminated by
+    [# EOF]. Guaranteed to round-trip through {!parse_openmetrics}. *)
+
+(** {2 Strict parser}
+
+    Used by the tests, the [telemetry-consistency] oracle and the
+    [@check] gate to hold the renderer to the format it claims. *)
+
+type metric = {
+  m_name : string;  (** full sample name, e.g. [treorder_par_tasks_run_total] *)
+  m_labels : (string * string) list;
+  m_value : float;
+}
+
+val parse_openmetrics : string -> (metric list, string) result
+(** Strict line parser: every sample must belong to a family declared
+    by a preceding [# TYPE] and use the suffix that family's type
+    mandates ([_total] for counters, bare for gauges, quantile-labelled
+    / [_sum] / [_count] for summaries); metric and label names must
+    match the OpenMetrics grammar; the document must end with a single
+    [# EOF]. [Error] carries a line-numbered message. *)
+
+val metric_value :
+  metric list -> ?labels:(string * string) list -> string -> float option
+(** First sample with the given name whose labels include every
+    requested pair. *)

@@ -190,6 +190,15 @@ type event =
   | Span_begin of { name : string; t : float; depth : int; dom : int }
   | Span_end of { name : string; t : float; depth : int; dt : float; dom : int }
   | Counter of { name : string; t : float; value : int; dom : int }
+  | Heartbeat of {
+      t : float;
+      phase : string;
+      percent : float;
+      eta_s : float option;
+      rates : (string * float) list;
+      util : float list;
+      dom : int;
+    }
 
 let event_of_line line =
   match Json.parse line with
@@ -217,7 +226,28 @@ let event_of_line line =
           match num "value" with
           | Some v -> Ok (Counter { name; t; value = int_of_float v; dom })
           | None -> Error "counter without value")
-      | Some ev, _, _ -> Error (Printf.sprintf "unknown event type %S" ev)
+      | Some ev, _, _ -> (
+          match (ev, num "t") with
+          | "heartbeat", Some t ->
+              let phase = Option.value (str "phase") ~default:"" in
+              let percent = Option.value (num "percent") ~default:0. in
+              let rates =
+                match Json.member "rates" json with
+                | Some (Json.Obj fields) ->
+                    List.filter_map
+                      (fun (k, v) ->
+                        Option.map (fun x -> (k, x)) (Json.to_float v))
+                      fields
+                | _ -> []
+              in
+              let util =
+                match Json.member "util" json with
+                | Some (Json.Arr xs) -> List.filter_map Json.to_float xs
+                | _ -> []
+              in
+              Ok (Heartbeat { t; phase; percent; eta_s = num "eta_s"; rates; util; dom })
+          | "heartbeat", None -> Error "heartbeat without t"
+          | _ -> Error (Printf.sprintf "unknown event type %S" ev))
       | None, _, _ -> Error "event without \"ev\" field")
 
 let events_of_string text =
@@ -302,7 +332,7 @@ let span_tree events =
               top.n_total <- top.n_total +. dt;
               stack := rest
           | _ -> (* unmatched end: corrupt or truncated trace *) ())
-      | Counter _ -> ())
+      | Counter _ | Heartbeat _ -> ())
     events;
   let rec freeze node =
     let children =
@@ -359,7 +389,7 @@ let final_counters events =
   List.iter
     (function
       | Counter { name; value; _ } -> Hashtbl.replace tbl name value
-      | Span_begin _ | Span_end _ -> ())
+      | Span_begin _ | Span_end _ | Heartbeat _ -> ())
     events;
   Hashtbl.fold (fun name v acc -> (name, v) :: acc) tbl []
   |> List.sort (fun (a, _) (b, _) -> compare a b)
@@ -392,7 +422,36 @@ let to_chrome events =
       | Counter { name; t; value; dom } ->
           emit
             "{\"name\":%s,\"ph\":\"C\",\"ts\":%.3f,\"pid\":1,\"tid\":%d,\"args\":{\"value\":%d}}"
-            (Json.escape name) (us t) (dom + 1) value)
+            (Json.escape name) (us t) (dom + 1) value
+      | Heartbeat { t; percent; dom; _ } ->
+          emit
+            "{\"name\":\"progress.percent\",\"ph\":\"C\",\"ts\":%.3f,\"pid\":1,\"tid\":%d,\"args\":{\"value\":%.3f}}"
+            (us t) (dom + 1) percent)
     events;
   Buffer.add_string b "],\"displayTimeUnit\":\"ms\"}";
+  Buffer.contents b
+
+(* --- folded stacks (flamegraph.pl / speedscope) --- *)
+
+let to_folded tree =
+  let b = Buffer.create 256 in
+  let frame name =
+    String.map (fun c -> if c = ';' || c = ' ' then '_' else c) name
+  in
+  (* One line per path, value = self time in integer nanoseconds, DFS
+     order (children are name-sorted, so output is deterministic).
+     Zero-self interior frames still get a line: flamegraph.pl derives
+     their width from descendant sums either way, and keeping them
+     makes the file greppable per path. *)
+  let rec go rev_path node =
+    let rev_path = if node.name = "" then rev_path else frame node.name :: rev_path in
+    (if rev_path <> [] then
+       let ns = int_of_float (Float.max 0. (node.self *. 1e9)) in
+       Buffer.add_string b (String.concat ";" (List.rev rev_path));
+       Buffer.add_char b ' ';
+       Buffer.add_string b (string_of_int ns);
+       Buffer.add_char b '\n');
+    List.iter (go rev_path) node.children
+  in
+  go [] tree;
   Buffer.contents b

@@ -46,6 +46,20 @@ type event =
       (** [dom] is the emitting domain's {!Obs.domain_lane}. Traces
           written before domain tagging carry no ["dom"] field and
           parse as domain 0 — exact, since they were single-domain. *)
+  | Heartbeat of {
+      t : float;
+      phase : string;  (** [""] when no phase was registered *)
+      percent : float;
+      eta_s : float option;
+      rates : (string * float) list;
+          (** per-second counter rates over the sampling interval
+              (zero-rate counters omitted by the writer) *)
+      util : float list;  (** per-slot pool busy ratios, in [0, 1] *)
+      dom : int;
+    }
+      (** One telemetry sampler tick (see {!Telemetry}): progress plus
+          the sampled rates, emitted a few times per second while the
+          sampler runs. [treorder top] tails these. *)
 
 val event_of_line : string -> (event, string) result
 
@@ -89,8 +103,17 @@ val final_counters : event list -> (string * int) list
 val to_chrome : event list -> string
 (** The events as a Chrome trace-event JSON document
     ([{"traceEvents":[...]}]): spans become [ph:"B"]/[ph:"E"] duration
-    events and counter samples become [ph:"C"] counter events, on
-    [pid 1] with one thread lane per domain ([tid = dom + 1], so a
-    [--jobs 4] run renders four worker tracks plus the coordinator's),
-    timestamps in microseconds. Loadable by [chrome://tracing] and
-    Perfetto. *)
+    events, counter samples become [ph:"C"] counter events, and
+    heartbeats become a [progress.percent] counter track, on [pid 1]
+    with one thread lane per domain ([tid = dom + 1], so a [--jobs 4]
+    run renders four worker tracks plus the coordinator's), timestamps
+    in microseconds. Loadable by [chrome://tracing] and Perfetto. *)
+
+(** {1 Folded stacks} *)
+
+val to_folded : tree -> string
+(** The span tree as folded stacks, one line per path:
+    [outer;inner;leaf <self_ns>] with the value in integer nanoseconds
+    of {e self} time — the format flamegraph.pl and speedscope consume
+    directly. Semicolons and spaces inside span names are replaced by
+    [_]; lines appear in deterministic DFS order. *)

@@ -5,9 +5,15 @@ let d_imbalance = Obs.distribution "par.imbalance"
 
 (* Per-slot telemetry cell. Each cell is written only by the domain
    occupying that slot (slot 0 is the caller helping in [join], slot i
-   is worker i), so no lock is needed; [Domain.join] in [shutdown]
-   publishes the workers' final values to the flushing domain. *)
-type worker = { mutable w_busy_ns : int; mutable w_tasks : int }
+   is worker i), but read concurrently by the telemetry sampler
+   mid-run, so the accumulators are atomics. [w_active_since] is the
+   wall-clock ns at which the slot's in-flight task started (0 when
+   idle), letting the sampler credit partially-run tasks. *)
+type worker = {
+  w_busy_ns : int Atomic.t;
+  w_tasks : int Atomic.t;
+  w_active_since : int Atomic.t;
+}
 
 type t = {
   p_jobs : int;
@@ -46,13 +52,16 @@ let now_ns () = int_of_float (Unix.gettimeofday () *. 1e9)
 let run_task t slot task =
   let flag = Domain.DLS.get in_task in
   flag := true;
+  let w = t.workers.(slot) in
   let t_start = now_ns () in
+  Atomic.set w.w_active_since t_start;
   Fun.protect
     ~finally:(fun () ->
       flag := false;
-      let w = t.workers.(slot) in
-      w.w_busy_ns <- w.w_busy_ns + Stdlib.max 0 (now_ns () - t_start);
-      w.w_tasks <- w.w_tasks + 1;
+      Atomic.set w.w_active_since 0;
+      ignore
+        (Atomic.fetch_and_add w.w_busy_ns (Stdlib.max 0 (now_ns () - t_start)));
+      Atomic.incr w.w_tasks;
       Obs.incr c_tasks;
       Mutex.lock t.mutex;
       t.pending <- t.pending - 1;
@@ -75,6 +84,58 @@ let rec worker_loop t slot =
         worker_loop t slot
       end
 
+(* --- live-pool registry for mid-run utilization sampling ---
+
+   Pools register here for their lifetime so the telemetry sampler can
+   read per-slot busy/task accumulators while sweeps are in flight
+   (shutdown-time flushing alone is useless to a live view). Slots are
+   numbered densely across live pools in registration order. jobs = 1
+   pools run the pure sequential path and stay invisible, mirroring the
+   flush-time policy below. *)
+
+let live_lock = Mutex.create ()
+let live_pools : t list ref = ref []
+
+let live_register t =
+  if t.p_jobs > 1 then begin
+    Mutex.lock live_lock;
+    live_pools := !live_pools @ [ t ];
+    Mutex.unlock live_lock
+  end
+
+let live_unregister t =
+  Mutex.lock live_lock;
+  live_pools := List.filter (fun p -> p != t) !live_pools;
+  Mutex.unlock live_lock
+
+let live_slots () =
+  Mutex.lock live_lock;
+  let pools = !live_pools in
+  Mutex.unlock live_lock;
+  let now = now_ns () in
+  let slots = ref [] in
+  let idx = ref 0 in
+  List.iter
+    (fun t ->
+      Array.iter
+        (fun w ->
+          let active = Atomic.get w.w_active_since in
+          let in_flight = if active > 0 then Stdlib.max 0 (now - active) else 0 in
+          slots :=
+            {
+              Telemetry.ps_slot = !idx;
+              ps_busy_ns = Atomic.get w.w_busy_ns + in_flight;
+              ps_tasks = Atomic.get w.w_tasks;
+              ps_running = active > 0;
+            }
+            :: !slots;
+          incr idx)
+        t.workers)
+    pools;
+  Array.of_list (List.rev !slots)
+
+let () = Telemetry.set_pool_source live_slots
+
 let create ?jobs () =
   let jobs = match jobs with None -> default_jobs () | Some j -> j in
   if jobs < 1 then invalid_arg "Par.Pool.create: jobs must be >= 1";
@@ -88,13 +149,20 @@ let create ?jobs () =
       pending = 0;
       shut = false;
       domains = [];
-      workers = Array.init jobs (fun _ -> { w_busy_ns = 0; w_tasks = 0 });
+      workers =
+        Array.init jobs (fun _ ->
+            {
+              w_busy_ns = Atomic.make 0;
+              w_tasks = Atomic.make 0;
+              w_active_since = Atomic.make 0;
+            });
       t_created = Unix.gettimeofday ();
       flushed = false;
     }
   in
   t.domains <-
     List.init (jobs - 1) (fun i -> Domain.spawn (fun () -> worker_loop t (i + 1)));
+  live_register t;
   t
 
 (* Surface the per-slot cells as [par.*] counters once the workers have
@@ -107,23 +175,26 @@ let flush_telemetry t =
     let lifetime_ns = Stdlib.max 0 (now_ns () - int_of_float (t.t_created *. 1e9)) in
     Array.iteri
       (fun slot w ->
+        let busy = Atomic.get w.w_busy_ns in
         Obs.add
           (Obs.counter (Printf.sprintf "par.domain_busy_ns.%d" slot))
-          w.w_busy_ns;
+          busy;
         Obs.add
           (Obs.counter (Printf.sprintf "par.domain_idle_ns.%d" slot))
-          (Stdlib.max 0 (lifetime_ns - w.w_busy_ns));
+          (Stdlib.max 0 (lifetime_ns - busy));
         Obs.add
           (Obs.counter (Printf.sprintf "par.domain_tasks.%d" slot))
-          w.w_tasks)
+          (Atomic.get w.w_tasks))
       t.workers;
     let total =
-      Array.fold_left (fun acc w -> acc + w.w_busy_ns) 0 t.workers
+      Array.fold_left (fun acc w -> acc + Atomic.get w.w_busy_ns) 0 t.workers
     in
     if total > 0 then begin
       let mean = float_of_int total /. float_of_int t.p_jobs in
       let worst =
-        Array.fold_left (fun acc w -> Stdlib.max acc w.w_busy_ns) 0 t.workers
+        Array.fold_left
+          (fun acc w -> Stdlib.max acc (Atomic.get w.w_busy_ns))
+          0 t.workers
       in
       Obs.observe d_imbalance (float_of_int worst /. mean)
     end
@@ -138,6 +209,7 @@ let shutdown t =
     Mutex.unlock t.mutex;
     List.iter Domain.join t.domains;
     t.domains <- [];
+    live_unregister t;
     flush_telemetry t
   end
 

@@ -24,7 +24,15 @@
     (max over mean busy time across slots; 1.0 is a perfectly balanced
     pool). Slot 0 is the calling domain. A [jobs = 1] pool flushes
     nothing, so sequential snapshots carry no scheduling noise (see
-    {{!page-performance} the performance page}). *)
+    {{!page-performance} the performance page}).
+
+    The per-slot accumulators are atomics readable {e mid-run}: live
+    pools register themselves with the telemetry sampler
+    ({!Telemetry.set_pool_source}, installed at link time), so
+    [treorder top] can show per-domain utilization bars while a sweep
+    is still in flight. The shutdown-time flush reads the same cells
+    and reports the same totals as before the accumulators became
+    atomic. *)
 
 type t
 
@@ -48,6 +56,14 @@ val shutdown : t -> unit
 
 val with_pool : ?jobs:int -> (t -> 'a) -> 'a
 (** [create], run, then {!shutdown} (also on exceptions). *)
+
+val live_slots : unit -> Telemetry.pool_slot array
+(** One entry per slot of every live [jobs > 1] pool (dense numbering
+    in registration order): cumulative busy nanoseconds — including
+    the in-flight task, if any — completed task count, and whether the
+    slot is currently running a task. This is the callback installed
+    as the telemetry sampler's pool source; exposed for tests and
+    ad-hoc probes. *)
 
 val map : ?chunk:int -> t -> ('a -> 'b) -> 'a array -> 'b array
 (** [map pool f xs] is [Array.map f xs], computed by the pool. [chunk]

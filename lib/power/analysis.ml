@@ -11,6 +11,8 @@ let gate_input_stats_of per_net (gate : C.gate) =
 
 let run table circuit ~inputs =
   Obs.span "power.analysis" @@ fun () ->
+  Telemetry.progress_begin ~phase:"power.analysis"
+    ~total:(C.gate_count circuit);
   let per_net =
     Array.make (C.net_count circuit) (Stoch.Signal_stats.constant false)
   in
@@ -24,7 +26,8 @@ let run table circuit ~inputs =
       let groups = Model.groups_of_nets gate.C.fanins in
       Obs.incr c_densities_propagated;
       per_net.(gate.C.output) <-
-        Model.output_stats table gate.C.cell ~input_stats ~groups ())
+        Model.output_stats table gate.C.cell ~input_stats ~groups ();
+      Telemetry.progress_tick ())
     (C.topological_order circuit);
   { per_net }
 

@@ -665,6 +665,146 @@ let check_mc_convergence ~seed c =
           fail "net %s: mc probability %.4g vs simulated %.4g (bound %.4g)"
             (C.net_name c net) r.Mc.prob.(net) p_sim p_bound)
 
+(* --- 13. telemetry consistency --- *)
+
+(* The sampler is a read-only observer: its ring must agree with the
+   registry it watches. A manual-interval session (no background
+   domain) makes the sample count deterministic. Skipped when a user
+   session already owns the sampler (fuzz under --telemetry) — stopping
+   it here would tear down their run's telemetry. *)
+
+let check_telemetry_consistency ~seed c =
+  if Telemetry.running () then Pass
+  else begin
+    let inputs = Gen.input_stats ~seed c in
+    (* Heartbeats go to the trace sink; only install (and later remove)
+       a scratch one when the harness didn't provide its own. *)
+    let own_sink = not (Obs.tracing ()) in
+    let trace_file =
+      if own_sink then begin
+        let path = Filename.temp_file "treorder_oracle" ".ndjson" in
+        Obs.set_sink (Obs.file_sink path);
+        Some path
+      end
+      else None
+    in
+    Fun.protect
+      ~finally:(fun () ->
+        Telemetry.stop ();
+        if own_sink then begin
+          Obs.close_sink ();
+          Option.iter
+            (fun p -> try Sys.remove p with Sys_error _ -> ())
+            trace_file
+        end)
+    @@ fun () ->
+    Telemetry.start ~interval:0. ~capacity:8 ();
+    ignore (Telemetry.sample_now ());
+    ignore (Reorder.Optimizer.optimize (power ()) ~delay:(delay ()) c ~inputs);
+    ignore (Telemetry.sample_now ());
+    ignore (Reorder.Optimizer.optimize (power ()) ~delay:(delay ()) c ~inputs);
+    Telemetry.stop ();
+    let series = Telemetry.series () in
+    let* () =
+      if List.length series >= 3 then Pass
+      else fail "expected >= 3 ring samples, got %d" (List.length series)
+    in
+    (* (a) every counter is monotone non-decreasing across the series *)
+    let rec monotone = function
+      | a :: (b :: _ as rest) ->
+          let drop =
+            Array.to_list a.Telemetry.s_counters
+            |> List.find_opt (fun (name, va) ->
+                   match
+                     Array.to_list b.Telemetry.s_counters
+                     |> List.assoc_opt name
+                   with
+                   | Some vb -> vb < va
+                   | None -> true)
+          in
+          let* () =
+            match drop with
+            | None -> Pass
+            | Some (name, va) ->
+                fail "counter %s drops below %d between samples" name va
+          in
+          monotone rest
+      | _ -> Pass
+    in
+    let* () = monotone series in
+    (* (b) the final (forced) sample equals the final registry snapshot,
+       excluding the sampler's own obs.* cost counters — the last tick's
+       cost lands after that tick read the registry. *)
+    let not_obs (name, _) =
+      not (String.length name >= 4 && String.sub name 0 4 = "obs.")
+    in
+    let final_sample =
+      match Telemetry.last () with
+      | Some s -> s
+      | None -> assert false (* series is non-empty *)
+    in
+    let sample_counters =
+      List.filter not_obs (Array.to_list final_sample.Telemetry.s_counters)
+    in
+    let snap_counters =
+      List.filter not_obs (Obs.snapshot ()).Obs.counters
+    in
+    let* () =
+      if sample_counters = snap_counters then Pass
+      else fail "final telemetry sample disagrees with the Obs snapshot"
+    in
+    (* (c) the OpenMetrics rendering round-trips through the strict
+       parser with every counter value intact *)
+    let* () =
+      match
+        Telemetry.parse_openmetrics (Telemetry.to_openmetrics final_sample)
+      with
+      | Error e -> fail "OpenMetrics rendering rejected by parser: %s" e
+      | Ok metrics ->
+          let bad =
+            List.find_opt
+              (fun (name, v) ->
+                let family, labels = Telemetry.metric_of_counter name in
+                Telemetry.metric_value metrics ~labels (family ^ "_total")
+                <> Some (float_of_int v))
+              sample_counters
+          in
+          (match bad with
+          | None -> Pass
+          | Some (name, v) ->
+              fail "counter %s = %d lost in the OpenMetrics round-trip" name v)
+    in
+    (* (d) heartbeats in the trace: percent in [0, 100], monotone within
+       each phase *)
+    match trace_file with
+    | None -> Pass
+    | Some path -> (
+        match Trace.load path with
+        | Error e -> fail "trace with heartbeats does not parse: %s" e
+        | Ok events ->
+            let tbl = Hashtbl.create 7 in
+            let rec walk = function
+              | [] -> Pass
+              | Trace.Heartbeat { phase; percent; _ } :: rest ->
+                  let* () =
+                    if percent < 0. || percent > 100. then
+                      fail "heartbeat percent %g outside [0, 100]" percent
+                    else
+                      match Hashtbl.find_opt tbl phase with
+                      | Some prev when percent < prev ->
+                          fail
+                            "heartbeat percent drops %g -> %g within phase %S"
+                            prev percent phase
+                      | _ ->
+                          Hashtbl.replace tbl phase percent;
+                          Pass
+                  in
+                  walk rest
+              | _ :: rest -> walk rest
+            in
+            walk events)
+  end
+
 (* --- registry --- *)
 
 let circuit_prop name generate check =
@@ -698,6 +838,8 @@ let all () =
       };
     circuit_prop "archive-roundtrip" Gen.circuit check_archive_roundtrip;
     circuit_prop "mc-convergence" Gen.circuit check_mc_convergence;
+    circuit_prop "telemetry-consistency" Gen.circuit
+      check_telemetry_consistency;
   ]
 
 let names () = List.map Runner.name (all ())

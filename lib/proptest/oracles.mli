@@ -59,6 +59,14 @@
       estimators (each side carries its own sampling noise; a small
       relative term covers MC's one-transition-per-step time
       discretization).
+    - [telemetry-consistency] — the {!Telemetry} sampler is a faithful
+      read-only observer: over a manual-interval session wrapping two
+      optimizer runs, every counter is monotone non-decreasing across
+      the ring, the final forced sample equals the final
+      {!Obs.snapshot} (minus the sampler's own [obs.*] cost counters),
+      the OpenMetrics rendering round-trips through the strict parser
+      value-exactly, and emitted heartbeats keep [percent] inside
+      [\[0, 100\]] and monotone within each phase.
 
     All properties share one power-model / delay table pair built from
     {!Cell.Process.default} (module state, built lazily). *)

@@ -1,0 +1,246 @@
+(* Tests for the live-telemetry sampler: ring bounds and eviction, rate
+   derivation against hand-computed deltas, the OpenMetrics rendering
+   through its own strict parser, session lifecycle idempotence, the
+   zero-cost-when-off guarantee, and the progress model. *)
+
+let counter_in (s : Telemetry.sample) name =
+  match
+    Array.find_opt (fun (n, _) -> n = name) s.Telemetry.s_counters
+  with
+  | Some (_, v) -> Some v
+  | None -> None
+
+(* --- zero cost when the sampler never starts --- *)
+
+let test_zero_cost_when_off () =
+  Obs.reset ();
+  Alcotest.(check bool) "not running" false (Telemetry.running ());
+  let c = Obs.counter "tel.test_workload" in
+  for _ = 1 to 1000 do
+    Obs.incr c
+  done;
+  Alcotest.(check int) "obs.sample_ns untouched" 0
+    (Obs.value (Obs.counter "obs.sample_ns"))
+
+(* --- ring bounds and eviction --- *)
+
+let test_ring_eviction () =
+  Obs.reset ();
+  Telemetry.start ~interval:0. ~capacity:4 ();
+  let c = Obs.counter "tel.test_ring" in
+  for _ = 1 to 6 do
+    Obs.incr c;
+    ignore (Telemetry.sample_now ())
+  done;
+  let series = Telemetry.series () in
+  Alcotest.(check int) "ring holds capacity" 4 (List.length series);
+  Alcotest.(check (list int)) "oldest evicted, order kept" [ 3; 4; 5; 6 ]
+    (List.map
+       (fun s -> Option.value ~default:(-1) (counter_in s "tel.test_ring"))
+       series);
+  let times = List.map (fun s -> s.Telemetry.s_time) series in
+  Alcotest.(check bool) "timestamps non-decreasing" true
+    (List.for_all2 (fun a b -> a <= b) times (List.tl times @ [ infinity ]));
+  Telemetry.stop ();
+  (* stop takes one final forced sample, evicting one more entry *)
+  Alcotest.(check int) "ring readable after stop" 4
+    (List.length (Telemetry.series ()));
+  match Telemetry.last () with
+  | None -> Alcotest.fail "no final sample"
+  | Some s ->
+      Alcotest.(check (option int)) "final sample sees final value" (Some 6)
+        (counter_in s "tel.test_ring")
+
+(* --- rate derivation --- *)
+
+let test_rates_of () =
+  let prev = [| ("a", 10); ("b", 5) |] in
+  let cur = [| ("a", 20); ("b", 5); ("c", 7) |] in
+  Alcotest.(check (list (pair string (float 1e-9))))
+    "hand-computed per-second deltas"
+    [ ("a", 5.0); ("b", 0.0); ("c", 3.5) ]
+    (Array.to_list (Telemetry.rates_of ~prev ~dt:2.0 cur));
+  Alcotest.(check (list (pair string (float 1e-9))))
+    "dt <= 0 yields zero rates"
+    [ ("a", 0.0); ("b", 0.0); ("c", 0.0) ]
+    (Array.to_list (Telemetry.rates_of ~prev ~dt:0. cur));
+  Alcotest.(check (list (pair string (float 1e-9))))
+    "negative delta (reset between samples) clamps to zero"
+    [ ("a", 0.0) ]
+    (Array.to_list
+       (Telemetry.rates_of ~prev:[| ("a", 100) |] ~dt:1.0 [| ("a", 10) |]))
+
+(* --- OpenMetrics naming --- *)
+
+let test_metric_of_counter () =
+  Alcotest.(check (pair string (list (pair string string))))
+    "plain counter maps 1:1"
+    ("treorder_power_gate_powers", [])
+    (Telemetry.metric_of_counter "power.gate_powers");
+  Alcotest.(check (pair string (list (pair string string))))
+    "per-slot pool counter folds into a slot label"
+    ("treorder_par_domain_busy_ns", [ ("slot", "3") ])
+    (Telemetry.metric_of_counter "par.domain_busy_ns.3");
+  Alcotest.(check (pair string (list (pair string string))))
+    "non-numeric suffix is not a slot"
+    ("treorder_par_domain_busy_ns_x", [])
+    (Telemetry.metric_of_counter "par.domain_busy_ns.x")
+
+(* --- rendering round-trips through the strict parser --- *)
+
+let test_openmetrics_roundtrip () =
+  Obs.reset ();
+  Telemetry.start ~interval:0. ();
+  let a = Obs.counter "tel.test_rt_a" in
+  let slot = Obs.counter "par.domain_busy_ns.2" in
+  Obs.add a 42;
+  Obs.add slot 1234;
+  Obs.observe (Obs.distribution "tel.test_rt_dist") 3.5;
+  Telemetry.progress_begin ~phase:"tel.test" ~total:10;
+  Telemetry.progress_tick ~n:4 ();
+  let s =
+    match Telemetry.sample_now () with
+    | Some s -> s
+    | None -> Alcotest.fail "sampler not running"
+  in
+  Telemetry.stop ();
+  let text = Telemetry.to_openmetrics s in
+  match Telemetry.parse_openmetrics text with
+  | Error e -> Alcotest.fail ("renderer output rejected: " ^ e)
+  | Ok metrics ->
+      Alcotest.(check (option (float 1e-9)))
+        "counter value survives" (Some 42.)
+        (Telemetry.metric_value metrics "treorder_tel_test_rt_a_total");
+      Alcotest.(check (option (float 1e-9)))
+        "slot-labelled counter survives" (Some 1234.)
+        (Telemetry.metric_value metrics
+           ~labels:[ ("slot", "2") ]
+           "treorder_par_domain_busy_ns_total");
+      Alcotest.(check (option (float 1e-9)))
+        "distribution median survives" (Some 3.5)
+        (Telemetry.metric_value metrics
+           ~labels:[ ("quantile", "0.5") ]
+           "treorder_dist_tel_test_rt_dist");
+      Alcotest.(check (option (float 1e-9)))
+        "progress percent survives" (Some 40.)
+        (Telemetry.metric_value metrics
+           ~labels:[ ("phase", "tel.test") ]
+           "treorder_progress_percent")
+
+let test_parser_rejects_malformed () =
+  let reject doc name =
+    match Telemetry.parse_openmetrics doc with
+    | Ok _ -> Alcotest.fail (name ^ ": accepted a malformed document")
+    | Error _ -> ()
+  in
+  reject "# TYPE treorder_x counter\ntreorder_x_total 1\n" "missing # EOF";
+  reject "treorder_x_total 1\n# EOF\n" "sample without # TYPE";
+  reject "# TYPE treorder_x counter\ntreorder_x 1\n# EOF\n"
+    "counter sample without _total";
+  reject "# TYPE treorder_x gauge\ntreorder_x 1\n# EOF\nleftover\n"
+    "content after # EOF";
+  reject "# TYPE 9bad gauge\n# EOF\n" "invalid metric name";
+  reject "# TYPE treorder_x gauge\ntreorder_x{slot=2} 1\n# EOF\n"
+    "unquoted label value";
+  match
+    Telemetry.parse_openmetrics "# TYPE treorder_x gauge\ntreorder_x 1\n# EOF\n"
+  with
+  | Ok [ m ] ->
+      Alcotest.(check (float 1e-9)) "well-formed doc parses" 1. m.Telemetry.m_value
+  | Ok _ | Error _ -> Alcotest.fail "well-formed document rejected"
+
+(* --- lifecycle idempotence --- *)
+
+let test_start_stop_idempotent () =
+  Obs.reset ();
+  Telemetry.start ~interval:0. ~capacity:8 ();
+  Telemetry.start ~interval:0. ~capacity:8 ();
+  (* second start is a no-op *)
+  Alcotest.(check bool) "running" true (Telemetry.running ());
+  ignore (Telemetry.sample_now ());
+  Telemetry.stop ();
+  Telemetry.stop ();
+  (* second stop is a no-op *)
+  Alcotest.(check bool) "stopped" false (Telemetry.running ());
+  Alcotest.(check int) "manual tick + forced final sample" 2
+    (List.length (Telemetry.series ()));
+  (* a fresh session starts with an empty ring *)
+  Telemetry.start ~interval:0. ~capacity:8 ();
+  Alcotest.(check (list reject)) "fresh session, empty ring" []
+    (List.map (fun _ -> ()) (Telemetry.series ()));
+  ignore (Telemetry.sample_now ());
+  Telemetry.stop ();
+  Alcotest.(check int) "restarted session has its own samples" 2
+    (List.length (Telemetry.series ()))
+
+(* --- background sampler actually ticks --- *)
+
+let test_background_sampler () =
+  Obs.reset ();
+  Telemetry.start ~interval:0.005 ~capacity:64 ();
+  Unix.sleepf 0.05;
+  Telemetry.stop ();
+  let n = List.length (Telemetry.series ()) in
+  Alcotest.(check bool)
+    (Printf.sprintf "several background samples (got %d)" n)
+    true (n >= 3);
+  Alcotest.(check bool) "sampler cost self-measured" true
+    (Obs.value (Obs.counter "obs.sample_ns") > 0)
+
+(* --- progress model --- *)
+
+let test_progress () =
+  Telemetry.progress_begin ~phase:"tel.prog" ~total:10;
+  let p0 = Telemetry.progress () in
+  Alcotest.(check string) "phase" "tel.prog" p0.Telemetry.phase;
+  Alcotest.(check (float 1e-9)) "starts at 0%" 0. p0.Telemetry.percent;
+  Alcotest.(check bool) "no ETA before the first tick" true
+    (p0.Telemetry.eta_s = None);
+  Telemetry.progress_tick ();
+  Telemetry.progress_tick ~n:4 ();
+  let p1 = Telemetry.progress () in
+  Alcotest.(check int) "done" 5 p1.Telemetry.done_;
+  Alcotest.(check (float 1e-9)) "midway" 50. p1.Telemetry.percent;
+  (match p1.Telemetry.eta_s with
+  | Some eta -> Alcotest.(check bool) "ETA non-negative" true (eta >= 0.)
+  | None -> Alcotest.fail "no ETA after ticks");
+  Telemetry.progress_tick ~n:100 ();
+  let p2 = Telemetry.progress () in
+  Alcotest.(check int) "overshoot clamps to total" 10 p2.Telemetry.done_;
+  Alcotest.(check (float 1e-9)) "percent clamps to 100" 100.
+    p2.Telemetry.percent;
+  Alcotest.(check (option (float 1e-9))) "ETA 0 when complete" (Some 0.)
+    p2.Telemetry.eta_s;
+  Telemetry.progress_begin ~phase:"tel.empty" ~total:0;
+  let p3 = Telemetry.progress () in
+  Alcotest.(check (float 1e-9)) "zero total reads 0%" 0. p3.Telemetry.percent
+
+let () =
+  Alcotest.run "telemetry"
+    [
+      ( "sampler",
+        [
+          Alcotest.test_case "zero cost when off" `Quick test_zero_cost_when_off;
+          Alcotest.test_case "ring bounds and eviction" `Quick
+            test_ring_eviction;
+          Alcotest.test_case "start/stop idempotence" `Quick
+            test_start_stop_idempotent;
+          Alcotest.test_case "background sampler ticks" `Quick
+            test_background_sampler;
+        ] );
+      ( "derivations",
+        [
+          Alcotest.test_case "rates vs hand-computed deltas" `Quick
+            test_rates_of;
+          Alcotest.test_case "progress percent and ETA" `Quick test_progress;
+        ] );
+      ( "openmetrics",
+        [
+          Alcotest.test_case "counter-to-metric naming" `Quick
+            test_metric_of_counter;
+          Alcotest.test_case "rendering round-trips" `Quick
+            test_openmetrics_roundtrip;
+          Alcotest.test_case "strict parser rejects malformed" `Quick
+            test_parser_rejects_malformed;
+        ] );
+    ]
