@@ -1,4 +1,4 @@
-.PHONY: all build test bench bench-check audit mc telemetry doc clean examples check fmt fuzz runs-diff
+.PHONY: all build test bench bench-check audit mc telemetry history doc clean examples check fmt fuzz runs-diff
 
 all: build
 
@@ -59,6 +59,20 @@ DIR_A ?= par_det_a
 DIR_B ?= par_det_b
 runs-diff:
 	dune exec bin/treorder_cli.exe -- runs diff $(DIR_A) $(DIR_B)
+
+# Fleet history analytics: scan an archive root (accumulated with the
+# --archive DIR option of any pipeline subcommand), print per-series
+# trends and changepoints, and write + validate the self-contained
+# HTML dashboard. Defaults to the committed drift fixture so the
+# target demos an attributed regression out of the box; point it at a
+# real archive with e.g. `make history HISTORY_ROOT=runs`.
+HISTORY_ROOT ?= bench/history_fixture/drift
+HISTORY_HTML ?= /tmp/treorder_history.html
+history:
+	dune exec bin/treorder_cli.exe -- runs history $(HISTORY_ROOT) \
+	  --metric optimizer.configs_explored --metric wall_s \
+	  --html $(HISTORY_HTML)
+	dune exec bin/treorder_cli.exe -- report check $(HISTORY_HTML)
 
 # Per-net calibration audit of the analytical model against the
 # switch-level simulator, with the same deterministic bound the @check

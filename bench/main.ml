@@ -21,8 +21,11 @@ let ctx = Experiments.Common.create ()
 let section title = Printf.printf "==== %s ====\n%!" title
 
 (* Per-target observability metrics (an Obs snapshot captured right
-   after the target ran), serialized to BENCH_obs.json at exit. *)
-let metrics : (string * float * string) list ref = ref []
+   after the target ran), serialized to BENCH_obs.json at exit — and
+   appended, one NDJSON record per target, to BENCH_history.ndjson so
+   the trajectory survives the snapshot's overwrite. Tuple:
+   (target, start epoch seconds, wall seconds, snapshot json). *)
+let metrics : (string * float * float * string) list ref = ref []
 
 (* With --archive DIR, every target additionally becomes a run record
    DIR/<target>/ (deterministic id, overwritten on re-run) so archived
@@ -49,7 +52,7 @@ let timed name f =
   let seconds = Unix.gettimeofday () -. t0 in
   Printf.printf "[%s: %.1f s]\n\n%!" name seconds;
   let snapshot_json = Obs.snapshot_to_json (Obs.snapshot ()) in
-  metrics := (name, seconds, snapshot_json) :: !metrics;
+  metrics := (name, t0, seconds, snapshot_json) :: !metrics;
   (match (pending, !archive_dir) with
   | Some p, Some dir -> (
       match Runlog.write ~id:name ~dir ~snapshot_json p with
@@ -62,13 +65,51 @@ let timed name f =
 
 let write_metrics path =
   let oc = open_out path in
-  let target (name, seconds, json) =
+  let target (name, _time, seconds, json) =
     Printf.sprintf "{\"name\":%S,\"seconds\":%.6f,\"metrics\":%s}" name seconds
       json
   in
   Printf.fprintf oc "{\"targets\":[%s]}\n"
     (String.concat "," (List.rev_map target !metrics));
   close_out oc
+
+(* The snapshot file above is overwritten per invocation; the history
+   file is append-only, one NDJSON record per target, so consecutive
+   bench runs accumulate the trajectory `treorder runs history --bench`
+   reads. All records go out in a single O_APPEND write, so a
+   concurrent bench invocation cannot interleave partial lines; a
+   truncated tail (killed mid-write) is skipped by the tolerant
+   reader. *)
+let append_history path =
+  let argv_json =
+    "["
+    ^ String.concat ","
+        (List.map Trace.Json.escape (List.tl (Array.to_list Sys.argv)))
+    ^ "]"
+  in
+  let line (name, time, seconds, json) =
+    Printf.sprintf
+      "{\"v\":1,\"time\":%.6f,\"target\":%s,\"argv\":%s,\"seconds\":%.6f,\"metrics\":%s}\n"
+      time (Trace.Json.escape name) argv_json seconds json
+  in
+  let payload = String.concat "" (List.rev_map line !metrics) in
+  match
+    Unix.openfile path [ Unix.O_WRONLY; Unix.O_APPEND; Unix.O_CREAT ] 0o644
+  with
+  | exception Unix.Unix_error (e, _, _) ->
+      Printf.eprintf "cannot append bench history %s: %s\n" path
+        (Unix.error_message e);
+      exit 1
+  | fd ->
+      Fun.protect
+        ~finally:(fun () -> Unix.close fd)
+        (fun () ->
+          let n = Unix.write_substring fd payload 0 (String.length payload) in
+          if n <> String.length payload then begin
+            Printf.eprintf "cannot append bench history %s: short write\n"
+              path;
+            exit 1
+          end)
 
 (* --- reproduction targets --- *)
 
@@ -561,6 +602,8 @@ let usage () =
     "usage: main.exe [options] [target ...]\n\
      options:\n\
     \  --out FILE        write metrics to FILE (default BENCH_obs.json)\n\
+    \  --history FILE    append one NDJSON record per target to FILE\n\
+    \                    (default BENCH_history.ndjson)\n\
     \  --archive DIR     also write one run record per target under DIR\n\
     \  --baseline FILE   compare this run against a stored metrics FILE\n\
     \  --check           exit 1 if the comparison finds regressions\n\
@@ -575,6 +618,7 @@ let usage () =
 
 let () =
   let out = ref "BENCH_obs.json" in
+  let history = ref "BENCH_history.ndjson" in
   let baseline = ref None in
   let check = ref false in
   let tol = ref Regress.default_tolerance in
@@ -583,6 +627,9 @@ let () =
     | [] -> ()
     | "--out" :: path :: rest ->
         out := path;
+        parse rest
+    | "--history" :: path :: rest ->
+        history := path;
         parse rest
     | "--archive" :: dir :: rest ->
         archive_dir := Some dir;
@@ -623,6 +670,7 @@ let () =
           exit 1)
     requested;
   write_metrics !out;
+  append_history !history;
   match !baseline with
   | None -> ()
   | Some path -> (

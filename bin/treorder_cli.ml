@@ -1066,7 +1066,7 @@ let fuzz_cmd =
       "Run only this property (repeatable). One of: exactness, sim-power, \
        vcd-roundtrip, function, optimizer, io-roundtrip, densities, \
        attribution, parallel-determinism, sp-orderings, archive-roundtrip, \
-       mc-convergence, telemetry-consistency."
+       mc-convergence, telemetry-consistency, history-consistency."
     in
     Arg.(value & opt_all string [] & info [ "property"; "p" ] ~docv:"NAME" ~doc)
   in
@@ -1550,13 +1550,44 @@ let runs_list_cmd =
     let doc = "Archive directory (as passed to --archive)." in
     Arg.(required & pos 0 (some string) None & info [] ~docv:"DIR" ~doc)
   in
-  let run dir =
+  let sort_arg =
+    Arg.(
+      value
+      & opt (enum [ ("time", `Time); ("name", `Name) ]) `Time
+      & info [ "sort" ] ~docv:"KEY"
+          ~doc:
+            "Order: $(b,time) (manifest start time, oldest first — the \
+             default) or $(b,name) (run id).")
+  in
+  let limit_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "limit" ] ~docv:"N" ~doc:"Show only the last $(docv) records.")
+  in
+  let run dir sort limit =
     match Runlog.scan dir with
     | Error msg ->
         Printf.eprintf "error: %s\n" msg;
         exit 1
     | Ok [] -> print_endline "no run records"
     | Ok runs ->
+        let runs =
+          match sort with
+          | `Time -> runs (* scan already orders by (started, id) *)
+          | `Name ->
+              List.sort
+                (fun (a : Runlog.run) b ->
+                  compare a.Runlog.run_id b.Runlog.run_id)
+                runs
+        in
+        let runs =
+          match limit with
+          | Some n when n >= 0 ->
+              let drop = max 0 (List.length runs - n) in
+              List.filteri (fun i _ -> i >= drop) runs
+          | _ -> runs
+        in
         let table =
           Report.Table.create
             ~columns:
@@ -1590,7 +1621,7 @@ let runs_list_cmd =
   in
   Cmd.v
     (Cmd.info "list" ~doc:"One line per run record in an archive directory.")
-    Term.(const run $ dir_arg)
+    Term.(const run $ dir_arg $ sort_arg $ limit_arg)
 
 let runs_show_cmd =
   let run_arg =
@@ -1620,6 +1651,9 @@ let runs_show_cmd =
     List.iter
       (fun (path, sha) -> Printf.printf "input:       %s  sha256 %s\n" path sha)
       m.Runlog.inputs;
+    (* The key `runs history` aligns series on: same fingerprint = same
+       series (subcommand + params minus jobs + input digests). *)
+    Printf.printf "fingerprint: %s\n" (History.series_fingerprint m);
     List.iter
       (fun name -> Printf.printf "attachment:  %s.json\n" name)
       m.Runlog.attachments;
@@ -1734,11 +1768,335 @@ let runs_diff_cmd =
       const run $ a_arg $ b_arg $ tol_counters_arg $ with_time_arg $ rtol_arg
       $ ignore_arg)
 
+(* --- runs history / report: fleet analytics over archives --- *)
+
+let history_metric_arg =
+  Arg.(
+    value & opt_all string []
+    & info [ "metric"; "m" ] ~docv:"NAME"
+        ~doc:
+          "Track this metric (repeatable): a counter name, \
+           dist.<name>.<stat>, span.<name>, wall_s, ledger.total_before, \
+           ledger.total_after, ledger.reduction_pct, audit.<metric> or \
+           memo.hit_rate_pct. Default: the headline set.")
+
+let history_threshold_arg =
+  Arg.(
+    value & opt float 5.0
+    & info [ "threshold" ] ~docv:"SIGMA"
+        ~doc:
+          "CUSUM decision bound in sigma units; lower flags smaller shifts.")
+
+let bench_history_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "bench" ] ~docv:"FILE"
+        ~doc:
+          "Also fold in an append-only bench history \
+           (BENCH_history.ndjson); truncated tail lines are skipped with \
+           a note.")
+
+let load_history_records ~root ~bench =
+  let archived =
+    match root with
+    | None -> []
+    | Some root -> (
+        match History.load_archive root with
+        | Ok records -> records
+        | Error msg ->
+            Printf.eprintf "error: %s\n" msg;
+            exit 1)
+  in
+  let benched =
+    match bench with
+    | None -> []
+    | Some path -> (
+        match History.load_bench_history path with
+        | Ok (records, skipped) ->
+            if skipped > 0 then
+              Printf.eprintf "note: %s: skipped %d unparseable line%s\n" path
+                skipped
+                (if skipped = 1 then "" else "s");
+            records
+        | Error msg ->
+            Printf.eprintf "error: %s\n" msg;
+            exit 1)
+  in
+  archived @ benched
+
+(* Drill-down sections for the dashboard: ledger top consumers and the
+   audit summary of every archived run that carries them. *)
+let details_of_archive ~top root =
+  match root with
+  | None -> []
+  | Some root -> (
+      match Runlog.scan root with
+      | Error _ -> []
+      | Ok runs ->
+          List.filter_map
+            (fun (r : Runlog.run) ->
+              let ledger =
+                match
+                  Result.bind
+                    (Runlog.read_attachment r "ledger")
+                    Runlog.ledger_of_json
+                with
+                | Ok l ->
+                    Array.to_list l.Runlog.l_gates
+                    |> List.sort (fun (a : Runlog.ledger_gate) b ->
+                           compare b.Runlog.g_power_after
+                             a.Runlog.g_power_after)
+                    |> List.filteri (fun i _ -> i < top)
+                    |> List.map (fun (g : Runlog.ledger_gate) ->
+                           ( g.Runlog.g_out,
+                             g.Runlog.g_cell,
+                             g.Runlog.g_power_before,
+                             g.Runlog.g_power_after ))
+                | Error _ -> []
+              in
+              let audit =
+                match Runlog.read_attachment r "audit" with
+                | Ok json -> (
+                    match Trace.Json.member "summary" json with
+                    | Some (Trace.Json.Obj fields) ->
+                        List.filter_map
+                          (fun (k, v) ->
+                            Option.map
+                              (fun x -> (k, x))
+                              (Trace.Json.to_float v))
+                          fields
+                    | _ -> [])
+                | Error _ -> []
+              in
+              if ledger = [] && audit = [] then None
+              else
+                Some
+                  {
+                    Html.rd_run = r.Runlog.run_id;
+                    rd_ledger = ledger;
+                    rd_audit = audit;
+                  })
+            runs)
+
+(* Every dashboard we write must pass its own validator before it is
+   allowed to exist on disk. *)
+let write_dashboard ~title ~details ~path report =
+  let html = Html.render ~title ~details report in
+  (match Html.parse_report html with
+  | Ok _ -> ()
+  | Error msg ->
+      Printf.eprintf "internal error: dashboard fails self-check: %s\n" msg;
+      exit 2);
+  let oc = open_out_bin path in
+  output_string oc html;
+  close_out oc
+
+let runs_history_cmd =
+  let root_arg =
+    let doc = "Archive root (as passed to --archive)." in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"ROOT" ~doc)
+  in
+  let json_arg =
+    Arg.(value & flag & info [ "json" ] ~doc:"Emit the full report as JSON.")
+  in
+  let ndjson_arg =
+    Arg.(
+      value & flag
+      & info [ "ndjson" ]
+          ~doc:"Emit one NDJSON line per series point and detected shift.")
+  in
+  let html_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "html" ] ~docv:"FILE"
+          ~doc:
+            "Also write the self-contained HTML dashboard to $(docv) \
+             (validated with the strict parser before the write counts).")
+  in
+  let fail_arg =
+    Arg.(
+      value & flag
+      & info [ "fail-on-regression" ]
+          ~doc:"Exit 1 when the detector flags at least one regression.")
+  in
+  let top_arg =
+    Arg.(
+      value & opt int 10
+      & info [ "top" ] ~docv:"N"
+          ~doc:
+            "Regressions listed in the text report, and ledger rows per \
+             dashboard drill-down.")
+  in
+  let run root bench metrics threshold json ndjson html fail top =
+    let records = load_history_records ~root:(Some root) ~bench in
+    let metrics =
+      if metrics = [] then History.default_metrics else metrics
+    in
+    let report = History.build ~metrics ~threshold records in
+    (match html with
+    | Some path ->
+        write_dashboard ~title:"treorder runs history"
+          ~details:(details_of_archive ~top (Some root))
+          ~path report
+    | None -> ());
+    if json then print_string (History.to_json report ^ "\n")
+    else if ndjson then print_string (History.to_ndjson report)
+    else print_string (History.render ~top report);
+    if fail && History.regressions report <> [] then exit 1
+  in
+  Cmd.v
+    (Cmd.info "history"
+       ~doc:
+         "Cross-run time-series analytics over an archive: per-metric \
+          series aligned by series fingerprint, trend summaries, and a \
+          deterministic changepoint detector that attributes every shift \
+          to the first offending run.")
+    Term.(
+      const run $ root_arg $ bench_history_arg $ history_metric_arg
+      $ history_threshold_arg $ json_arg $ ndjson_arg $ html_arg $ fail_arg
+      $ top_arg)
+
 let runs_cmd =
   Cmd.group
     (Cmd.info "runs"
        ~doc:"Inspect and compare run-provenance archives written by --archive.")
-    [ runs_list_cmd; runs_show_cmd; runs_diff_cmd ]
+    [ runs_list_cmd; runs_show_cmd; runs_diff_cmd; runs_history_cmd ]
+
+(* --- report: the one-stop dashboard artifact --- *)
+
+let heartbeat_records path =
+  match Trace.load path with
+  | Error msg ->
+      Printf.eprintf "error: %s\n" msg;
+      exit 1
+  | Ok events ->
+      let fp = Runlog.sha256_hex ("trace:" ^ Filename.basename path) in
+      events
+      |> List.filter_map (function
+           | Trace.Heartbeat { t; percent; _ } -> Some (t, percent)
+           | _ -> None)
+      |> List.mapi (fun i (t, percent) ->
+             {
+               History.r_id = Printf.sprintf "heartbeat-%03d" i;
+               r_source = path;
+               r_label = "telemetry";
+               r_circuit = None;
+               r_time = t;
+               r_argv = [];
+               r_fingerprint = fp;
+               r_metrics = [ ("heartbeat.percent", percent) ];
+             })
+
+let report_html_cmd =
+  let root_arg =
+    let doc = "Archive root folded into the dashboard (optional)." in
+    Arg.(value & pos 0 (some string) None & info [] ~docv:"ROOT" ~doc)
+  in
+  let out_arg =
+    Arg.(
+      value
+      & opt string "treorder_report.html"
+      & info [ "o"; "out" ] ~docv:"FILE" ~doc:"Output file.")
+  in
+  let trace_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:
+            "Fold the telemetry heartbeats of an NDJSON trace in as a \
+             progress series.")
+  in
+  let title_arg =
+    Arg.(
+      value
+      & opt string "treorder report"
+      & info [ "title" ] ~docv:"TITLE" ~doc:"Dashboard title.")
+  in
+  let top_arg =
+    Arg.(
+      value & opt int 10
+      & info [ "top" ] ~docv:"N" ~doc:"Ledger rows per drill-down section.")
+  in
+  let run root bench trace metrics threshold out title top =
+    let records =
+      load_history_records ~root ~bench
+      @ (match trace with Some p -> heartbeat_records p | None -> [])
+    in
+    if records = [] then begin
+      Printf.eprintf
+        "error: nothing to report (give ROOT, --bench or --trace)\n";
+      exit 1
+    end;
+    let metrics =
+      if metrics = [] then History.default_metrics @ [ "heartbeat.percent" ]
+      else metrics
+    in
+    let report = History.build ~metrics ~threshold records in
+    write_dashboard ~title ~details:(details_of_archive ~top root) ~path:out
+      report;
+    let n_series =
+      List.fold_left
+        (fun acc (g : History.group) -> acc + List.length g.g_series)
+        0 report.History.groups
+    in
+    Printf.printf "wrote %s (%d groups, %d series, %d regressions)\n" out
+      (List.length report.History.groups)
+      n_series
+      (List.length (History.regressions report))
+  in
+  Cmd.v
+    (Cmd.info "html"
+       ~doc:
+         "Write the self-contained HTML dashboard: history series with \
+          sparklines, ranked regressions, per-run ledger/audit drill-downs \
+          and (with --trace) telemetry heartbeats — one file, no external \
+          assets, validated by the strict parser before the write counts.")
+    Term.(
+      const run $ root_arg $ bench_history_arg $ trace_arg
+      $ history_metric_arg $ history_threshold_arg $ out_arg $ title_arg
+      $ top_arg)
+
+let report_check_cmd =
+  let file_arg =
+    let doc = "Dashboard file to validate." in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE" ~doc)
+  in
+  let run file =
+    let text =
+      try
+        let ic = open_in_bin file in
+        Fun.protect
+          ~finally:(fun () -> close_in_noerr ic)
+          (fun () -> really_input_string ic (in_channel_length ic))
+      with Sys_error msg ->
+        Printf.eprintf "error: %s\n" msg;
+        exit 1
+    in
+    match Html.parse_report text with
+    | Ok p ->
+        Printf.printf "ok: %d series, %d drill-downs\n"
+          (List.length p.Html.pr_series)
+          (List.length p.Html.pr_details)
+    | Error msg ->
+        Printf.eprintf "error: %s\n" msg;
+        exit 1
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:
+         "Re-validate a dashboard file with the strict parser (DOCTYPE, \
+          eof terminator, single JSON payload, no external assets, \
+          sparkline/payload agreement). Exits 1 on any violation.")
+    Term.(const run $ file_arg)
+
+let report_cmd =
+  Cmd.group
+    (Cmd.info "report"
+       ~doc:"Produce and validate the self-contained observability dashboard.")
+    [ report_html_cmd; report_check_cmd ]
 
 (* --- table3 --- *)
 
@@ -1784,6 +2142,7 @@ let main =
       trace_cmd;
       top_cmd;
       runs_cmd;
+      report_cmd;
       fuzz_cmd;
       profile_cmd;
       glitch_cmd;

@@ -1,0 +1,220 @@
+(** Fleet-scale history analytics over run archives and bench records.
+
+    Every earlier observability layer answers questions about {e one}
+    run ({!Obs} snapshots, {!Runlog} records, {!Telemetry} samples) or
+    about {e two} ({!Runlog.diff}). This module answers questions about
+    {e many}: given an archive root accumulated over weeks of
+    [--archive] runs — and, optionally, the append-only
+    [BENCH_history.ndjson] the bench harness writes — it extracts
+    per-run metric values, aligns them into like-for-like time series,
+    summarizes each series' trend, and runs a deterministic
+    changepoint detector that attributes every mean shift to the first
+    run of the new regime (whose manifest — argv plus input
+    fingerprints — is the bisection breadcrumb).
+
+    {b Series alignment.} Two runs belong to the same series only when
+    their {!series_fingerprint}s agree: a SHA-256 over the subcommand,
+    every behaviour-determining manifest parameter except [jobs] (the
+    parallel optimizer is bit-identical across domain counts, so
+    [jobs] is scheduling, not behaviour) and every input-file digest.
+    A changed circuit, seed, scenario or input file starts a fresh
+    series rather than polluting an existing one. Within a series,
+    points are ordered by manifest start time (ties by run id), so the
+    series {e is} the repository's perf/accuracy trajectory.
+
+    {b Determinism.} Extraction copies values out of the archived
+    snapshots bit-for-bit ([%.17g] JSON round-trips exactly); the
+    detector uses no randomness and no wall clock, so the same records
+    produce the same report in any scan order. The
+    [history-consistency] proptest oracle holds all of this to account.
+
+    Rendered views: {!render} (text), {!to_json} / {!to_ndjson}
+    (machine), and {!Html.render} (the self-contained dashboard). *)
+
+(** {1 Records: one analyzable run} *)
+
+type record = {
+  r_id : string;  (** run id, or bench target name *)
+  r_source : string;  (** run directory, or history-file path *)
+  r_label : string;  (** subcommand, or ["bench:<target>"] *)
+  r_circuit : string option;  (** the [circuit] manifest param, if any *)
+  r_time : float;  (** manifest start time / bench record time, epoch s *)
+  r_argv : string list;
+  r_fingerprint : string;  (** series-alignment key, lowercase hex *)
+  r_metrics : (string * float) list;  (** flat metric map, name-sorted *)
+}
+
+val series_fingerprint : Runlog.manifest -> string
+(** The alignment key of an archived run: SHA-256 (hex) over
+    subcommand, sorted params minus [jobs], and sorted input digests.
+    [treorder runs show] prints it so operators can predict which runs
+    will form a series. *)
+
+val record_of_run : Runlog.run -> record
+(** Extract the flat metric map of one archived run. Metric names:
+
+    - every snapshot counter, verbatim (e.g.
+      [optimizer.configs_explored]);
+    - [dist.<name>.<stat>] for every snapshot distribution, with
+      [<stat>] one of [count], [mean], [min], [max], [p50], [p90],
+      [p99];
+    - [span.<name>] — total seconds of the span;
+    - [wall_s] — manifest [finished - started];
+    - [ledger.total_before] / [ledger.total_after] /
+      [ledger.reduction_pct] when a ledger attachment decodes;
+    - [audit.<metric>] for each audit-summary error metric when an
+      audit attachment decodes;
+    - [memo.hit_rate_pct] when the memo counters are present and
+      hits + misses > 0.
+
+    Unreadable snapshots yield a record with only [wall_s] (the run
+    still marks its place on the time axis). *)
+
+val load_archive : string -> (record list, string) result
+(** {!Runlog.scan} an archive root and extract every complete record,
+    ordered by start time then id. [Error] only when the root itself
+    is unreadable. *)
+
+val load_bench_history : string -> (record list * int, string) result
+(** Parse an append-only bench history file
+    ([{"v":1,"time":...,"target":...,"argv":[...],"seconds":...,"metrics":{...}}]
+    per line). Tolerant like the NDJSON trace reader: lines that do
+    not parse (a truncated tail from a killed append, a torn write)
+    are skipped and counted, never fatal. Returns the records (label
+    ["bench:<target>"], fingerprint derived from the target name) and
+    the number of skipped lines. [Error] only on I/O failure. *)
+
+(** {1 Trend summaries} *)
+
+type trend = {
+  t_n : int;  (** points in the series *)
+  t_first : float;
+  t_last : float;
+  t_min : float;
+  t_max : float;
+  t_mean : float;
+  t_rate : float;  (** (last - first) / (n - 1); 0 when n < 2 *)
+  t_ewma : float;  (** exponentially weighted mean, newest-heavy *)
+}
+
+val trend : ?alpha:float -> float array -> trend
+(** Summary of a non-empty series in time order. [alpha] (default
+    0.3) is the EWMA smoothing factor applied oldest-to-newest.
+    @raise Invalid_argument on the empty array. *)
+
+(** {1 Changepoint detection}
+
+    Two-sided mean-shift detection by binary segmentation over the
+    maximized-CUSUM statistic. The scale [sigma] is estimated robustly
+    from the median absolute successive difference (so a single step
+    inflates it only marginally). Within a segment, every split point
+    [t] is scored with the standardized two-sample statistic
+
+    [|mean(right) - mean(left)| * sqrt (n1 n2 / (n1 + n2)) / sigma]
+
+    and the best split (earliest on ties) becomes a changepoint when
+    its score exceeds [threshold]; the detector then recurses on both
+    halves. The changepoint index is the {e first point of the new
+    regime} — the first offending run. When at least half of the
+    successive differences are exactly zero the series is
+    piecewise-constant (counters of a deterministic pipeline): every
+    change of value is an exact changepoint, no noise model needed.
+    A series shorter than 4 points never flags. No RNG, no
+    wall-clock: byte-identical inputs give byte-identical shifts. *)
+
+type direction = Up | Down
+
+type shift = {
+  sh_index : int;  (** first point of the new regime (0-based) *)
+  sh_before : float;  (** mean of the regime before the shift (bounded
+                          by the neighbouring changepoint) *)
+  sh_after : float;  (** mean of the regime from the shift on *)
+  sh_score : float;  (** the standardized statistic, in sigma units;
+                         piecewise-constant changepoints are exact and
+                         report [2 * threshold] *)
+  sh_direction : direction;
+}
+
+val detect : ?threshold:float -> float array -> shift list
+(** Changepoints of a series in time order, sorted by index.
+    [threshold] (default 5.0) is the decision bound in sigma units;
+    lower is more sensitive. *)
+
+(** {1 Metric orientation} *)
+
+type orientation = Higher_worse | Lower_worse | Neutral
+
+val orientation : string -> orientation
+(** Which direction of a shift is a {e regression} for this metric:
+    time, power, error and [_ns]/[wall] metrics regress upward; hit
+    rates, reductions and speedups regress downward; bare counters are
+    [Neutral] — any shift in a deterministic pipeline's counters is a
+    behaviour change worth flagging. *)
+
+(** {1 Reports} *)
+
+type point = {
+  p_run : string;  (** run id / bench target instance *)
+  p_time : float;
+  p_argv : string list;
+  p_source : string;
+  p_value : float;
+}
+
+type series = {
+  se_metric : string;
+  se_points : point array;  (** time order *)
+  se_trend : trend;
+  se_shifts : shift list;
+}
+
+type group = {
+  g_label : string;
+  g_fingerprint : string;
+  g_circuit : string option;  (** the [circuit] param, when recorded *)
+  g_series : series list;  (** sorted by metric name *)
+}
+
+type report = {
+  groups : group list;  (** sorted by label, then fingerprint *)
+  threshold : float;
+  requested : string list;  (** metric selection used, sorted *)
+}
+
+val default_metrics : string list
+(** The metric selection used when the caller requests none: [wall_s],
+    ledger totals/reduction, audit mean density error, memo hit rate.
+    Metrics absent from a series' runs are dropped per group. *)
+
+val build : ?metrics:string list -> ?threshold:float -> record list -> report
+(** Group records by (label, fingerprint), assemble the requested
+    metric series (default {!default_metrics}), summarize and run the
+    detector on each. Groups with fewer than 2 points still appear
+    (with empty shift lists) so a fresh archive renders sensibly. *)
+
+type regression = {
+  rg_group : group;
+  rg_series : series;
+  rg_shift : shift;
+}
+
+val regressions : report -> regression list
+(** Every detected shift whose direction is a regression under
+    {!orientation}, ranked most severe first (by absolute score). The
+    [--fail-on-regression] exit code is [regressions r <> []]. *)
+
+val render : ?top:int -> report -> string
+(** Plain-text report: per group, a series table (n / first / last /
+    min / max / mean / rate / EWMA / shifts) followed by a ranked
+    regression list attributing each shift to its first offending run
+    (id + argv). [top] bounds the regression list (default 10). *)
+
+val to_json : report -> string
+(** The full report as one JSON document (the same shape the HTML
+    dashboard embeds; floats as [%.17g] so values round-trip
+    bit-exactly). *)
+
+val to_ndjson : report -> string
+(** One line per series point ([kind:"point"]) and per detected shift
+    ([kind:"shift"]) — greppable, and the format the bench-history
+    file shares. *)

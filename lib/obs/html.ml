@@ -1,0 +1,458 @@
+(* Single-file HTML dashboard renderer + strict self-check parser.
+   See html.mli for the contract. *)
+
+let escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '&' -> Buffer.add_string b "&amp;"
+      | '<' -> Buffer.add_string b "&lt;"
+      | '>' -> Buffer.add_string b "&gt;"
+      | '"' -> Buffer.add_string b "&quot;"
+      | '\'' -> Buffer.add_string b "&#39;"
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+(* Anchor ids must survive both the id= attribute and the href=#
+   reference; collapse anything outside [A-Za-z0-9._-] to '-'. *)
+let anchor_id run_id =
+  String.map
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '.' | '_' | '-' -> c
+      | _ -> '-')
+    run_id
+
+type run_detail = {
+  rd_run : string;
+  rd_ledger : (string * string * float * float) list;
+  rd_audit : (string * float) list;
+}
+
+let doctype = "<!DOCTYPE html>"
+let eof_marker = "<!-- treorder:eof -->"
+let script_open = "<script type=\"application/json\" id=\"treorder-report\">"
+
+let style =
+  "body{font:14px/1.5 system-ui,sans-serif;margin:2em auto;max-width:72em;\
+   color:#222}h1{font-size:1.5em}h2{font-size:1.15em;margin-top:1.6em}\
+   table{border-collapse:collapse;margin:.5em 0}th,td{border:1px solid \
+   #ccc;padding:.25em .6em;text-align:right}th{background:#f2f2f2}\
+   td.name,th.name{text-align:left;font-family:monospace}code{background:\
+   #f6f6f6;padding:0 .25em}svg{vertical-align:middle}section{margin-top:\
+   1.5em}.up{color:#b00}.down{color:#06c}.meta{color:#666}"
+
+(* JSON payloads embed inside <script>; a name containing </script>
+   would otherwise terminate the block early. Trace.Json.parse maps
+   < back to '<', so the rewrite is lossless. Angle brackets only
+   occur inside JSON string literals (the serializer itself never emits
+   them), so a global byte rewrite is exact. *)
+let script_safe_json json =
+  let b = Buffer.create (String.length json + 16) in
+  String.iter
+    (fun c ->
+      match c with
+      | '<' -> Buffer.add_string b "\\u003c"
+      | '>' -> Buffer.add_string b "\\u003e"
+      | c -> Buffer.add_char b c)
+    json;
+  Buffer.contents b
+
+let fmt_g v = Printf.sprintf "%.6g" v
+
+(* Inline SVG sparkline: the series scaled into a 120x24 box, shifts
+   marked with circles. Coordinates rendered with %.2f — deterministic
+   for identical inputs. *)
+let sparkline ~key (s : History.series) =
+  let values = Array.map (fun (p : History.point) -> p.p_value) s.se_points in
+  let n = Array.length values in
+  let w = 120. and h = 24. and pad = 2. in
+  let mn = Array.fold_left min values.(0) values
+  and mx = Array.fold_left max values.(0) values in
+  let x i =
+    if n = 1 then w /. 2.
+    else pad +. (float_of_int i *. (w -. (2. *. pad)) /. float_of_int (n - 1))
+  in
+  let y v =
+    if mx = mn then h /. 2.
+    else h -. pad -. ((v -. mn) /. (mx -. mn) *. (h -. (2. *. pad)))
+  in
+  let b = Buffer.create 256 in
+  Printf.bprintf b
+    "<svg data-series=\"%s\" data-points=\"%d\" width=\"120\" \
+     height=\"24\" viewBox=\"0 0 120 24\" role=\"img\">"
+    (escape key) n;
+  if n = 1 then
+    Printf.bprintf b
+      "<circle cx=\"%.2f\" cy=\"%.2f\" r=\"2\" fill=\"#345\"/>" (x 0)
+      (y values.(0))
+  else begin
+    Printf.bprintf b "<polyline fill=\"none\" stroke=\"#345\" \
+                      stroke-width=\"1.5\" points=\"";
+    Array.iteri
+      (fun i v ->
+        if i > 0 then Buffer.add_char b ' ';
+        Printf.bprintf b "%.2f,%.2f" (x i) (y v))
+      values;
+    Buffer.add_string b "\"/>"
+  end;
+  List.iter
+    (fun (sh : History.shift) ->
+      let i = sh.sh_index in
+      Printf.bprintf b
+        "<circle cx=\"%.2f\" cy=\"%.2f\" r=\"2.5\" fill=\"%s\"/>" (x i)
+        (y values.(i))
+        (match sh.sh_direction with History.Up -> "#b00" | _ -> "#06c"))
+    s.se_shifts;
+  Buffer.add_string b "</svg>";
+  Buffer.contents b
+
+let series_key (g : History.group) (s : History.series) =
+  g.g_fingerprint ^ ":" ^ s.se_metric
+
+let render ?(title = "treorder dashboard") ?(details = []) report =
+  let b = Buffer.create 8192 in
+  let out s = Buffer.add_string b s in
+  let line fmt = Printf.ksprintf (fun s -> out (s ^ "\n")) fmt in
+  let detail_ids =
+    List.map (fun d -> d.rd_run) details |> List.sort_uniq compare
+  in
+  let has_detail run = List.mem run detail_ids in
+  line "%s" doctype;
+  line "<html lang=\"en\">";
+  line "<head>";
+  line "<meta charset=\"utf-8\">";
+  line "<title>%s</title>" (escape title);
+  line "<style>%s</style>" style;
+  line "</head>";
+  line "<body>";
+  line "<h1>%s</h1>" (escape title);
+  let n_series =
+    List.fold_left
+      (fun acc (g : History.group) -> acc + List.length g.g_series)
+      0 report.History.groups
+  in
+  let regs = History.regressions report in
+  line
+    "<p class=\"meta\">threshold %s &middot; %d group%s &middot; %d \
+     series &middot; %d regression%s</p>"
+    (escape (fmt_g report.History.threshold))
+    (List.length report.History.groups)
+    (if List.length report.History.groups = 1 then "" else "s")
+    n_series (List.length regs)
+    (if List.length regs = 1 then "" else "s");
+  (* Ranked regressions. *)
+  line "<h2>Regressions</h2>";
+  if regs = [] then line "<p>none detected</p>"
+  else begin
+    line
+      "<table id=\"regressions\"><tr><th>#</th><th \
+       class=\"name\">group</th><th class=\"name\">metric</th><th>dir</th>\
+       <th>before</th><th>after</th><th>score</th><th \
+       class=\"name\">run</th></tr>";
+    List.iteri
+      (fun i (r : History.regression) ->
+        let sh = r.rg_shift in
+        let p = r.rg_series.se_points.(sh.sh_index) in
+        let run_cell =
+          if has_detail p.p_run then
+            Printf.sprintf "<a href=\"#run-%s\">%s</a>"
+              (anchor_id p.p_run) (escape p.p_run)
+          else escape p.p_run
+        in
+        line
+          "<tr><td>%d</td><td class=\"name\">%s</td><td \
+           class=\"name\">%s</td><td class=\"%s\">%s</td><td>%s</td>\
+           <td>%s</td><td>%s</td><td class=\"name\">%s</td></tr>"
+          (i + 1)
+          (escape r.rg_group.g_label)
+          (escape r.rg_series.se_metric)
+          (match sh.sh_direction with History.Up -> "up" | _ -> "down")
+          (match sh.sh_direction with
+          | History.Up -> "&#9650;"
+          | _ -> "&#9660;")
+          (escape (fmt_g sh.sh_before))
+          (escape (fmt_g sh.sh_after))
+          (escape (Printf.sprintf "%.1f" sh.sh_score))
+          run_cell)
+      regs;
+    line "</table>"
+  end;
+  (* Series per group. *)
+  List.iter
+    (fun (g : History.group) ->
+      line "<section class=\"group\">";
+      line "<h2>%s%s <code>%s</code></h2>" (escape g.g_label)
+        (match g.g_circuit with
+        | Some c -> Printf.sprintf " (%s)" (escape c)
+        | None -> "")
+        (escape (String.sub g.g_fingerprint 0 12));
+      line
+        "<table><tr><th class=\"name\">metric</th><th>series</th>\
+         <th>n</th><th>first</th><th>last</th><th>ewma</th><th>rate</th>\
+         <th>shifts</th></tr>";
+      List.iter
+        (fun (s : History.series) ->
+          let t = s.se_trend in
+          line
+            "<tr><td class=\"name\">%s</td><td>%s</td><td>%d</td>\
+             <td>%s</td><td>%s</td><td>%s</td><td>%s</td><td>%d</td></tr>"
+            (escape s.se_metric)
+            (sparkline ~key:(series_key g s) s)
+            t.t_n
+            (escape (fmt_g t.t_first))
+            (escape (fmt_g t.t_last))
+            (escape (fmt_g t.t_ewma))
+            (escape (fmt_g t.t_rate))
+            (List.length s.se_shifts))
+        g.g_series;
+      line "</table>";
+      line "</section>")
+    report.History.groups;
+  (* Drill-down sections. *)
+  List.iter
+    (fun d ->
+      line "<section class=\"run\" id=\"run-%s\">" (anchor_id d.rd_run);
+      line "<h2>run %s</h2>" (escape d.rd_run);
+      if d.rd_ledger <> [] then begin
+        line
+          "<table><tr><th class=\"name\">gate</th><th \
+           class=\"name\">cell</th><th>power before</th><th>power \
+           after</th></tr>";
+        List.iter
+          (fun (out_net, cell, before, after) ->
+            line
+              "<tr><td class=\"name\">%s</td><td class=\"name\">%s</td>\
+               <td>%s</td><td>%s</td></tr>"
+              (escape out_net) (escape cell)
+              (escape (fmt_g before))
+              (escape (fmt_g after)))
+          d.rd_ledger;
+        line "</table>"
+      end;
+      if d.rd_audit <> [] then begin
+        line
+          "<table><tr><th class=\"name\">audit metric</th><th>value</th>\
+           </tr>";
+        List.iter
+          (fun (metric, v) ->
+            line
+              "<tr><td class=\"name\">%s</td><td>%s</td></tr>"
+              (escape metric)
+              (escape (fmt_g v)))
+          d.rd_audit;
+        line "</table>"
+      end;
+      line "</section>")
+    details;
+  (* Machine payload, angle-bracket-free (see script_safe_json). *)
+  out script_open;
+  out (script_safe_json (History.to_json report));
+  line "</script>";
+  line "</body>";
+  line "</html>";
+  line "%s" eof_marker;
+  Buffer.contents b
+
+(* --- strict self-check --- *)
+
+type parsed = {
+  pr_json : Trace.Json.t;
+  pr_series : (string * int) list;
+  pr_details : string list;
+}
+
+let ( let* ) = Result.bind
+
+let has_prefix p s =
+  String.length s >= String.length p && String.sub s 0 (String.length p) = p
+
+let find_sub text pat from =
+  let nt = String.length text and np = String.length pat in
+  let rec go i =
+    if i + np > nt then None
+    else if String.sub text i np = pat then Some i
+    else go (i + 1)
+  in
+  if np = 0 then None else go from
+
+let count_sub text pat =
+  let rec go from acc =
+    match find_sub text pat from with
+    | Some i -> go (i + String.length pat) (acc + 1)
+    | None -> acc
+  in
+  go 0 0
+
+(* All occurrences of attr="..." values in markup, as (offset, value). *)
+let attr_values markup attr =
+  let pat = attr ^ "=\"" in
+  let rec go from acc =
+    match find_sub markup pat from with
+    | None -> List.rev acc
+    | Some i -> (
+        let start = i + String.length pat in
+        match String.index_from_opt markup start '"' with
+        | None -> List.rev acc
+        | Some stop ->
+            go (stop + 1)
+              ((i, String.sub markup start (stop - start)) :: acc))
+  in
+  go 0 []
+
+let parse_report text =
+  let* () =
+    if has_prefix doctype text then Ok ()
+    else Error "dashboard: missing DOCTYPE at byte 0"
+  in
+  let* () =
+    let trimmed = String.trim text in
+    let nm = String.length eof_marker and nt = String.length trimmed in
+    if nt >= nm && String.sub trimmed (nt - nm) nm = eof_marker then Ok ()
+    else Error "dashboard: missing eof terminator (truncated write?)"
+  in
+  let* () =
+    match count_sub text "<script" with
+    | 1 -> Ok ()
+    | n -> Error (Printf.sprintf "dashboard: %d <script blocks, want 1" n)
+  in
+  let* payload_start =
+    match find_sub text script_open 0 with
+    | Some i -> Ok (i + String.length script_open)
+    | None -> Error "dashboard: payload script block missing or malformed"
+  in
+  let* payload_stop =
+    match find_sub text "</script>" payload_start with
+    | Some i -> Ok i
+    | None -> Error "dashboard: unterminated payload script block"
+  in
+  let payload = String.sub text payload_start (payload_stop - payload_start) in
+  let* () =
+    if String.contains payload '<' || String.contains payload '>' then
+      Error "dashboard: raw angle bracket inside JSON payload"
+    else Ok ()
+  in
+  let* json =
+    Result.map_error
+      (fun msg -> "dashboard: payload does not parse: " ^ msg)
+      (Trace.Json.parse payload)
+  in
+  let* () =
+    match
+      Option.bind (Trace.Json.member "history_version" json)
+        Trace.Json.to_float
+    with
+    | Some 1. -> Ok ()
+    | Some v ->
+        Error (Printf.sprintf "dashboard: history_version %g, want 1" v)
+    | None -> Error "dashboard: payload missing history_version"
+  in
+  (* Splice the payload out; the remaining markup must be inert. *)
+  let markup =
+    String.sub text 0 payload_start
+    ^ String.sub text payload_stop (String.length text - payload_stop)
+  in
+  let* () =
+    match find_sub markup " src=\"" 0 with
+    | Some _ -> Error "dashboard: external src= attribute in markup"
+    | None -> Ok ()
+  in
+  let* () =
+    let bad =
+      List.filter
+        (fun (_, v) -> not (has_prefix "#" v))
+        (attr_values markup "href")
+    in
+    match bad with
+    | [] -> Ok ()
+    | (_, v) :: _ ->
+        Error (Printf.sprintf "dashboard: non-anchor href %S" v)
+  in
+  (* Sparkline inventory from the markup... *)
+  let svg_series =
+    List.filter_map
+      (fun (off, key) ->
+        (* the matching data-points lives in the same svg tag *)
+        match find_sub markup "data-points=\"" off with
+        | None -> None
+        | Some i -> (
+            let start = i + String.length "data-points=\"" in
+            match String.index_from_opt markup start '"' with
+            | None -> None
+            | Some stop -> (
+                match
+                  int_of_string_opt (String.sub markup start (stop - start))
+                with
+                | Some n -> Some (key, n)
+                | None -> None)))
+      (attr_values markup "data-series")
+    |> List.sort compare
+  in
+  (* ... must match the payload's series exactly. *)
+  let* payload_series =
+    let to_list = function Some (Trace.Json.Arr l) -> l | _ -> [] in
+    let groups = to_list (Trace.Json.member "groups" json) in
+    let series =
+      List.concat_map
+        (fun g ->
+          let fp =
+            Option.bind (Trace.Json.member "fingerprint" g)
+              Trace.Json.to_string
+          in
+          List.filter_map
+            (fun s ->
+              match
+                ( fp,
+                  Option.bind (Trace.Json.member "metric" s)
+                    Trace.Json.to_string )
+              with
+              | Some fp, Some metric ->
+                  Some
+                    ( fp ^ ":" ^ metric,
+                      List.length (to_list (Trace.Json.member "points" s))
+                    )
+              | _ -> None)
+            (to_list (Trace.Json.member "series" g)))
+        groups
+    in
+    Ok (List.sort compare series)
+  in
+  let* () =
+    if svg_series = payload_series then Ok ()
+    else
+      let key = function (k, _) :: _ -> k | [] -> "(none)" in
+      let missing =
+        List.filter (fun kv -> not (List.mem kv svg_series)) payload_series
+      and spurious =
+        List.filter (fun kv -> not (List.mem kv payload_series)) svg_series
+      in
+      Error
+        (Printf.sprintf
+           "dashboard: sparkline/payload series mismatch (missing %s, \
+            spurious %s)"
+           (key missing) (key spurious))
+  in
+  (* Every regression run link must resolve to a drill-down section. *)
+  let section_ids =
+    List.filter_map
+      (fun (_, v) -> if has_prefix "run-" v then Some v else None)
+      (attr_values markup "id")
+    |> List.sort_uniq compare
+  in
+  let* () =
+    let unresolved =
+      List.filter
+        (fun (_, v) ->
+          has_prefix "#run-" v
+          && not
+               (List.mem (String.sub v 1 (String.length v - 1)) section_ids))
+        (attr_values markup "href")
+    in
+    match unresolved with
+    | [] -> Ok ()
+    | (_, v) :: _ ->
+        Error (Printf.sprintf "dashboard: dangling run link %S" v)
+  in
+  Ok { pr_json = json; pr_series = svg_series; pr_details = section_ids }

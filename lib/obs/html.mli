@@ -1,0 +1,70 @@
+(** The self-contained HTML dashboard over {!History} reports, and the
+    strict parser that re-validates the artifact.
+
+    {!render} emits one single-file document with zero external
+    dependencies: no network fetches, no [src=] attributes, every
+    [href] a [#]-anchor into the document itself. Series render as
+    inline SVG sparklines; detected shifts as markers on them; the
+    regression table ranks worst-first and links each offending run to
+    its drill-down section (ledger top consumers, audit summary) when
+    one was supplied. Every circuit/net/run name passes through
+    {!escape}, and the machine-readable payload — the exact
+    {!History.to_json} document — is embedded in a single
+    [<script type="application/json" id="treorder-report">] block with
+    every angle bracket rewritten to its [\uXXXX] JSON escape, so
+    hostile names like [</script>] cannot break out of the block.
+
+    {!parse_report} is the consumer-side contract, in the same spirit
+    as {!Telemetry.parse_openmetrics}: strict about everything the
+    renderer promises. The CLI re-parses every dashboard it writes and
+    refuses to ship one that fails its own validator. Rendering is
+    deterministic — no wall-clock, no RNG — so byte-identical reports
+    produce byte-identical dashboards. *)
+
+val escape : string -> string
+(** HTML-escape: [&], [<], [>], double quote and apostrophe become
+    character references; everything else passes through. Safe for
+    both element text and double-quoted attribute values. *)
+
+(** {1 Drill-down detail} *)
+
+type run_detail = {
+  rd_run : string;  (** run id the section documents *)
+  rd_ledger : (string * string * float * float) list;
+      (** gate out-net, cell, power before, power after — the top
+          consumers, already ranked *)
+  rd_audit : (string * float) list;  (** audit summary metrics *)
+}
+
+(** {1 Rendering} *)
+
+val render :
+  ?title:string -> ?details:run_detail list -> History.report -> string
+(** The dashboard. [title] defaults to ["treorder dashboard"];
+    [details] (default none) adds one anchored drill-down section per
+    run, and regression rows link to them by run id. The document ends
+    with the literal terminator line [<!-- treorder:eof -->] so a
+    truncated write is detectable. *)
+
+(** {1 Self-check} *)
+
+type parsed = {
+  pr_json : Trace.Json.t;  (** the embedded report payload, re-parsed *)
+  pr_series : (string * int) list;
+      (** every sparkline's [data-series] key
+          (["<fingerprint>:<metric>"]) with its [data-points] count,
+          sorted *)
+  pr_details : string list;  (** drill-down run ids, sorted *)
+}
+
+val parse_report : string -> (parsed, string) result
+(** Validate a rendered dashboard strictly. Checks, in order: the
+    DOCTYPE is at byte 0; the terminator line ends the document; the
+    document contains exactly one [<script] block and it is the
+    JSON-payload block; the payload contains no raw [<] or [>] and
+    parses as JSON with [history_version = 1]; the surrounding markup
+    (payload spliced out) has no [src=] attribute and no [href] that
+    is not a [#]-anchor; every series in the payload has exactly one
+    sparkline whose [data-points] equals its [points] length; every
+    regression-table run link resolves to a drill-down section. Any
+    violation is an [Error] naming the first offending check. *)

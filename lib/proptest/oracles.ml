@@ -805,6 +805,156 @@ let check_telemetry_consistency ~seed c =
             walk events)
   end
 
+(* --- 14. history consistency --- *)
+
+(* Fleet analytics must be a pure function of the archived bytes:
+   synthesize K run records with pinned timestamps and gnarly %.17g
+   counter values plus one piecewise-constant step, write them in two
+   different filesystem orders, and demand (a) extraction returns the
+   source values bit-for-bit, (b) the full report (trends, shifts,
+   JSON) is byte-identical regardless of scan order, (c) the injected
+   step is attributed to exactly the first shifted run, and (d) the
+   HTML dashboard round-trips through its own strict validator with
+   every rendered series accounted for. *)
+
+let check_history_consistency ~seed c =
+  let name = C.name c in
+  let k = 5 + (abs seed mod 4) in
+  let split = 2 + (abs seed mod (k - 3)) in
+  (* bit-exactness fodder: non-terminating binary expansions *)
+  let value i = (float_of_int (i + 1) /. 3.) +. (float_of_int seed /. 7.) in
+  let step i = if i >= split then 7500. else 5000. in
+  let esc = Trace.Json.escape in
+  let write_text path text =
+    let oc = open_out_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_out_noerr oc)
+      (fun () -> output_string oc text)
+  in
+  let write_record dir i =
+    let run_dir = Filename.concat dir (Printf.sprintf "r%02d" i) in
+    Unix.mkdir run_dir 0o755;
+    write_text
+      (Filename.concat run_dir "snapshot.json")
+      (Printf.sprintf
+         "{\"counters\":{\"oracle.step\":%.17g,\"oracle.value\":%.17g},\"distributions\":{},\"spans\":{},\"gc\":{}}"
+         (step i) (value i));
+    write_text
+      (Filename.concat run_dir "manifest.json")
+      (Printf.sprintf
+         "{\"runlog_version\":1,\"tool\":\"treorder\",\"tool_version\":\"oracle\",\"subcommand\":\"optimize\",\"argv\":[\"optimize\",%s],\"inputs\":[],\"params\":{\"circuit\":%s,\"seed\":\"42\"},\"started\":%d,\"finished\":%d.25,\"attachments\":[]}"
+         (esc name) (esc name)
+         (1700000000 + i)
+         (1700000000 + i))
+  in
+  let with_archive order f =
+    let dir = Filename.temp_dir "treorder_oracle" "" in
+    Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
+    List.iter (write_record dir) order;
+    f dir
+  in
+  let metrics = [ "oracle.step"; "oracle.value"; "wall_s" ] in
+  let report_of dir =
+    match History.load_archive dir with
+    | Error e -> Error e
+    | Ok records -> Ok (records, History.build ~metrics records)
+  in
+  with_archive (List.init k Fun.id) @@ fun dir_fwd ->
+  with_archive (List.rev (List.init k Fun.id)) @@ fun dir_rev ->
+  match (report_of dir_fwd, report_of dir_rev) with
+  | Error e, _ | _, Error e -> fail "archive does not load: %s" e
+  | Ok (records, report), Ok (_, report_rev) -> (
+      let* () =
+        if List.length records = k then Pass
+        else fail "extracted %d records, wrote %d" (List.length records) k
+      in
+      (* (a) source values survive extraction bit-for-bit *)
+      let* () =
+        let rec check i = function
+          | [] -> Pass
+          | r :: rest -> (
+              match
+                ( List.assoc_opt "oracle.value" r.History.r_metrics,
+                  List.assoc_opt "oracle.step" r.History.r_metrics )
+              with
+              | Some v, Some s when v = value i && s = step i ->
+                  check (i + 1) rest
+              | Some v, _ when v <> value i ->
+                  fail "run %d: oracle.value %.17g, wrote %.17g" i v (value i)
+              | _ -> fail "run %d: extracted metrics incomplete" i)
+        in
+        check 0 records
+      in
+      (* (b) scan order cannot leak into the report; the two archives
+         live in different scratch dirs, so normalize the roots out of
+         the [source] fields before comparing bytes *)
+      let* () =
+        let strip root s =
+          let b = Buffer.create (String.length s) in
+          let rl = String.length root and n = String.length s in
+          let i = ref 0 in
+          while !i < n do
+            if !i + rl <= n && String.sub s !i rl = root then (
+              Buffer.add_string b "$ROOT";
+              i := !i + rl)
+            else (
+              Buffer.add_char b s.[!i];
+              incr i)
+          done;
+          Buffer.contents b
+        in
+        if
+          strip dir_fwd (History.to_json report)
+          = strip dir_rev (History.to_json report_rev)
+        then Pass
+        else fail "report differs across filesystem write orders"
+      in
+      (* (c) the injected step is attributed exactly *)
+      let* () =
+        match
+          List.concat_map
+            (fun (g : History.group) ->
+              List.concat_map
+                (fun (s : History.series) ->
+                  if s.History.se_metric = "oracle.step" then
+                    s.History.se_shifts
+                  else [])
+                g.History.g_series)
+            report.History.groups
+        with
+        | [ sh ] ->
+            if sh.History.sh_index <> split then
+              fail "step flagged at index %d, injected at %d"
+                sh.History.sh_index split
+            else if sh.History.sh_direction <> History.Up then
+              fail "step direction not Up"
+            else Pass
+        | shifts ->
+            fail "expected exactly 1 shift on oracle.step, got %d"
+              (List.length shifts)
+      in
+      (* (d) the dashboard validates, inventories every series, and is
+         itself deterministic *)
+      let html = Html.render report in
+      let* () =
+        if html = Html.render report then Pass
+        else fail "dashboard render is not deterministic"
+      in
+      match Html.parse_report html with
+      | Error e -> fail "dashboard fails its own validator: %s" e
+      | Ok parsed ->
+          let rendered =
+            List.fold_left
+              (fun acc (g : History.group) ->
+                acc + List.length g.History.g_series)
+              0 report.History.groups
+          in
+          if List.length parsed.Html.pr_series = rendered then Pass
+          else
+            fail "dashboard inventories %d series, report has %d"
+              (List.length parsed.Html.pr_series)
+              rendered)
+
 (* --- registry --- *)
 
 let circuit_prop name generate check =
@@ -840,6 +990,7 @@ let all () =
     circuit_prop "mc-convergence" Gen.circuit check_mc_convergence;
     circuit_prop "telemetry-consistency" Gen.circuit
       check_telemetry_consistency;
+    circuit_prop "history-consistency" Gen.circuit check_history_consistency;
   ]
 
 let names () = List.map Runner.name (all ())

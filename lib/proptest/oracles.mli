@@ -67,6 +67,14 @@
       the OpenMetrics rendering round-trips through the strict parser
       value-exactly, and emitted heartbeats keep [percent] inside
       [\[0, 100\]] and monotone within each phase.
+    - [history-consistency] — fleet analytics ({!History} / {!Html}) is
+      a pure function of the archived bytes: synthetic run records with
+      pinned timestamps and [%.17g]-gnarly counters extract
+      bit-for-bit, the report JSON is byte-identical across filesystem
+      write orders, an injected piecewise-constant step is attributed
+      to exactly its first offending run, and the rendered dashboard
+      passes {!Html.parse_report} with every series inventoried and a
+      deterministic re-render.
 
     All properties share one power-model / delay table pair built from
     {!Cell.Process.default} (module state, built lazily). *)

@@ -1,0 +1,436 @@
+(* Tests for the fleet-history subsystem: metric extraction out of run
+   records, series-fingerprint alignment, trend summaries, the
+   deterministic CUSUM changepoint detector (flags an injected step at
+   the right run, stays silent under pure noise), the bench-history
+   tolerant reader, and the HTML dashboard round-trip through its
+   strict validator — including hostile names. *)
+
+let ok = function
+  | Ok v -> v
+  | Error msg -> Alcotest.failf "unexpected error: %s" msg
+
+let contains haystack needle =
+  let hn = String.length haystack and nn = String.length needle in
+  let rec at i =
+    i + nn <= hn && (String.sub haystack i nn = needle || at (i + 1))
+  in
+  at 0
+
+let replace_all ~pat ~by s =
+  let np = String.length pat in
+  let b = Buffer.create (String.length s) in
+  let i = ref 0 in
+  while !i <= String.length s - np do
+    if String.sub s !i np = pat then begin
+      Buffer.add_string b by;
+      i := !i + np
+    end
+    else begin
+      Buffer.add_char b s.[!i];
+      incr i
+    end
+  done;
+  Buffer.add_string b (String.sub s !i (String.length s - !i));
+  Buffer.contents b
+
+let rec rm_rf path =
+  match Sys.is_directory path with
+  | true ->
+      Array.iter (fun e -> rm_rf (Filename.concat path e)) (Sys.readdir path);
+      Sys.rmdir path
+  | false -> Sys.remove path
+  | exception Sys_error _ -> ()
+
+let with_scratch f =
+  let dir = Filename.temp_dir "history_test" "" in
+  Fun.protect ~finally:(fun () -> rm_rf dir) (fun () -> f dir)
+
+let snap counters =
+  Printf.sprintf
+    {|{"counters":{%s},"distributions":{"optimizer.gate_gain_pct":{"count":4,"sum":10,"min":1,"max":4,"p50":2.5,"p90":4,"p99":4}},"spans":{"optimize.run":{"calls":1,"total_s":0.25,"slowest_s":0.25}},"gc":{"minor_words":0,"major_words":0}}|}
+    (String.concat ","
+       (List.map (fun (k, v) -> Printf.sprintf "\"%s\":%g" k v) counters))
+
+let ledger_doc =
+  {|{"circuit":"rca8","external_load":0,"total_before":2,"total_after":1.5,"reduction_percent":25,"gates":[{"index":0,"cell":"nand2","output":"n0","config_before":0,"config_after":1,"power_before":0.5,"power_after":0.4,"internal_before":0,"internal_after":0,"candidates":[]}]}|}
+
+let audit_doc =
+  {|{"summary":{"mean_density_err_pct":5.25,"max_density_err_pct":9.0,"mean_prob_err":0.001,"max_prob_err":0.01,"model_total":1.0,"sim_total":1.01,"total_err_pct":1.0}}|}
+
+let write_run ~dir ~id ?(params = [ ("circuit", "rca8"); ("seed", "42") ])
+    ?(attachments = []) ?(counters = [ ("optimizer.configs_explored", 5000.) ])
+    () =
+  let p = Runlog.start ~subcommand:"optimize" ~argv:[ "optimize"; "rca8" ] () in
+  List.iter (fun (k, v) -> Runlog.set_param p k v) params;
+  List.iter (fun (name, json) -> Runlog.attach p ~name ~json) attachments;
+  ok (Runlog.write ~id ~dir ~snapshot_json:(snap counters) p)
+
+(* --- extraction --- *)
+
+let test_record_extraction () =
+  with_scratch @@ fun dir ->
+  let _ =
+    write_run ~dir ~id:"r01"
+      ~attachments:[ ("ledger", ledger_doc); ("audit", audit_doc) ]
+      ~counters:
+        [
+          ("optimizer.configs_explored", 5000.);
+          ("optimizer.memo_hits", 90.);
+          ("optimizer.memo_misses", 10.);
+        ]
+      ()
+  in
+  let records = ok (History.load_archive dir) in
+  Alcotest.(check int) "one record" 1 (List.length records);
+  let r = List.hd records in
+  let get name =
+    match List.assoc_opt name r.History.r_metrics with
+    | Some v -> v
+    | None -> Alcotest.failf "metric %s missing" name
+  in
+  Alcotest.(check (float 0.)) "counter verbatim" 5000.
+    (get "optimizer.configs_explored");
+  Alcotest.(check (float 0.)) "memo hit rate" 90. (get "memo.hit_rate_pct");
+  Alcotest.(check (float 0.)) "ledger before" 2. (get "ledger.total_before");
+  Alcotest.(check (float 0.)) "ledger after" 1.5 (get "ledger.total_after");
+  Alcotest.(check (float 0.)) "reduction" 25. (get "ledger.reduction_pct");
+  Alcotest.(check (float 0.)) "audit mean" 5.25
+    (get "audit.mean_density_err_pct");
+  Alcotest.(check (float 0.)) "dist p50" 2.5
+    (get "dist.optimizer.gate_gain_pct.p50");
+  Alcotest.(check (float 0.)) "dist mean" 2.5
+    (get "dist.optimizer.gate_gain_pct.mean");
+  Alcotest.(check (float 0.)) "span seconds" 0.25 (get "span.optimize.run");
+  Alcotest.(check bool) "wall_s present" true
+    (List.mem_assoc "wall_s" r.History.r_metrics);
+  Alcotest.(check (option string)) "circuit" (Some "rca8") r.History.r_circuit
+
+let test_fingerprint_alignment () =
+  with_scratch @@ fun dir ->
+  let manifest id =
+    (ok (Runlog.load_run (Filename.concat dir id))).Runlog.manifest
+  in
+  let _ = write_run ~dir ~id:"a" () in
+  let _ =
+    write_run ~dir ~id:"b"
+      ~params:[ ("circuit", "rca8"); ("seed", "42"); ("jobs", "8") ]
+      ()
+  in
+  let _ =
+    write_run ~dir ~id:"c" ~params:[ ("circuit", "tree16"); ("seed", "42") ] ()
+  in
+  let fa = History.series_fingerprint (manifest "a")
+  and fb = History.series_fingerprint (manifest "b")
+  and fc = History.series_fingerprint (manifest "c") in
+  Alcotest.(check string) "jobs excluded from the fingerprint" fa fb;
+  Alcotest.(check bool) "different circuit, different series" false (fa = fc);
+  (* and the grouping follows the fingerprints *)
+  let report =
+    History.build ~metrics:[ "optimizer.configs_explored" ]
+      (ok (History.load_archive dir))
+  in
+  Alcotest.(check int) "two groups" 2 (List.length report.History.groups);
+  List.iter
+    (fun (g : History.group) ->
+      let n =
+        Array.length (List.hd g.History.g_series).History.se_points
+      in
+      if g.History.g_fingerprint = fa then
+        Alcotest.(check int) "aligned group has both runs" 2 n
+      else Alcotest.(check int) "tree16 group has one run" 1 n)
+    report.History.groups
+
+(* --- trend --- *)
+
+let test_trend () =
+  let t = History.trend [| 1.; 2.; 3.; 4. |] in
+  Alcotest.(check int) "n" 4 t.History.t_n;
+  Alcotest.(check (float 1e-12)) "first" 1. t.History.t_first;
+  Alcotest.(check (float 1e-12)) "last" 4. t.History.t_last;
+  Alcotest.(check (float 1e-12)) "mean" 2.5 t.History.t_mean;
+  Alcotest.(check (float 1e-12)) "rate" 1. t.History.t_rate;
+  (* EWMA alpha 0.3 from 1: 1 -> 1.3 -> 1.81 -> 2.467 *)
+  Alcotest.(check (float 1e-9)) "ewma" 2.467 t.History.t_ewma;
+  let single = History.trend [| 7. |] in
+  Alcotest.(check (float 0.)) "single rate" 0. single.History.t_rate;
+  Alcotest.check_raises "empty rejected"
+    (Invalid_argument "History.trend: empty series") (fun () ->
+      ignore (History.trend [||]))
+
+(* --- detector --- *)
+
+let test_detect_step () =
+  let xs =
+    [| 10.1; 9.9; 10.2; 10.0; 9.8; 10.1; 15.2; 15.0; 14.9; 15.1 |]
+  in
+  match History.detect xs with
+  | [ sh ] ->
+      Alcotest.(check int) "dated at the first shifted point" 6
+        sh.History.sh_index;
+      Alcotest.(check bool) "direction up" true
+        (sh.History.sh_direction = History.Up);
+      Alcotest.(check bool) "before mean near 10" true
+        (Float.abs (sh.History.sh_before -. 10.) < 0.5);
+      Alcotest.(check bool) "after mean near 15" true
+        (Float.abs (sh.History.sh_after -. 15.) < 0.5)
+  | shifts -> Alcotest.failf "expected 1 shift, got %d" (List.length shifts)
+
+let test_detect_noise_silent () =
+  let xs =
+    [| 10.1; 9.9; 10.2; 10.0; 9.8; 10.1; 10.05; 9.95; 10.15; 9.85 |]
+  in
+  Alcotest.(check int) "pure noise never flags" 0
+    (List.length (History.detect xs))
+
+let test_detect_piecewise_constant () =
+  (* Deterministic counters: most diffs exactly zero, one exact step. *)
+  (match History.detect [| 5.; 5.; 5.; 7.; 7.; 7.; 7.; 7. |] with
+  | [ sh ] ->
+      Alcotest.(check int) "exact changepoint" 3 sh.History.sh_index;
+      Alcotest.(check (float 0.)) "before" 5. sh.History.sh_before;
+      Alcotest.(check (float 0.)) "after" 7. sh.History.sh_after;
+      Alcotest.(check bool) "up" true (sh.History.sh_direction = History.Up)
+  | shifts -> Alcotest.failf "expected 1 shift, got %d" (List.length shifts));
+  match History.detect [| 20.; 20.; 20.; 20.; 10.; 10.; 10.; 10. |] with
+  | [ sh ] ->
+      Alcotest.(check int) "down step index" 4 sh.History.sh_index;
+      Alcotest.(check bool) "down" true
+        (sh.History.sh_direction = History.Down)
+  | shifts -> Alcotest.failf "expected 1 shift, got %d" (List.length shifts)
+
+let test_detect_short_series () =
+  Alcotest.(check int) "n < 4 never flags" 0
+    (List.length (History.detect [| 1.; 100.; 1. |]));
+  Alcotest.(check int) "constant series has no shifts" 0
+    (List.length (History.detect (Array.make 10 3.)))
+
+let test_orientation () =
+  let check name expected =
+    Alcotest.(check bool) name true (History.orientation name = expected)
+  in
+  check "wall_s" History.Higher_worse;
+  check "audit.mean_density_err_pct" History.Higher_worse;
+  check "ledger.total_after" History.Higher_worse;
+  check "span.optimize.run" History.Higher_worse;
+  check "memo.hit_rate_pct" History.Lower_worse;
+  check "ledger.reduction_pct" History.Lower_worse;
+  check "optimizer.configs_explored" History.Neutral
+
+(* --- archive end to end: injected regression --- *)
+
+let build_drift_archive dir =
+  for i = 1 to 8 do
+    let explored = if i >= 6 then 7500. else 5000. in
+    let _ =
+      write_run ~dir
+        ~id:(Printf.sprintf "r%02d" i)
+        ~counters:[ ("optimizer.configs_explored", explored) ]
+        ()
+    in
+    ()
+  done
+
+let test_regression_attribution () =
+  with_scratch @@ fun dir ->
+  build_drift_archive dir;
+  let report =
+    History.build ~metrics:[ "optimizer.configs_explored" ]
+      (ok (History.load_archive dir))
+  in
+  match History.regressions report with
+  | [ r ] ->
+      let sh = r.History.rg_shift in
+      Alcotest.(check int) "flagged at the 6th run" 5 sh.History.sh_index;
+      let p = r.History.rg_series.History.se_points.(sh.History.sh_index) in
+      Alcotest.(check string) "attributed to r06" "r06" p.History.p_run;
+      Alcotest.(check (list string)) "breadcrumb argv"
+        [ "optimize"; "rca8" ] p.History.p_argv
+  | rs -> Alcotest.failf "expected 1 regression, got %d" (List.length rs)
+
+let test_build_deterministic () =
+  with_scratch @@ fun dir ->
+  build_drift_archive dir;
+  let json () =
+    History.to_json
+      (History.build ~metrics:[ "optimizer.configs_explored"; "wall_s" ]
+         (ok (History.load_archive dir)))
+  in
+  let a = json () and b = json () in
+  Alcotest.(check string) "byte-identical across rebuilds" a b;
+  (* the JSON parses, and the series values round-trip bit-exactly *)
+  let doc = ok (Trace.Json.parse a) in
+  let arr = function Some (Trace.Json.Arr l) -> l | _ -> [] in
+  let explored =
+    arr (Trace.Json.member "groups" doc)
+    |> List.concat_map (fun g -> arr (Trace.Json.member "series" g))
+    |> List.find (fun s ->
+           Trace.Json.member "metric" s
+           = Some (Trace.Json.Str "optimizer.configs_explored"))
+  in
+  let values =
+    arr (Trace.Json.member "points" explored)
+    |> List.filter_map (fun p ->
+           Option.bind (Trace.Json.member "v" p) Trace.Json.to_float)
+  in
+  Alcotest.(check (list (float 0.)))
+    "bit-exact values through JSON"
+    [ 5000.; 5000.; 5000.; 5000.; 5000.; 7500.; 7500.; 7500. ]
+    values
+
+(* --- bench history reader --- *)
+
+let test_bench_history_tolerant () =
+  with_scratch @@ fun dir ->
+  let path = Filename.concat dir "BENCH_history.ndjson" in
+  let oc = open_out_bin path in
+  output_string oc
+    ({|{"v":1,"time":100.0,"target":"table2","argv":["table2"],"seconds":0.5,"metrics":{"counters":{"optimizer.configs_explored":42},"distributions":{},"spans":{},"gc":{}}}|}
+    ^ "\n"
+    ^ {|{"v":1,"time":200.0,"target":"table2","argv":["table2"],"seconds":0.6,"metrics":{"counters":{"optimizer.configs_explored":42},"distributions":{},"spans":{},"gc":{}}}|}
+    ^ "\n" ^ {|{"v":1,"time":300.0,"target":"tab|});
+  close_out oc;
+  let records, skipped = ok (History.load_bench_history path) in
+  Alcotest.(check int) "truncated tail skipped" 1 skipped;
+  Alcotest.(check int) "two records" 2 (List.length records);
+  let r = List.hd records in
+  Alcotest.(check string) "label" "bench:table2" r.History.r_label;
+  Alcotest.(check (float 0.)) "wall from seconds" 0.5
+    (List.assoc "wall_s" r.History.r_metrics);
+  Alcotest.(check (float 0.)) "snapshot folded in" 42.
+    (List.assoc "optimizer.configs_explored" r.History.r_metrics)
+
+(* --- HTML dashboard --- *)
+
+let hostile = "<script>alert('pwn&\"')</script>"
+
+let build_report ?(circuit = "rca8") () =
+  with_scratch @@ fun dir ->
+  for i = 1 to 6 do
+    let _ =
+      write_run ~dir
+        ~id:(Printf.sprintf "r%02d" i)
+        ~params:[ ("circuit", circuit); ("seed", "42") ]
+        ~counters:
+          [ ("optimizer.configs_explored", if i >= 4 then 9000. else 8000.) ]
+        ()
+    in
+    ()
+  done;
+  History.build
+    ~metrics:[ "optimizer.configs_explored"; "wall_s" ]
+    (ok (History.load_archive dir))
+
+let test_html_roundtrip () =
+  let report = build_report () in
+  let details =
+    [
+      {
+        Html.rd_run = "r04";
+        rd_ledger = [ ("n1", "nand2", 0.5, 0.4) ];
+        rd_audit = [ ("mean_density_err_pct", 5.25) ];
+      };
+    ]
+  in
+  let html = Html.render ~title:"test dashboard" ~details report in
+  let parsed = ok (Html.parse_report html) in
+  (* every rendered series is inventoried with its exact point count *)
+  Alcotest.(check int) "two sparklines" 2
+    (List.length parsed.Html.pr_series);
+  List.iter
+    (fun (_, n) -> Alcotest.(check int) "six points" 6 n)
+    parsed.Html.pr_series;
+  Alcotest.(check (list string)) "drill-down present" [ "run-r04" ]
+    parsed.Html.pr_details;
+  (* and the payload is the exact History.to_json document *)
+  let payload_threshold =
+    Option.bind
+      (Trace.Json.member "threshold" parsed.Html.pr_json)
+      Trace.Json.to_float
+  in
+  Alcotest.(check (option (float 0.))) "payload threshold" (Some 5.)
+    payload_threshold
+
+let test_html_escapes_hostile_names () =
+  let report = build_report ~circuit:hostile () in
+  let details =
+    [
+      {
+        Html.rd_run = "r01";
+        rd_ledger = [ (hostile, "cell\"quote", 1.0, 0.9) ];
+        rd_audit = [];
+      };
+    ]
+  in
+  let html = Html.render ~details report in
+  Alcotest.(check bool) "no raw <script> payload injected" false
+    (contains html "<script>alert");
+  Alcotest.(check bool) "escaped form present" true
+    (contains html "&lt;script&gt;alert");
+  (* the strict validator still accepts it: exactly one script block *)
+  let parsed = ok (Html.parse_report html) in
+  ignore parsed
+
+let test_html_validator_rejects () =
+  let report = build_report () in
+  let html = Html.render report in
+  let fails needle text =
+    match Html.parse_report text with
+    | Ok _ -> Alcotest.failf "expected rejection (%s)" needle
+    | Error msg ->
+        Alcotest.(check bool)
+          (Printf.sprintf "error mentions %s" needle)
+          true (contains msg needle)
+  in
+  (* truncation loses the eof terminator *)
+  fails "eof" (String.sub html 0 (String.length html - 40));
+  (* a second script block is an injection *)
+  fails "script"
+    (let at = String.length html - 30 in
+     String.sub html 0 at ^ "<script>x()</script>"
+     ^ String.sub html at (String.length html - at));
+  (* tampering with a sparkline's advertised point count *)
+  fails "mismatch"
+    (replace_all ~pat:"data-points=\"6\"" ~by:"data-points=\"5\"" html);
+  (* an external asset reference *)
+  fails "src="
+    (replace_all ~pat:"<body>" ~by:"<body> <img src=\"http://evil\">" html)
+
+let () =
+  Alcotest.run "history"
+    [
+      ( "extraction",
+        [
+          Alcotest.test_case "flat metric map of a run" `Quick
+            test_record_extraction;
+          Alcotest.test_case "fingerprint alignment" `Quick
+            test_fingerprint_alignment;
+          Alcotest.test_case "bench history tolerant reader" `Quick
+            test_bench_history_tolerant;
+        ] );
+      ( "analytics",
+        [
+          Alcotest.test_case "trend summary" `Quick test_trend;
+          Alcotest.test_case "step regression flagged at the right run"
+            `Quick test_detect_step;
+          Alcotest.test_case "pure noise stays silent" `Quick
+            test_detect_noise_silent;
+          Alcotest.test_case "piecewise-constant exact changepoints" `Quick
+            test_detect_piecewise_constant;
+          Alcotest.test_case "short + constant series" `Quick
+            test_detect_short_series;
+          Alcotest.test_case "metric orientation" `Quick test_orientation;
+          Alcotest.test_case "regression attribution breadcrumb" `Quick
+            test_regression_attribution;
+          Alcotest.test_case "deterministic, bit-exact JSON" `Quick
+            test_build_deterministic;
+        ] );
+      ( "dashboard",
+        [
+          Alcotest.test_case "render/parse round-trip" `Quick
+            test_html_roundtrip;
+          Alcotest.test_case "hostile names escaped" `Quick
+            test_html_escapes_hostile_names;
+          Alcotest.test_case "validator rejects tampering" `Quick
+            test_html_validator_rejects;
+        ] );
+    ]

@@ -163,12 +163,14 @@ let test_runner_counters () =
     (Obs.value (Obs.counter "proptest.counterexamples") > cexs)
 
 let test_oracle_registry () =
-  Alcotest.(check int) "thirteen oracles" 13
+  Alcotest.(check int) "fourteen oracles" 14
     (List.length (Proptest.Oracles.all ()));
   Alcotest.(check bool) "find mc oracle" true
     (Proptest.Oracles.find "mc-convergence" <> None);
   Alcotest.(check bool) "find telemetry oracle" true
     (Proptest.Oracles.find "telemetry-consistency" <> None);
+  Alcotest.(check bool) "find history oracle" true
+    (Proptest.Oracles.find "history-consistency" <> None);
   Alcotest.(check bool) "find known" true
     (Proptest.Oracles.find "io-roundtrip" <> None);
   Alcotest.(check bool) "find archive oracle" true
