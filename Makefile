@@ -44,12 +44,12 @@ bench:
 # (--no-time), so the gate is stable across machines. Refresh the
 # fixture after an intentional behaviour change with:
 #   dune exec bench/main.exe -- --out bench/baseline_check.json \
-#     table1 table2 probe_overhead perf_mc telemetry_overhead
+#     table1 table2 probe_overhead perf_mc perf_eco telemetry_overhead
 BENCH_BASELINE ?= bench/baseline_check.json
 bench-check:
 	dune exec bench/main.exe -- --baseline $(BENCH_BASELINE) \
 	  --check --no-time --out /tmp/bench_check_obs.json \
-	  table1 table2 probe_overhead perf_mc telemetry_overhead
+	  table1 table2 probe_overhead perf_mc perf_eco telemetry_overhead
 
 # Cross-run provenance diff: compare two archived run records (or the
 # latest run under two archive roots). Produce records with the

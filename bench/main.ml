@@ -573,6 +573,95 @@ let telemetry_overhead () =
 
 (* --- driver --- *)
 
+(* --- perf_eco: interactive-latency incremental re-sweeps ------------- *)
+
+(* A ~10k-gate random circuit is cold-optimized once into an
+   Incremental session, then scripted single-gate configuration edits
+   replay through the dirty-cone engine. Interactive-latency targets:
+   median apply under 10 ms and at least 20x the cold full run, with
+   the settled state bit-identical to a cold optimization of the final
+   circuit (checked here, and by the incremental-equivalence oracle on
+   random circuits). eco.median_ms / eco.speedup land in
+   BENCH_obs.json next to the incremental.* counters. *)
+let d_eco_median_ms = Obs.distribution "eco.median_ms"
+let d_eco_speedup = Obs.distribution "eco.speedup"
+
+let perf_eco () =
+  section "perf_eco / single-gate ECO edits on a 10k-gate circuit";
+  let module C = Netlist.Circuit in
+  let module O = Reorder.Optimizer in
+  let circuit =
+    Circuits.Generators.random_logic ~seed:11 ~inputs:64 ~gates:10_000
+  in
+  let inputs =
+    Power.Scenario.input_stats ~rng:(Stoch.Rng.create 5) Power.Scenario.A
+      circuit
+  in
+  (* The cold reference: a full session-free optimization. *)
+  let t0 = Unix.gettimeofday () in
+  let cold_rep =
+    O.optimize ctx.Experiments.Common.power ~delay:ctx.Experiments.Common.delay
+      circuit ~inputs
+  in
+  let cold_s = Unix.gettimeofday () -. t0 in
+  let sess =
+    Incremental.create ctx.Experiments.Common.power
+      ~delay:ctx.Experiments.Common.delay ~ledger_candidates:false circuit
+      ~inputs
+  in
+  let settled = Incremental.circuit sess in
+  if (Incremental.report sess).O.power_after <> cold_rep.O.power_after then begin
+    Printf.eprintf "perf_eco: session cold run differs from plain cold run\n";
+    exit 1
+  end;
+  (* Scripted single-gate edits: configuration flips spread over the
+     whole circuit, each re-sweeping only the edited gate's cone. *)
+  let rng = Stoch.Rng.create 23 in
+  let batches =
+    List.init 50 (fun _ ->
+        let g = Stoch.Rng.int rng (C.gate_count settled) in
+        let gate = C.gate_at settled g in
+        let k = Cell.Gate.config_count gate.C.cell in
+        [ Incremental.Replace_gate (g, { gate with C.config = Stoch.Rng.int rng k }) ])
+  in
+  let timings = Incremental.replay sess batches in
+  let p50, p90, p99 = Incremental.latency_percentiles timings in
+  let resweeps =
+    List.fold_left (fun acc t -> acc + t.Incremental.dirty_gates) 0 timings
+  in
+  (* Settle and verify the fixed point against a cold full run. *)
+  ignore (Incremental.apply sess []);
+  let final = Incremental.report sess in
+  let verify =
+    O.optimize ctx.Experiments.Common.power ~delay:ctx.Experiments.Common.delay
+      (Incremental.circuit sess)
+      ~inputs:(Incremental.input_stats sess)
+  in
+  if
+    verify.O.configs <> final.O.configs
+    || verify.O.power_after <> final.O.power_after
+  then begin
+    Printf.eprintf "perf_eco: settled state is not a cold-run fixed point\n";
+    exit 1
+  end;
+  let speedup = if p50 > 0. then cold_s /. p50 else 0. in
+  Obs.observe d_eco_median_ms (p50 *. 1e3);
+  Obs.observe d_eco_speedup speedup;
+  Printf.printf "cold full run:    %.1f ms (%d gates)\n" (cold_s *. 1e3)
+    (C.gate_count circuit);
+  Printf.printf "%d single-gate edits: %d gates re-swept\n"
+    (List.length timings) resweeps;
+  Printf.printf "apply latency:    p50 %.3f ms   p90 %.3f ms   p99 %.3f ms\n"
+    (p50 *. 1e3) (p90 *. 1e3) (p99 *. 1e3);
+  Printf.printf "speedup:          %.0fx (target: >= 20x, median < 10 ms)\n"
+    speedup;
+  if p50 *. 1e3 >= 10. || speedup < 20. then begin
+    Printf.eprintf
+      "perf_eco: interactive-latency target missed (p50 %.3f ms, %.1fx)\n"
+      (p50 *. 1e3) speedup;
+    exit 1
+  end
+
 let targets =
   [
     ("table1", table1);
@@ -594,6 +683,7 @@ let targets =
     ("perf", perf);
     ("perf_parallel", perf_parallel);
     ("perf_mc", perf_mc);
+    ("perf_eco", perf_eco);
     ("telemetry_overhead", telemetry_overhead);
   ]
 

@@ -1066,7 +1066,8 @@ let fuzz_cmd =
       "Run only this property (repeatable). One of: exactness, sim-power, \
        vcd-roundtrip, function, optimizer, io-roundtrip, densities, \
        attribution, parallel-determinism, sp-orderings, archive-roundtrip, \
-       mc-convergence, telemetry-consistency, history-consistency."
+       mc-convergence, telemetry-consistency, history-consistency, \
+       incremental-equivalence."
     in
     Arg.(value & opt_all string [] & info [ "property"; "p" ] ~docv:"NAME" ~doc)
   in
@@ -1117,6 +1118,150 @@ let fuzz_cmd =
           shrinking.")
     Term.(
       const run $ seed_arg $ count_arg $ property_arg $ max_gates_arg $ obs_term)
+
+(* --- eco: incremental (ECO-style) re-optimization replay --- *)
+
+let eco_cmd =
+  let edits_arg =
+    let doc =
+      "NDJSON edit script: one apply batch per line, either a single edit \
+       object or an array of them. Ops: set_input_stats, replace_gate, \
+       set_external_load, set_objective (see the performance page)."
+    in
+    Arg.(
+      required
+      & opt (some non_dir_file) None
+      & info [ "edits" ] ~docv:"FILE" ~doc)
+  in
+  let repeat_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "repeat" ] ~docv:"N"
+          ~doc:
+            "Replay the whole script $(docv) times (latency percentiles \
+             stabilise with more applies).")
+  in
+  let check_cold_flag =
+    Arg.(
+      value & flag
+      & info [ "check-cold" ]
+          ~doc:
+            "After the replay, run a cold full optimization of the final \
+             circuit under the final input model and verify the session's \
+             settled state is bit-identical (exits 1 on any drift).")
+  in
+  let run spec scenario seed jobs memo edits_file repeat check_cold out obs =
+    with_obs ~cmd:"eco" obs @@ fun pending ->
+    record_circuit pending spec;
+    record_params pending
+      [
+        ("scenario", scenario);
+        ("seed", string_of_int seed);
+        ("jobs", string_of_int jobs);
+        ("memo", string_of_bool memo);
+        ("edits", Filename.basename edits_file);
+        ("repeat", string_of_int repeat);
+      ];
+    let circuit = load_circuit spec in
+    let ctx = context () in
+    let inputs = scenario_inputs ~seed scenario circuit in
+    Par.Pool.with_pool ~jobs @@ fun pool ->
+    let t0 = Unix.gettimeofday () in
+    let sess =
+      Incremental.create ~memoize:memo ctx.Experiments.Common.power
+        ~delay:ctx.Experiments.Common.delay ~pool circuit ~inputs
+    in
+    let cold_seconds = Unix.gettimeofday () -. t0 in
+    let rep0 = Incremental.report sess in
+    let script =
+      try Incremental.Script.load ~circuit edits_file
+      with Incremental.Edit_error msg ->
+        Printf.eprintf "error: %s: %s\n" edits_file msg;
+        exit 1
+    in
+    let batches = List.concat (List.init (max 1 repeat) (fun _ -> script)) in
+    let timings =
+      try Incremental.replay ~pool sess batches
+      with Incremental.Edit_error msg ->
+        Printf.eprintf "error: %s\n" msg;
+        exit 1
+    in
+    Printf.printf "cold run:    %s -> %s (%d gates, %.1f ms)\n"
+      (Report.Table.cell_power rep0.Reorder.Optimizer.power_before)
+      (Report.Table.cell_power rep0.Reorder.Optimizer.power_after)
+      (Netlist.Circuit.gate_count circuit)
+      (cold_seconds *. 1e3);
+    let applies = List.length timings in
+    let edits =
+      List.fold_left (fun acc t -> acc + t.Incremental.edits) 0 timings
+    in
+    let resweeps =
+      List.fold_left (fun acc t -> acc + t.Incremental.dirty_gates) 0 timings
+    in
+    let total =
+      List.fold_left (fun acc t -> acc +. t.Incremental.seconds) 0. timings
+    in
+    Printf.printf "replayed:    %d applies (%d edits, x%d) in %.1f ms\n"
+      applies edits (max 1 repeat) (total *. 1e3);
+    Printf.printf "re-swept:    %d gates total (%.1f per apply)\n" resweeps
+      (if applies = 0 then 0. else float_of_int resweeps /. float_of_int applies);
+    let p50, p90, p99 = Incremental.latency_percentiles timings in
+    Printf.printf "latency:     p50 %.3f ms   p90 %.3f ms   p99 %.3f ms\n"
+      (p50 *. 1e3) (p90 *. 1e3) (p99 *. 1e3);
+    if p50 > 0. then
+      Printf.printf "speedup:     %.0fx vs the %.1f ms cold run (median apply)\n"
+        (cold_seconds /. p50) (cold_seconds *. 1e3);
+    (* Settle the session (empty apply) so the archived ledger is the
+       final fixed point: before = after = the settled state, which a
+       cold run of the final circuit reproduces bit-exactly. *)
+    ignore (Incremental.apply ~pool sess []);
+    let final = Incremental.report sess in
+    Printf.printf "final power: %s\n"
+      (Report.Table.cell_power final.Reorder.Optimizer.power_after);
+    if check_cold then begin
+      let cold =
+        Reorder.Optimizer.optimize ctx.Experiments.Common.power
+          ~delay:ctx.Experiments.Common.delay
+          ~external_load:(Incremental.external_load sess)
+          ~objective:(Incremental.objective sess) ~pool
+          (Incremental.circuit sess)
+          ~inputs:(Incremental.input_stats sess)
+      in
+      if
+        cold.Reorder.Optimizer.configs = final.Reorder.Optimizer.configs
+        && cold.Reorder.Optimizer.power_after
+           = final.Reorder.Optimizer.power_after
+      then print_endline "cold check:  bit-identical"
+      else begin
+        Printf.eprintf
+          "error: cold check failed: cold %.17g W, incremental %.17g W\n"
+          cold.Reorder.Optimizer.power_after
+          final.Reorder.Optimizer.power_after;
+        exit 1
+      end
+    end;
+    Option.iter
+      (fun p ->
+        Option.iter
+          (fun ledger ->
+            Runlog.attach p ~name:"ledger" ~json:(Attrib.to_json ledger))
+          (Incremental.ledger sess))
+      pending;
+    Option.iter
+      (fun path ->
+        Netlist.Io.save (Incremental.circuit sess) path;
+        Printf.printf "wrote %s\n" path)
+      out
+  in
+  Cmd.v
+    (Cmd.info "eco"
+       ~doc:
+         "Replay an NDJSON edit script through an incremental \
+          re-optimization session: dirty-cone re-sweeps at interactive \
+          latency, bit-identical to cold full runs.")
+    Term.(
+      const run $ circuit_arg $ scenario_arg $ seed_arg $ jobs_arg $ memo_flag
+      $ edits_arg $ repeat_arg $ check_cold_flag $ output_arg $ obs_term)
 
 (* --- trace: offline analysis of --trace NDJSON files --- *)
 
@@ -2144,6 +2289,7 @@ let main =
       runs_cmd;
       report_cmd;
       fuzz_cmd;
+      eco_cmd;
       profile_cmd;
       glitch_cmd;
       accuracy_cmd;

@@ -71,6 +71,37 @@ val of_report :
     @raise Invalid_argument when the report's config vector does not
     match [before]. *)
 
+(** {1 Incremental rebuilding}
+
+    The incremental engine ({!Incremental}) patches a retained ledger
+    instead of rebuilding it: entries of re-swept gates are recomputed
+    with {!gate_entry}, clean entries are {!settle}d (the previous
+    winner is the new incumbent — the optimizer's fixed point), and
+    {!of_entries} re-sums the totals in the same index order as
+    {!of_report}, so a patched ledger is bit-identical to one built
+    cold from the edited circuit. *)
+
+val gate_entry :
+  Power.Model.table ->
+  ?external_load:float ->
+  ?candidates:bool ->
+  before:Netlist.Circuit.t ->
+  analysis:Power.Analysis.t ->
+  config_after:int ->
+  int ->
+  gate_entry
+(** One gate's entry, computed exactly as {!of_report} does (the
+    incumbent configuration is read from [before]). *)
+
+val of_entries :
+  circuit:string -> external_load:float -> gate_entry array -> t
+(** Assemble a ledger from per-gate entries (indexed by gate), summing
+    the totals in index order. *)
+
+val settle : gate_entry -> gate_entry
+(** The entry of the same, untouched gate in a follow-up run: the
+    previous [after] state becomes the [before] state too. *)
+
 (** {1 Queries} *)
 
 val node_sum : gate_entry -> float

@@ -181,7 +181,7 @@ let run table ?external_load ?(backend = Power.Backend.Switchsim) ?sim
           name = C.net_name circuit net;
           driver_gate;
           driver;
-          fanout = C.fanout circuit net;
+          fanout = C.fanout_count circuit net;
           depth;
           pred_prob;
           meas_prob;

@@ -7,7 +7,13 @@ type kind =
   | Aoi of int list
   | Oai of int list
 
-type t = { kind : kind; name : string; pull_down : T.t; arity : int }
+type t = {
+  kind : kind;
+  name : string;
+  pull_down : T.t;
+  arity : int;
+  config_count : int;
+}
 
 let group_name prefix groups =
   prefix ^ String.concat "" (List.map string_of_int groups)
@@ -62,6 +68,9 @@ let make kind =
     name = kind_name kind;
     pull_down;
     arity = List.length (T.inputs pull_down);
+    (* Precomputed: callers query this on per-gate hot paths. *)
+    config_count =
+      T.count_orderings pull_down * T.count_orderings (T.dual pull_down);
   }
 
 let name t = t.name
@@ -104,8 +113,7 @@ let function_bdd m t = Bdd.not_ (T.conduction m T.Nmos t.pull_down)
 
 let transistor_count t = 2 * T.transistor_count t.pull_down
 
-let config_count t =
-  T.count_orderings t.pull_down * T.count_orderings (T.dual t.pull_down)
+let config_count t = t.config_count
 
 (* Erase leaf labels: two configurations with the same label-erased
    shape pair differ only by an input permutation, so they can share one

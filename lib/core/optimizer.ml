@@ -209,9 +209,20 @@ let wide_sweep_threshold = 8
 
 let default_external_load = 20e-15
 
-let optimize power_table ~delay:delay_table
-    ?(external_load = default_external_load) ?(objective = Min_power)
-    ?(input_reordering_only = false) ?pool ?memo circuit ~inputs =
+let candidates_of ~input_only (gate : C.gate) =
+  let cell = gate.C.cell in
+  let all = Cell.Config.all cell in
+  let reference = Cell.Config.reference cell in
+  let indexed = List.mapi (fun i c -> (i, c)) all in
+  let kept =
+    if input_only then
+      List.filter (fun (_, c) -> Cell.Config.same_shape c reference) indexed
+    else indexed
+  in
+  List.map fst kept
+
+let optimize_full power_table ~delay:delay_table ~external_load ~objective
+    ~input_reordering_only ?pool ?memo circuit ~inputs =
   Obs.span "optimize.run" @@ fun () ->
   let analysis = Power.Analysis.run power_table circuit ~inputs in
   let power_before =
@@ -220,18 +231,7 @@ let optimize power_table ~delay:delay_table
   let n = C.gate_count circuit in
   let configs = Array.init n (fun g -> (C.gate_at circuit g).C.config) in
   let explored = ref 0 in
-  let candidates_for (gate : C.gate) =
-    let cell = gate.C.cell in
-    let all = Cell.Config.all cell in
-    let reference = Cell.Config.reference cell in
-    let indexed = List.mapi (fun i c -> (i, c)) all in
-    let kept =
-      if input_reordering_only then
-        List.filter (fun (_, c) -> Cell.Config.same_shape c reference) indexed
-      else indexed
-    in
-    List.map fst kept
-  in
+  let candidates_for = candidates_of ~input_only:input_reordering_only in
   (* The delay bound is the *input* circuit's critical path: accepting a
      candidate must never push the circuit beyond it (§6.b: "power
      reductions without increasing the delay"). *)
@@ -440,14 +440,374 @@ let optimize power_table ~delay:delay_table
     (fun g chosen ->
       if chosen <> (C.gate_at circuit g).C.config then incr gates_changed)
     configs;
+  ( {
+      circuit = rewritten;
+      configs;
+      power_before;
+      power_after;
+      gates_changed = !gates_changed;
+      configurations_explored = !explored;
+    },
+    analysis )
+
+(* --- Incremental (ECO-style) sessions -------------------------------
+
+   A session caches everything the last power-objective run computed:
+   the rewritten circuit, the per-net statistics (§4.2:
+   configuration-independent), each gate's output load and its
+   {!Power.Model.gate_power} record under the winning configuration.
+   The next [optimize ?session] call diffs its arguments against the
+   cache, re-propagates Najm statistics only through the fan-out cones
+   of the edited nets (with a bit-identical early cut-off), re-sweeps
+   only the dirty gates, and re-folds the per-gate power records in
+   {!Power.Estimate.circuit}'s exact summation order — so the report is
+   bit-identical to a cold full run on the same circuit.
+
+   The bit-identity rests on two fixed points. First, statistics: a
+   clean net's cached value is exactly what [Power.Analysis.run] would
+   recompute from clean fanins. Second, decisions: a clean gate's
+   incumbent configuration is the previous winner; [choose_by_power]
+   seeds its fold with the incumbent and replaces only on strict [<],
+   so re-sweeping it would return the incumbent — skipping the sweep
+   changes nothing. Memoized sessions rely on verdict purity instead: a
+   warm entry equals what a fresh miss would compute, so the memo mode
+   must stay constant for a session's lifetime (fixed at creation). *)
+
+let c_inc_applies = Obs.counter "incremental.applies"
+let c_inc_cold_runs = Obs.counter "incremental.cold_runs"
+let c_inc_dirty_nets = Obs.counter "incremental.dirty_nets"
+let c_inc_dirty_gates = Obs.counter "incremental.dirty_gates"
+let c_inc_cutoffs = Obs.counter "incremental.cutoffs"
+
+module Stats = Stoch.Signal_stats
+
+type cache = {
+  k_table : Power.Model.table;
+  k_circuit : C.t;  (* last rewritten circuit (winning configurations) *)
+  k_stats : Stats.t array;  (* per net *)
+  k_power : Power.Model.gate_power array;  (* per gate, winning config *)
+  k_loads : float array;  (* per gate output load, F *)
+  k_external_load : float;
+  k_maximize : bool;
+  k_input_only : bool;
+  k_dirty : bool array;  (* gates re-swept by the last apply *)
+}
+
+type session = { s_memo : Memo.t option; mutable s_cache : cache option }
+
+let session ?(memoize = false) () =
+  { s_memo = (if memoize then Some (Memo.create ()) else None);
+    s_cache = None }
+
+let session_memo s = s.s_memo
+let session_circuit s = Option.map (fun k -> k.k_circuit) s.s_cache
+let session_stats s = Option.map (fun k -> Array.copy k.k_stats) s.s_cache
+let session_dirty s = Option.map (fun k -> Array.copy k.k_dirty) s.s_cache
+
+let same_stats a b =
+  Stats.prob a = Stats.prob b && Stats.density a = Stats.density b
+
+let gate_power_of table ~stats ~load (gate : C.gate) ~config =
+  let input_stats = Array.map (fun net -> stats.(net)) gate.C.fanins in
+  let groups = Power.Model.groups_of_nets gate.C.fanins in
+  Power.Model.gate_power table gate.C.cell ~config ~input_stats ~groups ~load
+    ()
+
+let populate_cache table ~external_load ~maximize ~input_only ~stats ~dirty
+    (report : report) =
+  let circuit = report.circuit in
+  let n = C.gate_count circuit in
+  let loads =
+    Array.init n (fun g ->
+        Power.Estimate.output_load table ~external_load circuit g)
+  in
+  let power =
+    Array.init n (fun g ->
+        let gate = C.gate_at circuit g in
+        gate_power_of table ~stats ~load:loads.(g) gate ~config:gate.C.config)
+  in
+  {
+    k_table = table;
+    k_circuit = circuit;
+    k_stats = stats;
+    k_power = power;
+    k_loads = loads;
+    k_external_load = external_load;
+    k_maximize = maximize;
+    k_input_only = input_only;
+    k_dirty = dirty;
+  }
+
+let apply_incremental table ~external_load ~maximize ~input_only ?pool ?memo s
+    k circuit ~inputs =
+  Obs.span "incremental.apply" @@ fun () ->
+  Obs.incr c_inc_applies;
+  let n = C.gate_count circuit in
+  let stats = Array.copy k.k_stats in
+  let net_dirty = Array.make (C.net_count circuit) false in
+  let dirty = Array.make n false in
+  let structural = Array.make n false in
+  let seeds = ref [] in
+  (* Primary-input statistic edits. *)
+  List.iter
+    (fun pi ->
+      let next = inputs pi in
+      if not (same_stats next stats.(pi)) then begin
+        stats.(pi) <- next;
+        net_dirty.(pi) <- true;
+        seeds := pi :: !seeds;
+        Obs.incr c_inc_dirty_nets
+      end)
+    (C.primary_inputs circuit);
+  (* Structural gate edits, diffed against the cached circuit. A
+     replaced or rewired gate changes its own output statistics and the
+     loads of the gates driving every touched pin net (pin capacitances
+     follow the reader's cell). A configuration-only difference is the
+     §4.2 case: the gate re-sweeps but no statistics move. *)
+  for g = 0 to n - 1 do
+    let og = C.gate_at k.k_circuit g and ng = C.gate_at circuit g in
+    (* Circuit rebuilds reuse untouched gate records, so physical
+       equality clears the overwhelmingly common case without field
+       compares. *)
+    if og != ng then begin
+      let same_struct =
+        og.C.output = ng.C.output
+        && og.C.fanins = ng.C.fanins
+        && Cell.Gate.name og.C.cell = Cell.Gate.name ng.C.cell
+      in
+      if not same_struct then begin
+        structural.(g) <- true;
+        dirty.(g) <- true;
+        seeds := ng.C.output :: !seeds;
+        let mark_driver net =
+          match C.driver circuit net with
+          | C.Driven_by d -> dirty.(d) <- true
+          | C.Primary_input -> ()
+        in
+        Array.iter mark_driver og.C.fanins;
+        Array.iter mark_driver ng.C.fanins
+      end
+      else if og.C.config <> ng.C.config then dirty.(g) <- true
+    end
+  done;
+  (* External-load edits touch exactly the primary-output drivers. *)
+  if external_load <> k.k_external_load then
+    List.iter
+      (fun po ->
+        match C.driver circuit po with
+        | C.Driven_by d -> dirty.(d) <- true
+        | C.Primary_input -> ())
+      (C.primary_outputs circuit);
+  (* An objective or restriction flip re-decides every gate — but the
+     statistics stay clean, so Najm propagation is still skipped. *)
+  if maximize <> k.k_maximize || input_only <> k.k_input_only then
+    Array.fill dirty 0 n true;
+  (* Najm re-propagation, restricted to the fan-out cones of the edited
+     nets. The early cut-off: a recomputed net whose statistics are
+     bit-identical to the cache stops dirtying its readers. *)
+  if !seeds <> [] then begin
+    let cone = C.fanout_cone circuit !seeds in
+    List.iter
+      (fun g ->
+        if cone.(g) || structural.(g) then begin
+          let gate = C.gate_at circuit g in
+          if
+            structural.(g)
+            || Array.exists (fun net -> net_dirty.(net)) gate.C.fanins
+          then begin
+            dirty.(g) <- true;
+            let input_stats =
+              Array.map (fun net -> stats.(net)) gate.C.fanins
+            in
+            let groups = Power.Model.groups_of_nets gate.C.fanins in
+            let next =
+              Power.Model.output_stats table gate.C.cell ~input_stats ~groups
+                ()
+            in
+            if same_stats next stats.(gate.C.output) then
+              Obs.incr c_inc_cutoffs
+            else begin
+              stats.(gate.C.output) <- next;
+              net_dirty.(gate.C.output) <- true;
+              Obs.incr c_inc_dirty_nets
+            end
+          end
+        end)
+      (C.topological_order circuit)
+  end;
+  (* Re-sweep the dirty gates through the standard decision path. *)
+  let dirty_list = List.filter (fun g -> dirty.(g)) (C.topological_order circuit) in
+  let loads = Array.copy k.k_loads in
+  List.iter
+    (fun g ->
+      loads.(g) <- Power.Estimate.output_load table ~external_load circuit g)
+    dirty_list;
+  let configs = Array.init n (fun g -> (C.gate_at circuit g).C.config) in
+  let explored = ref 0 in
+  let candidates_for = candidates_of ~input_only in
+  Telemetry.progress_begin ~phase:"incremental.sweep"
+    ~total:
+      (List.fold_left
+         (fun acc g -> acc + List.length (candidates_for (C.gate_at circuit g)))
+         0 dirty_list);
+  let decide table g =
+    Obs.span "optimize.gate" @@ fun () ->
+    let gate = C.gate_at circuit g in
+    let input_stats = Array.map (fun net -> stats.(net)) gate.C.fanins in
+    let candidates = candidates_for gate in
+    let chosen, reduction =
+      decide_power table ?memo ~maximize ~input_only ~candidates
+        ~load:loads.(g) ~input_stats gate
+    in
+    {
+      d_gate = g;
+      d_chosen = chosen;
+      d_candidates = List.length candidates;
+      d_reduction = reduction;
+    }
+  in
+  let finish d =
+    Obs.incr c_gates_visited;
+    Obs.incr c_inc_dirty_gates;
+    Obs.add c_configs_explored d.d_candidates;
+    Obs.observe d_configs_per_gate (float_of_int d.d_candidates);
+    explored := !explored + d.d_candidates;
+    Option.iter (Obs.observe d_gate_reduction) d.d_reduction;
+    configs.(d.d_gate) <- d.d_chosen;
+    Telemetry.progress_tick ~n:d.d_candidates ()
+  in
+  (match pool with
+  | Some p when Par.Pool.jobs p > 1 && List.length dirty_list > 1 ->
+      let levels = C.levels circuit in
+      let nlevels = C.depth circuit in
+      let buckets = Array.make (nlevels + 1) [] in
+      List.iter
+        (fun g -> buckets.(levels.(g)) <- g :: buckets.(levels.(g)))
+        (List.rev dirty_list);
+      for level = 1 to nlevels do
+        match buckets.(level) with
+        | [] -> ()
+        | [ g ] -> finish (decide table g)
+        | batch ->
+            Obs.incr c_parallel_levels;
+            let decisions =
+              Par.Pool.map p
+                (fun g -> decide (Power.Model.domain_local table) g)
+                (Array.of_list batch)
+            in
+            Array.iter finish decisions
+      done;
+      ignore (Power.Model.merge_forks table)
+  | _ -> List.iter (fun g -> finish (decide table g)) dirty_list);
+  (* Re-fold the per-gate power records in Estimate.circuit's exact
+     order (internal and output accumulated separately, gate index
+     ascending) so the totals are bit-identical to a cold run's. *)
+  let per_gate =
+    Array.init n (fun g ->
+        if not dirty.(g) then
+          let r = k.k_power.(g) in
+          (r, r)
+        else
+          let gate = C.gate_at circuit g in
+          let before =
+            gate_power_of table ~stats ~load:loads.(g) gate
+              ~config:gate.C.config
+          in
+          let after =
+            if configs.(g) = gate.C.config then before
+            else
+              gate_power_of table ~stats ~load:loads.(g) gate
+                ~config:configs.(g)
+          in
+          (before, after))
+  in
+  let internal_b = ref 0. and output_b = ref 0. in
+  let internal_a = ref 0. and output_a = ref 0. in
+  Array.iter
+    (fun (b, a) ->
+      internal_b := !internal_b +. b.Power.Model.internal;
+      output_b := !output_b +. b.Power.Model.output;
+      internal_a := !internal_a +. a.Power.Model.internal;
+      output_a := !output_a +. a.Power.Model.output)
+    per_gate;
+  let rewritten = C.with_configs circuit configs in
+  let gates_changed = ref 0 in
+  Array.iteri
+    (fun g chosen ->
+      if chosen <> (C.gate_at circuit g).C.config then incr gates_changed)
+    configs;
+  s.s_cache <-
+    Some
+      {
+        k_table = table;
+        k_circuit = rewritten;
+        k_stats = stats;
+        k_power = Array.map snd per_gate;
+        k_loads = loads;
+        k_external_load = external_load;
+        k_maximize = maximize;
+        k_input_only = input_only;
+        k_dirty = dirty;
+      };
   {
     circuit = rewritten;
     configs;
-    power_before;
-    power_after;
+    power_before = !internal_b +. !output_b;
+    power_after = !internal_a +. !output_a;
     gates_changed = !gates_changed;
     configurations_explored = !explored;
   }
+
+let optimize power_table ~delay ?(external_load = default_external_load)
+    ?(objective = Min_power) ?(input_reordering_only = false) ?pool ?memo
+    ?session:sess circuit ~inputs =
+  match sess with
+  | None ->
+      fst
+        (optimize_full power_table ~delay ~external_load ~objective
+           ~input_reordering_only ?pool ?memo circuit ~inputs)
+  | Some s ->
+      (* The session's memoization policy wins: verdict purity makes a
+         warm memo equivalent to a fresh one, but a memoized and an
+         unmemoized sweep can legitimately disagree near quantization
+         boundaries, so the mode must not change mid-session. *)
+      let memo =
+        match (s.s_memo, memo) with
+        | Some own, Some provided ->
+            Memo.merge ~into:own provided;
+            Some own
+        | Some own, None -> Some own
+        | None, _ -> None
+      in
+      let maximize = objective = Max_power in
+      let power_objective = objective = Min_power || objective = Max_power in
+      let compatible kc =
+        power_objective && kc.k_table == power_table
+        && C.net_count kc.k_circuit = C.net_count circuit
+        && C.gate_count kc.k_circuit = C.gate_count circuit
+        && C.primary_inputs kc.k_circuit = C.primary_inputs circuit
+        && C.primary_outputs kc.k_circuit = C.primary_outputs circuit
+      in
+      (match s.s_cache with
+      | Some kc when compatible kc ->
+          apply_incremental power_table ~external_load ~maximize
+            ~input_only:input_reordering_only ?pool ?memo s kc circuit ~inputs
+      | _ ->
+          Obs.incr c_inc_cold_runs;
+          let report, analysis =
+            optimize_full power_table ~delay ~external_load ~objective
+              ~input_reordering_only ?pool ?memo circuit ~inputs
+          in
+          if power_objective then begin
+            let stats = Power.Analysis.all_stats analysis in
+            let dirty = Array.make (C.gate_count circuit) true in
+            s.s_cache <-
+              Some
+                (populate_cache power_table ~external_load ~maximize
+                   ~input_only:input_reordering_only ~stats ~dirty report)
+          end
+          else s.s_cache <- None;
+          report)
 
 let best_and_worst power_table ~delay ?external_load ?pool ?memo circuit
     ~inputs =

@@ -44,6 +44,55 @@ type report = {
 
 val pp_report : Format.formatter -> report -> unit
 
+(** {1 Incremental sessions}
+
+    A {!session} retains everything a power-objective run computed —
+    the rewritten circuit, the per-net statistics, each gate's output
+    load and winning-configuration power record — so the next
+    {!optimize} call with the same session only pays for what changed:
+    it diffs the incoming circuit, input statistics, external load and
+    objective against the cache, re-runs Najm propagation over the
+    fan-out cones of the edited nets with a bit-identical early
+    cut-off (§4.2: statistics are configuration-independent, so pure
+    re-sweeps dirty nothing downstream), re-sweeps only the dirty
+    gates, and re-folds the cached per-gate powers in
+    {!Power.Estimate.circuit}'s summation order. The report is
+    bit-identical to a cold full run on the same arguments — the
+    [incremental-equivalence] proptest oracle enforces this — except
+    for [configurations_explored], which counts only the candidates
+    actually re-examined.
+
+    The fast path covers [Min_power] / [Max_power] with the same power
+    table and circuit shape (net/gate counts, primary inputs and
+    outputs); anything else falls back to a full run that reseeds the
+    cache ([incremental.cold_runs]). Observability:
+    [incremental.applies], [incremental.dirty_nets],
+    [incremental.dirty_gates], [incremental.cutoffs] counters and the
+    [incremental.apply] span. *)
+
+type session
+
+val session : ?memoize:bool -> unit -> session
+(** A fresh session with no cached run. [memoize] (default [false])
+    gives the session its own {!Memo.t}, kept warm across every apply
+    ({!Memo.merge}); the memoization mode is fixed for the session's
+    lifetime because memoized and unmemoized sweeps may legitimately
+    disagree near quantization boundaries. When a session is passed to
+    {!optimize}, the session's memo policy wins: an explicit [?memo]
+    argument is merged into the session's memo if it has one, and
+    ignored otherwise. *)
+
+val session_memo : session -> Memo.t option
+val session_circuit : session -> Netlist.Circuit.t option
+(** The last run's rewritten circuit (winning configurations). *)
+
+val session_stats : session -> Stoch.Signal_stats.t array option
+(** The last run's per-net statistics, indexed by net (a copy). *)
+
+val session_dirty : session -> bool array option
+(** Which gates the most recent apply re-swept, indexed by gate (all
+    [true] after a cold run; a copy). *)
+
 val optimize :
   Power.Model.table ->
   delay:Delay.Elmore.table ->
@@ -52,6 +101,7 @@ val optimize :
   ?input_reordering_only:bool ->
   ?pool:Par.Pool.t ->
   ?memo:Memo.t ->
+  ?session:session ->
   Netlist.Circuit.t ->
   inputs:(Netlist.Circuit.net -> Stoch.Signal_stats.t) ->
   report

@@ -17,6 +17,7 @@ type t = {
   gates : gate array;
   drivers : driver option array;  (* per net *)
   readers : (int * int) list array;  (* per net, (gate, pin) *)
+  fanout_gates : int list array;  (* per net, deduped reader gates, ascending *)
   topo : int list;  (* cached topological order *)
 }
 
@@ -113,6 +114,20 @@ let create ~name ~net_names ~primary_inputs ~primary_outputs ~gates =
         gate.fanins)
     gates;
   Array.iteri (fun n rs -> readers.(n) <- List.rev rs) readers;
+  let fanout_gates =
+    Array.map
+      (fun rs ->
+        let seen = Hashtbl.create 4 in
+        List.filter_map
+          (fun (g, _pin) ->
+            if Hashtbl.mem seen g then None
+            else begin
+              Hashtbl.add seen g ();
+              Some g
+            end)
+          rs)
+      readers
+  in
   let topo =
     compute_topological_order ~gate_count:(Array.length gates)
       ~driver_of:(fun n -> drivers.(n))
@@ -126,6 +141,7 @@ let create ~name ~net_names ~primary_inputs ~primary_outputs ~gates =
     gates;
     drivers;
     readers;
+    fanout_gates;
     topo;
   }
 
@@ -149,7 +165,32 @@ let driver t n =
   | None -> assert false (* create guarantees every net is driven *)
 
 let readers t n = t.readers.(n)
-let fanout t n = List.length t.readers.(n)
+let fanout t n = t.fanout_gates.(n)
+let fanout_count t n = List.length t.readers.(n)
+
+let fanout_cone t seeds =
+  List.iter
+    (fun net ->
+      if net < 0 || net >= net_count t then
+        invalid "fanout_cone: unknown net %d" net)
+    seeds;
+  let dirty_net = Array.make (net_count t) false in
+  let dirty_gate = Array.make (gate_count t) false in
+  let rec visit net =
+    if not dirty_net.(net) then begin
+      dirty_net.(net) <- true;
+      List.iter
+        (fun g ->
+          if not dirty_gate.(g) then begin
+            dirty_gate.(g) <- true;
+            visit t.gates.(g).output
+          end)
+        t.fanout_gates.(net)
+    end
+  in
+  List.iter visit seeds;
+  dirty_gate
+
 let is_primary_output t n = List.mem n t.primary_outputs
 let topological_order t = t.topo
 
@@ -180,12 +221,25 @@ let with_configs t configs =
   if Array.length configs <> gate_count t then
     invalid "with_configs: %d entries for %d gates" (Array.length configs)
       (gate_count t);
+  (* Configurations do not participate in connectivity, so the cached
+     drivers/readers/fanout/topo indices carry over unchanged; only the
+     range check from [create] applies. Keeps circuit rebuild O(gates)
+     on the optimizer (and incremental re-sweep) hot path. *)
   let gates =
-    Array.to_list
-      (Array.mapi (fun g (gate : gate) -> { gate with config = configs.(g) }) t.gates)
+    Array.mapi
+      (fun g (gate : gate) ->
+        if configs.(g) < 0 || configs.(g) >= Cell.Gate.config_count gate.cell
+        then
+          invalid "gate %d (%s): configuration %d out of range" g
+            (Cell.Gate.name gate.cell)
+            configs.(g);
+        (* Reuse untouched records so callers can detect unchanged
+           gates by physical equality. *)
+        if gate.config = configs.(g) then gate
+        else { gate with config = configs.(g) })
+      t.gates
   in
-  create ~name:t.name ~net_names:t.net_names ~primary_inputs:t.primary_inputs
-    ~primary_outputs:t.primary_outputs ~gates
+  { t with gates }
 
 let with_name t name = { t with name }
 

@@ -53,8 +53,20 @@ val driver : t -> net -> driver
 val readers : t -> net -> (int * int) list
 (** Gates reading a net, as [(gate index, pin)] pairs. *)
 
-val fanout : t -> net -> int
-(** Number of gate input pins the net drives. *)
+val fanout : t -> net -> int list
+(** Gates reading the net — {!readers} deduplicated by gate, ascending
+    by gate index. Precomputed at {!create}; O(1) per call. *)
+
+val fanout_count : t -> net -> int
+(** Number of gate input pins the net drives (a multi-input gate
+    reading the net twice counts twice). *)
+
+val fanout_cone : t -> net list -> bool array
+(** [fanout_cone t nets] marks every gate in the union of the
+    transitive fan-out cones of [nets]: gate [g] is marked iff some
+    path of driver→reader edges leads from a seed net to [g]. The
+    result is indexed by gate; reconvergent fan-out is visited once.
+    @raise Invalid on an unknown net. *)
 
 val is_primary_output : t -> net -> bool
 

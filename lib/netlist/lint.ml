@@ -9,7 +9,7 @@ let check ?(fanout_threshold = 8) circuit =
   let warnings = ref [] in
   let add w = warnings := w :: !warnings in
   for net = 0 to Circuit.net_count circuit - 1 do
-    let fanout = Circuit.fanout circuit net in
+    let fanout = Circuit.fanout_count circuit net in
     let is_output = Circuit.is_primary_output circuit net in
     begin match Circuit.driver circuit net with
     | Circuit.Primary_input ->

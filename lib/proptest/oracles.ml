@@ -955,6 +955,162 @@ let check_history_consistency ~seed c =
               (List.length parsed.Html.pr_series)
               rendered)
 
+(* --- 15. incremental equivalence --- *)
+
+(* A session apply must be bit-identical to a cold full optimization of
+   the edited circuit under the edited input model — report, winning
+   configurations and attribution ledger alike — and stay so across
+   domain counts and with a session memo. *)
+let check_incremental_equivalence ~seed c =
+  let module O = Reorder.Optimizer in
+  let module I = Incremental in
+  let base = Gen.input_stats ~seed c in
+  (* One mutable input model shared by the sessions (which snapshot it
+     at creation and then see edits only through the edit language) and
+     the cold reference (which reads it after the mirror mutation). *)
+  let stats = Hashtbl.create 16 in
+  List.iter (fun pi -> Hashtbl.replace stats pi (base pi)) (C.primary_inputs c);
+  let inputs n = Hashtbl.find stats n in
+  let rng = Stoch.Rng.create ((seed * 2) + 1) in
+  let pis = Array.of_list (C.primary_inputs c) in
+  let stat_edit () =
+    let pi = pis.(Stoch.Rng.int rng (Array.length pis)) in
+    let s =
+      Stoch.Signal_stats.make
+        ~prob:(Stoch.Rng.float_range rng 0.05 0.95)
+        ~density:(Stoch.Rng.float_range rng 1e5 2e8)
+    in
+    I.Set_input_stats (pi, s)
+  in
+  let config_edit circuit =
+    let g = Stoch.Rng.int rng (C.gate_count circuit) in
+    let gate = C.gate_at circuit g in
+    let k = Cell.Gate.config_count gate.C.cell in
+    I.Replace_gate (g, { gate with C.config = Stoch.Rng.int rng k })
+  in
+  (* Mirror the session's edit semantics onto a cold-reference circuit
+     and the shared input model. *)
+  let apply_cold circuit edits =
+    let gates = C.gates circuit in
+    List.iter
+      (function
+        | I.Set_input_stats (n, s) -> Hashtbl.replace stats n s
+        | I.Replace_gate (g, gate) -> gates.(g) <- gate
+        | I.Set_external_load _ | I.Set_objective _ -> ())
+      edits;
+    C.create ~name:(C.name circuit)
+      ~net_names:(Array.init (C.net_count circuit) (C.net_name circuit))
+      ~primary_inputs:(C.primary_inputs circuit)
+      ~primary_outputs:(C.primary_outputs circuit)
+      ~gates:(Array.to_list gates)
+  in
+  let compare_cold ?(memoized = false) label sess edited =
+    let rep = I.report sess in
+    let el = I.external_load sess in
+    (* A memoized session decides from the memo's quantized
+       representatives, so its cold reference must be memoized too (a
+       fresh memo: misses are pure functions of the key, so warm hits
+       in the session return exactly what the fresh miss computes). *)
+    let memo = if memoized then Some (Reorder.Memo.create ()) else None in
+    let cold =
+      O.optimize (power ()) ~delay:(delay ()) ~external_load:el ?memo edited
+        ~inputs
+    in
+    let* () =
+      if rep.O.power_before = cold.O.power_before then Pass
+      else
+        fail "%s: power_before: session %.17g W, cold %.17g W" label
+          rep.O.power_before cold.O.power_before
+    in
+    let* () =
+      if rep.O.power_after = cold.O.power_after then Pass
+      else
+        fail "%s: power_after: session %.17g W, cold %.17g W" label
+          rep.O.power_after cold.O.power_after
+    in
+    let* () =
+      if rep.O.configs = cold.O.configs then Pass
+      else
+        let g = ref 0 in
+        Array.iteri
+          (fun i s -> if rep.O.configs.(i) <> s then g := i)
+          cold.O.configs;
+        fail "%s: gate %d: session chose config %d, cold %d" label !g
+          rep.O.configs.(!g) cold.O.configs.(!g)
+    in
+    match I.ledger sess with
+    | None -> fail "%s: session lost its ledger" label
+    | Some l ->
+        let lc =
+          Attrib.of_report (power ()) ~external_load:el ~before:edited ~inputs
+            cold
+        in
+        let* () =
+          if
+            l.Attrib.total_before = lc.Attrib.total_before
+            && l.Attrib.total_after = lc.Attrib.total_after
+          then Pass
+          else
+            fail "%s: ledger totals: session %.17g/%.17g W, cold %.17g/%.17g W"
+              label l.Attrib.total_before l.Attrib.total_after
+              lc.Attrib.total_before lc.Attrib.total_after
+        in
+        let rec per_gate i =
+          if i >= Array.length l.Attrib.gates then Pass
+          else
+            let a = l.Attrib.gates.(i) and b = lc.Attrib.gates.(i) in
+            if
+              a.Attrib.config_before = b.Attrib.config_before
+              && a.Attrib.config_after = b.Attrib.config_after
+              && a.Attrib.before_total = b.Attrib.before_total
+              && a.Attrib.after_total = b.Attrib.after_total
+            then per_gate (i + 1)
+            else
+              fail
+                "%s: ledger gate %d: session %d->%d %.17g/%.17g W, cold \
+                 %d->%d %.17g/%.17g W"
+                label i a.Attrib.config_before a.Attrib.config_after
+                a.Attrib.before_total a.Attrib.after_total
+                b.Attrib.config_before b.Attrib.config_after
+                b.Attrib.before_total b.Attrib.after_total
+        in
+        per_gate 0
+  in
+  let pool = Lazy.force det_pool in
+  let make ?memoize ?pool () =
+    I.create ?memoize ?pool (power ()) ~delay:(delay ()) c ~inputs
+  in
+  let sess = make () in
+  let sess_pool = make ~pool () in
+  let sess_memo = make ~memoize:true () in
+  (* First batch: statistics edits plus a configuration flip (the §4.2
+     split of the edit space), built against the settled circuit the
+     three sessions share bit-identically. *)
+  let settled = I.circuit sess in
+  (* The memoized session may settle at different (quantization-tied)
+     winners than the unmemoized ones, so its cold reference is built
+     from its own settled circuit. *)
+  let settled_memo = I.circuit sess_memo in
+  let batch =
+    [ stat_edit (); stat_edit () ]
+    @ (if C.gate_count settled > 0 then [ config_edit settled ] else [])
+  in
+  let edited = apply_cold settled batch in
+  let edited_memo = apply_cold settled_memo batch in
+  ignore (I.apply sess batch);
+  ignore (I.apply ~pool sess_pool batch);
+  ignore (I.apply sess_memo batch);
+  let* () = compare_cold "sequential" sess edited in
+  let* () = compare_cold "jobs=4" sess_pool edited in
+  let* () = compare_cold ~memoized:true "memoized" sess_memo edited_memo in
+  (* Second apply on the same session: a stats-only batch over the
+     re-settled state, so cutoffs and reconvergent cones get exercised
+     from a warm cache rather than a fresh one. *)
+  let batch2 = [ stat_edit () ] in
+  let edited2 = apply_cold (I.circuit sess) batch2 in
+  ignore (I.apply sess batch2);
+  compare_cold "second apply" sess edited2
+
 (* --- registry --- *)
 
 let circuit_prop name generate check =
@@ -991,6 +1147,8 @@ let all () =
     circuit_prop "telemetry-consistency" Gen.circuit
       check_telemetry_consistency;
     circuit_prop "history-consistency" Gen.circuit check_history_consistency;
+    circuit_prop "incremental-equivalence" Gen.circuit
+      check_incremental_equivalence;
   ]
 
 let names () = List.map Runner.name (all ())

@@ -75,6 +75,14 @@
       to exactly its first offending run, and the rendered dashboard
       passes {!Html.parse_report} with every series inventoried and a
       deterministic re-render.
+    - [incremental-equivalence] — an {!Incremental} session apply
+      (random statistics edits plus a configuration flip, then a
+      stats-only second batch over the warm cache) is bit-identical to
+      a cold full {!Reorder.Optimizer.optimize} of the edited circuit:
+      [power_before] / [power_after], every winning configuration, and
+      the patched {!Attrib} ledger (totals and per-gate
+      before/after entries) all match exactly — sequentially, over a
+      4-domain {!Par.Pool}, and with a session {!Reorder.Memo}.
 
     All properties share one power-model / delay table pair built from
     {!Cell.Process.default} (module state, built lazily). *)

@@ -1,0 +1,422 @@
+(* Tests for the incremental (ECO-style) re-optimization engine: the
+   session's bit-identity contract against cold full runs, dirty-cone
+   narrowness, the §4.2 cut-off, warm-memo reuse across applies,
+   ledger patching and the NDJSON edit-script language. *)
+
+module C = Netlist.Circuit
+module B = Netlist.Builder
+module O = Reorder.Optimizer
+module I = Incremental
+module S = Stoch.Signal_stats
+
+let power_table () = Power.Model.table Cell.Process.default
+let delay_table () = Delay.Elmore.table Cell.Process.default
+
+let scenario_inputs seed scenario circuit =
+  Power.Scenario.input_stats ~rng:(Stoch.Rng.create seed) scenario circuit
+
+(* Mutable input-stats model the tests edit through. *)
+let stats_table circuit ~seed =
+  let base = scenario_inputs seed Power.Scenario.A circuit in
+  let tbl = Hashtbl.create 16 in
+  List.iter (fun net -> Hashtbl.add tbl net (base net)) (C.primary_inputs circuit);
+  tbl
+
+let inputs_of tbl net = Hashtbl.find tbl net
+
+let check_float name a b =
+  Alcotest.(check bool)
+    (Printf.sprintf "%s: %.17g = %.17g" name a b)
+    true (Float.equal a b)
+
+(* Rebuild a circuit with one gate replaced — the edited circuit as it
+   enters an apply, for cold-run comparison. *)
+let replace_in circuit g gate =
+  let gates = C.gates circuit in
+  gates.(g) <- gate;
+  C.create ~name:(C.name circuit)
+    ~net_names:(Array.init (C.net_count circuit) (C.net_name circuit))
+    ~primary_inputs:(C.primary_inputs circuit)
+    ~primary_outputs:(C.primary_outputs circuit)
+    ~gates:(Array.to_list gates)
+
+(* Session apply must be bit-identical to a cold optimize of the same
+   edited circuit (the one *entering* the apply) under the same input
+   model. *)
+let check_equivalent name (sess : I.t) cold_circuit tbl =
+  let pt = power_table () and dt = delay_table () in
+  let rep = I.report sess in
+  let cold =
+    O.optimize pt ~delay:dt ~external_load:(I.external_load sess)
+      ~objective:(I.objective sess) cold_circuit ~inputs:(inputs_of tbl)
+  in
+  check_float (name ^ ": power_before") cold.O.power_before rep.O.power_before;
+  check_float (name ^ ": power_after") cold.O.power_after rep.O.power_after;
+  Alcotest.(check (array int)) (name ^ ": configs") cold.O.configs rep.O.configs;
+  (match I.ledger sess with
+  | None -> ()
+  | Some patched ->
+      let cold_ledger =
+        Attrib.of_report pt ~external_load:(I.external_load sess)
+          ~before:cold_circuit ~inputs:(inputs_of tbl) cold
+      in
+      check_float
+        (name ^ ": ledger total_before")
+        cold_ledger.Attrib.total_before patched.Attrib.total_before;
+      check_float
+        (name ^ ": ledger total_after")
+        cold_ledger.Attrib.total_after patched.Attrib.total_after;
+      Array.iteri
+        (fun g (e : Attrib.gate_entry) ->
+          let p = patched.Attrib.gates.(g) in
+          Alcotest.(check int)
+            (Printf.sprintf "%s: gate %d config_after" name g)
+            e.Attrib.config_after p.Attrib.config_after;
+          Alcotest.(check int)
+            (Printf.sprintf "%s: gate %d config_before" name g)
+            e.Attrib.config_before p.Attrib.config_before;
+          check_float
+            (Printf.sprintf "%s: gate %d after_total" name g)
+            e.Attrib.after_total p.Attrib.after_total;
+          check_float
+            (Printf.sprintf "%s: gate %d before_total" name g)
+            e.Attrib.before_total p.Attrib.before_total)
+        cold_ledger.Attrib.gates)
+
+let test_stats_edit_equivalence () =
+  let pt = power_table () and dt = delay_table () in
+  let circuit = Circuits.Suite.find "rca4" in
+  let tbl = stats_table circuit ~seed:7 in
+  let sess = I.create pt ~delay:dt circuit ~inputs:(inputs_of tbl) in
+  let cold_explored = (I.report sess).O.configurations_explored in
+  (* Nudge one input's density: only its fan-out cone may re-sweep. *)
+  let pi = List.hd (C.primary_inputs circuit) in
+  let edited = S.make ~prob:0.3 ~density:4.2e7 in
+  Hashtbl.replace tbl pi edited;
+  let entering = I.circuit sess in
+  let rep = I.apply sess [ I.Set_input_stats (pi, edited) ] in
+  Alcotest.(check bool)
+    "incremental path explores a strict subset" true
+    (rep.O.configurations_explored < cold_explored);
+  check_equivalent "stats edit" sess entering tbl;
+  (* The settled circuit is a fixed point: applying an empty batch
+     changes nothing and re-sweeps nothing. *)
+  let rep2 = I.apply sess [] in
+  Alcotest.(check int) "empty batch: no gates changed" 0 rep2.O.gates_changed;
+  Alcotest.(check int)
+    "empty batch: nothing explored" 0 rep2.O.configurations_explored
+
+let test_dirty_cone_is_narrow () =
+  let pt = power_table () and dt = delay_table () in
+  let circuit = Circuits.Suite.find "rca8" in
+  let tbl = stats_table circuit ~seed:11 in
+  let sess = I.create pt ~delay:dt circuit ~inputs:(inputs_of tbl) in
+  let n = C.gate_count circuit in
+  (* A config-only gate edit must dirty exactly that gate (§4.2: the
+     reordering does not move any net's statistics). *)
+  let g = n / 2 in
+  let gate = C.gate_at (I.circuit sess) g in
+  let other_config = (gate.C.config + 1) mod Cell.Gate.config_count gate.C.cell in
+  let replacement = { gate with C.config = other_config } in
+  let entering = replace_in (I.circuit sess) g replacement in
+  ignore (I.apply sess [ I.Replace_gate (g, replacement) ]);
+  let dirty = Option.get (O.session_dirty (I.session sess)) in
+  let dirty_count =
+    Array.fold_left (fun acc d -> if d then acc + 1 else acc) 0 dirty
+  in
+  Alcotest.(check int) "config-only edit re-sweeps exactly one gate" 1
+    dirty_count;
+  Alcotest.(check bool) "and it is the edited gate" true dirty.(g);
+  check_equivalent "config edit" sess entering tbl;
+  (* An input-stats edit re-sweeps at most the input's fan-out cone
+     (plus nothing else). *)
+  let pi = List.nth (C.primary_inputs circuit) 2 in
+  let edited = S.make ~prob:0.9 ~density:9.9e6 in
+  Hashtbl.replace tbl pi edited;
+  let entering = I.circuit sess in
+  ignore (I.apply sess [ I.Set_input_stats (pi, edited) ]);
+  let cone = C.fanout_cone circuit [ pi ] in
+  let dirty = Option.get (O.session_dirty (I.session sess)) in
+  Array.iteri
+    (fun g d ->
+      if d then
+        Alcotest.(check bool)
+          (Printf.sprintf "dirty gate %d lies in the edited cone" g)
+          true cone.(g))
+    dirty;
+  check_equivalent "stats edit after config edit" sess entering tbl
+
+let test_external_load_and_objective () =
+  let pt = power_table () and dt = delay_table () in
+  let circuit = Circuits.Suite.find "rca4" in
+  let tbl = stats_table circuit ~seed:3 in
+  let sess = I.create pt ~delay:dt circuit ~inputs:(inputs_of tbl) in
+  let entering = I.circuit sess in
+  ignore (I.apply sess [ I.Set_external_load 35e-15 ]);
+  (* Only primary-output drivers may re-sweep. *)
+  let dirty = Option.get (O.session_dirty (I.session sess)) in
+  let po_drivers =
+    List.filter_map
+      (fun po ->
+        match C.driver circuit po with
+        | C.Driven_by d -> Some d
+        | C.Primary_input -> None)
+      (C.primary_outputs circuit)
+  in
+  Array.iteri
+    (fun g d ->
+      if d then
+        Alcotest.(check bool)
+          (Printf.sprintf "load edit: dirty gate %d drives a PO" g)
+          true (List.mem g po_drivers))
+    dirty;
+  check_equivalent "external load edit" sess entering tbl;
+  (* Objective flip re-decides everything but skips propagation. *)
+  let before_nets = Obs.value (Obs.counter "incremental.dirty_nets") in
+  let entering = I.circuit sess in
+  ignore (I.apply sess [ I.Set_objective O.Max_power ]);
+  Alcotest.(check int)
+    "objective flip dirties no nets" before_nets
+    (Obs.value (Obs.counter "incremental.dirty_nets"));
+  check_equivalent "objective flip" sess entering tbl
+
+let test_memo_warm_across_applies () =
+  let pt = power_table () and dt = delay_table () in
+  let circuit = Circuits.Suite.find "rca8" in
+  let tbl = stats_table circuit ~seed:13 in
+  let sess =
+    I.create pt ~delay:dt ~memoize:true circuit ~inputs:(inputs_of tbl)
+  in
+  let memo = Option.get (O.session_memo (I.session sess)) in
+  let size_after_cold = Reorder.Memo.size memo in
+  Alcotest.(check bool) "cold run seeded the memo" true (size_after_cold > 0);
+  let hits = Obs.counter "optimizer.memo_hits" in
+  let pi = List.hd (C.primary_inputs circuit) in
+  (* Toggle the same input between two values: after the first apply,
+     every key the replays need is already stored, so the hit counter
+     must rise on each subsequent apply. *)
+  let a = S.make ~prob:0.4 ~density:5e6
+  and b = S.make ~prob:0.6 ~density:7e6 in
+  let apply_with s =
+    Hashtbl.replace tbl pi s;
+    ignore (I.apply sess [ I.Set_input_stats (pi, s) ])
+  in
+  apply_with a;
+  apply_with b;
+  let h0 = Obs.value hits in
+  apply_with a;
+  let h1 = Obs.value hits in
+  Alcotest.(check bool) "replaying a seen edit hits warm verdicts" true
+    (h1 > h0);
+  Alcotest.(check int) "no new entries were needed" (Reorder.Memo.size memo)
+    (let _ = apply_with b in
+     Reorder.Memo.size memo);
+  (* Memoized incremental must equal a memoized cold run (verdict
+     purity: warm == fresh). *)
+  let cold_memo = Reorder.Memo.create () in
+  let cold =
+    O.optimize pt ~delay:dt ~memo:cold_memo (I.circuit sess)
+      ~inputs:(inputs_of tbl)
+  in
+  check_float "memoized: settled power is a fixed point" cold.O.power_after
+    (I.report sess).O.power_after
+
+let test_memo_merge () =
+  let m1 = Reorder.Memo.create () and m2 = Reorder.Memo.create () in
+  Reorder.Memo.store m1 "a" 1;
+  Reorder.Memo.store m2 "a" 2;
+  Reorder.Memo.store m2 "b" 3;
+  Reorder.Memo.merge ~into:m1 m2;
+  Alcotest.(check int) "merged size" 2 (Reorder.Memo.size m1);
+  Alcotest.(check (option int)) "first writer wins" (Some 1)
+    (Reorder.Memo.lookup m1 "a");
+  Alcotest.(check (option int)) "new entry copied" (Some 3)
+    (Reorder.Memo.lookup m1 "b");
+  Reorder.Memo.merge ~into:m1 m1;
+  Alcotest.(check int) "self-merge is a no-op" 2 (Reorder.Memo.size m1)
+
+let test_parallel_and_memo_equivalence () =
+  let pt = power_table () and dt = delay_table () in
+  let circuit = Circuits.Suite.find "rca8" in
+  let tbl = stats_table circuit ~seed:29 in
+  Par.Pool.with_pool ~jobs:4 @@ fun pool ->
+  List.iter
+    (fun memoize ->
+      let tbl_seq = Hashtbl.copy tbl and tbl_par = Hashtbl.copy tbl in
+      let seq =
+        I.create pt ~delay:dt ~memoize circuit ~inputs:(inputs_of tbl_seq)
+      in
+      let par =
+        I.create pt ~delay:dt ~memoize ~pool circuit
+          ~inputs:(inputs_of tbl_par)
+      in
+      let edit tbl net = Hashtbl.replace tbl net (S.make ~prob:0.25 ~density:3e7) in
+      let pi = List.nth (C.primary_inputs circuit) 1 in
+      edit tbl_seq pi;
+      edit tbl_par pi;
+      let s = S.make ~prob:0.25 ~density:3e7 in
+      let r_seq = I.apply seq [ I.Set_input_stats (pi, s) ] in
+      let r_par = I.apply ~pool par [ I.Set_input_stats (pi, s) ] in
+      check_float
+        (Printf.sprintf "memoize=%b: jobs 1 = jobs 4 (after)" memoize)
+        r_seq.O.power_after r_par.O.power_after;
+      Alcotest.(check (array int))
+        (Printf.sprintf "memoize=%b: same configs" memoize)
+        r_seq.O.configs r_par.O.configs)
+    [ false; true ]
+
+let test_edit_validation () =
+  let pt = power_table () and dt = delay_table () in
+  let circuit = Circuits.Suite.find "rca4" in
+  let tbl = stats_table circuit ~seed:5 in
+  let sess = I.create pt ~delay:dt circuit ~inputs:(inputs_of tbl) in
+  let before = I.report sess in
+  let gate_driven =
+    (C.gate_at circuit 0).C.output
+  in
+  Alcotest.(check bool) "stats edit on a gate-driven net is refused" true
+    (try
+       ignore
+         (I.apply sess
+            [ I.Set_input_stats (gate_driven, S.make ~prob:0.5 ~density:1e6) ]);
+       false
+     with I.Edit_error _ -> true);
+  Alcotest.(check bool) "bad gate index is refused" true
+    (try
+       ignore
+         (I.apply sess [ I.Replace_gate (9999, C.gate_at circuit 0) ]);
+       false
+     with I.Edit_error _ -> true);
+  Alcotest.(check bool) "negative load is refused" true
+    (try
+       ignore (I.apply sess [ I.Set_external_load (-1.) ]);
+       false
+     with I.Edit_error _ -> true);
+  (* A failing batch leaves the session untouched. *)
+  let after = I.report sess in
+  check_float "report unchanged by failed batches" before.O.power_after
+    after.O.power_after
+
+let test_script_parsing () =
+  let circuit = Circuits.Suite.find "rca4" in
+  let a_name = C.net_name circuit (List.hd (C.primary_inputs circuit)) in
+  let text =
+    Printf.sprintf
+      {|# a comment
+{"op":"set_input_stats","net":"%s","prob":0.5,"density":2.0e8}
+
+[{"op":"set_external_load","farads":2.5e-14},{"op":"set_objective","objective":"max_power"}]
+{"op":"replace_gate","gate":0,"config":1}
+|}
+      a_name
+  in
+  let batches = I.Script.parse ~circuit text in
+  Alcotest.(check int) "three batches" 3 (List.length batches);
+  (match batches with
+  | [ [ I.Set_input_stats (net, s) ];
+      [ I.Set_external_load l; I.Set_objective O.Max_power ];
+      [ I.Replace_gate (0, gate) ] ] ->
+      Alcotest.(check string)
+        "net resolved" a_name (C.net_name circuit net);
+      Alcotest.(check (float 0.)) "prob" 0.5 (Stoch.Signal_stats.prob s);
+      Alcotest.(check (float 0.)) "load" 2.5e-14 l;
+      Alcotest.(check int) "config" 1 gate.C.config;
+      Alcotest.(check string) "cell kept" (Cell.Gate.name (C.gate_at circuit 0).C.cell)
+        (Cell.Gate.name gate.C.cell)
+  | _ -> Alcotest.fail "unexpected batch structure");
+  Alcotest.(check bool) "bad op rejected" true
+    (try
+       ignore (I.Script.parse ~circuit {|{"op":"frobnicate"}|});
+       false
+     with I.Edit_error _ -> true);
+  Alcotest.(check bool) "unknown net rejected" true
+    (try
+       ignore
+         (I.Script.parse ~circuit
+            {|{"op":"set_input_stats","net":"nope","prob":0.5,"density":1}|});
+       false
+     with I.Edit_error _ -> true)
+
+let test_replay_and_percentiles () =
+  let pt = power_table () and dt = delay_table () in
+  let circuit = Circuits.Suite.find "rca4" in
+  let tbl = stats_table circuit ~seed:17 in
+  let sess = I.create pt ~delay:dt circuit ~inputs:(inputs_of tbl) in
+  let pi = List.hd (C.primary_inputs circuit) in
+  let name = C.net_name circuit pi in
+  let text =
+    String.concat "\n"
+      (List.map
+         (fun d ->
+           Printf.sprintf
+             {|{"op":"set_input_stats","net":"%s","prob":0.5,"density":%g}|}
+             name d)
+         [ 1e6; 2e6; 3e6; 4e6 ])
+  in
+  let script = I.Script.parse ~circuit text in
+  let timings = I.replay sess script in
+  Alcotest.(check int) "one timing per batch" 4 (List.length timings);
+  List.iter
+    (fun (tm : I.timing) ->
+      Alcotest.(check bool) "positive latency" true (tm.I.seconds >= 0.);
+      Alcotest.(check int) "single-edit batches" 1 tm.I.edits)
+    timings;
+  let p50, p90, p99 = I.latency_percentiles timings in
+  Alcotest.(check bool) "percentiles ordered" true (p50 <= p90 && p90 <= p99);
+  (* The session's input model now ends at the last scripted value; the
+     settled state is a fixed point, checkable with an empty batch. *)
+  Hashtbl.replace tbl pi (S.make ~prob:0.5 ~density:4e6);
+  let entering = I.circuit sess in
+  ignore (I.apply sess []);
+  check_equivalent "after replay" sess entering tbl
+
+let test_cold_fallback_on_non_power_objective () =
+  let pt = power_table () and dt = delay_table () in
+  let circuit = Circuits.Suite.find "rca4" in
+  let tbl = stats_table circuit ~seed:23 in
+  let sess = I.create pt ~delay:dt circuit ~inputs:(inputs_of tbl) in
+  let cold_runs = Obs.counter "incremental.cold_runs" in
+  let before = Obs.value cold_runs in
+  ignore (I.apply sess [ I.Set_objective O.Min_delay ]);
+  Alcotest.(check bool) "non-power objective falls back to a cold run" true
+    (Obs.value cold_runs > before);
+  (* And a later power-objective apply recovers (another cold run that
+     reseeds the cache, then incremental again). *)
+  ignore (I.apply sess [ I.Set_objective O.Min_power ]);
+  let applies = Obs.counter "incremental.applies" in
+  let a0 = Obs.value applies in
+  let entering = I.circuit sess in
+  ignore (I.apply sess []);
+  Alcotest.(check bool) "back on the incremental path" true
+    (Obs.value applies > a0);
+  check_equivalent "recovered" sess entering tbl
+
+let () =
+  Alcotest.run "incremental"
+    [
+      ( "equivalence",
+        [
+          Alcotest.test_case "stats edit" `Quick test_stats_edit_equivalence;
+          Alcotest.test_case "dirty cone is narrow" `Quick
+            test_dirty_cone_is_narrow;
+          Alcotest.test_case "external load and objective" `Quick
+            test_external_load_and_objective;
+          Alcotest.test_case "parallel and memo" `Quick
+            test_parallel_and_memo_equivalence;
+        ] );
+      ( "memo",
+        [
+          Alcotest.test_case "warm across applies" `Quick
+            test_memo_warm_across_applies;
+          Alcotest.test_case "merge" `Quick test_memo_merge;
+        ] );
+      ( "edits",
+        [
+          Alcotest.test_case "validation" `Quick test_edit_validation;
+          Alcotest.test_case "script parsing" `Quick test_script_parsing;
+          Alcotest.test_case "replay and percentiles" `Quick
+            test_replay_and_percentiles;
+          Alcotest.test_case "cold fallback" `Quick
+            test_cold_fallback_on_non_power_objective;
+        ] );
+    ]

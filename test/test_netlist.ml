@@ -29,9 +29,80 @@ let test_driver_and_readers () =
   let a = Option.get (C.net_of_name c "a") in
   Alcotest.(check bool) "a is PI" true (C.driver c a = C.Primary_input);
   Alcotest.(check bool) "y driven by gate 0" true (C.driver c y = C.Driven_by 0);
-  Alcotest.(check int) "fanout of y" 1 (C.fanout c y);
+  Alcotest.(check int) "fanout of y" 1 (C.fanout_count c y);
+  Alcotest.(check (list int)) "fanout gates of y" [ 1 ] (C.fanout c y);
   Alcotest.(check bool) "reader of y is gate 1 pin 0" true
     (C.readers c y = [ (1, 0) ])
+
+(* Reconvergent fan-out: s feeds both the nand and (through an
+   inverter) the nor; both reconverge on a single output nand-gate
+   (a single physical gate, so gate indices stay 1:1 with the sketch).
+       s --------> nand2 --\
+       s -> inv -> nor2 ----> nand2 -> out *)
+let reconvergent () =
+  let b = B.create ~name:"reconv" in
+  let s = B.input b "s" in
+  let t = B.input b "t" in
+  let i = B.inv b ~name:"i" s in
+  let n1 = B.nand2 b ~name:"n1" s t in
+  let n2 = B.nor2 b ~name:"n2" i t in
+  let o = B.nand2 b ~name:"o" n1 n2 in
+  B.output b o;
+  B.finish b
+
+let test_fanout_index () =
+  let c = reconvergent () in
+  let net n = Option.get (C.net_of_name c n) in
+  let gate_of n =
+    match C.driver c (net n) with
+    | C.Driven_by g -> g
+    | C.Primary_input -> Alcotest.fail (n ^ " is a primary input")
+  in
+  let inv = gate_of "i" and nand = gate_of "n1" in
+  Alcotest.(check (list int))
+    "s read by inv and nand, deduped ascending"
+    (List.sort compare [ inv; nand ])
+    (C.fanout c (net "s"));
+  Alcotest.(check int) "s drives two pins" 2 (C.fanout_count c (net "s"));
+  Alcotest.(check (list int)) "output net unread" [] (C.fanout c (net "o"))
+
+let test_fanout_cone () =
+  let c = reconvergent () in
+  let net n = Option.get (C.net_of_name c n) in
+  let gate_of n =
+    match C.driver c (net n) with
+    | C.Driven_by g -> g
+    | C.Primary_input -> Alcotest.fail (n ^ " is a primary input")
+  in
+  let marked seeds =
+    let cone = C.fanout_cone c (List.map net seeds) in
+    List.sort compare
+      (Array.to_list
+         (Array.of_seq
+            (Seq.filter_map
+               (fun g -> if cone.(g) then Some g else None)
+               (Seq.init (C.gate_count c) Fun.id))))
+  in
+  (* Editing s dirties everything downstream, through both branches,
+     visiting the reconvergent output gate once. *)
+  Alcotest.(check (list int))
+    "cone of s is all four gates"
+    (List.sort compare [ gate_of "i"; gate_of "n1"; gate_of "n2"; gate_of "o" ])
+    (marked [ "s" ]);
+  (* Editing the inverter output only dirties the nor branch. *)
+  Alcotest.(check (list int))
+    "cone of i is nor + and"
+    (List.sort compare [ gate_of "n2"; gate_of "o" ])
+    (marked [ "i" ]);
+  (* A union of seeds marks the union of cones. *)
+  Alcotest.(check (list int))
+    "cone of {n1,n2} is just the output gate"
+    [ gate_of "o" ]
+    (marked [ "n1"; "n2" ]);
+  Alcotest.(check (list int)) "cone of the output is empty" [] (marked [ "o" ]);
+  Alcotest.check_raises "unknown net rejected"
+    (C.Invalid "fanout_cone: unknown net 99") (fun () ->
+      ignore (C.fanout_cone c [ 99 ]))
 
 let test_topological_order () =
   let c = nand_inv () in
@@ -476,6 +547,8 @@ let () =
         [
           Alcotest.test_case "builder basic" `Quick test_builder_basic;
           Alcotest.test_case "driver and readers" `Quick test_driver_and_readers;
+          Alcotest.test_case "fanout index" `Quick test_fanout_index;
+          Alcotest.test_case "fanout cone" `Quick test_fanout_cone;
           Alcotest.test_case "topological order" `Quick test_topological_order;
           Alcotest.test_case "levels and depth" `Quick test_levels_depth;
           Alcotest.test_case "transistor count" `Quick test_transistor_count;

@@ -163,10 +163,12 @@ let test_runner_counters () =
     (Obs.value (Obs.counter "proptest.counterexamples") > cexs)
 
 let test_oracle_registry () =
-  Alcotest.(check int) "fourteen oracles" 14
+  Alcotest.(check int) "fifteen oracles" 15
     (List.length (Proptest.Oracles.all ()));
   Alcotest.(check bool) "find mc oracle" true
     (Proptest.Oracles.find "mc-convergence" <> None);
+  Alcotest.(check bool) "find incremental oracle" true
+    (Proptest.Oracles.find "incremental-equivalence" <> None);
   Alcotest.(check bool) "find telemetry oracle" true
     (Proptest.Oracles.find "telemetry-consistency" <> None);
   Alcotest.(check bool) "find history oracle" true
